@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+asserts the qualitative result the paper reports for it (who wins, by
+roughly what factor).  Simulation results are shared through one
+session-scoped :class:`ResultCache`, so the suite costs one simulation
+per (workload, design) even though figures overlap heavily.
+
+``REPRO_SCALE`` scales the workloads (default 1.0 — the calibrated
+operating point; smaller values run faster but compress the effects).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ResultCache
+
+
+@pytest.fixture(scope="session")
+def cache() -> ResultCache:
+    return ResultCache()
+
+
+def run_once(benchmark, fn):
+    """Benchmark a figure regeneration exactly once (they are minutes-long)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,20 @@
+"""§5.3: energy-proxy event counts."""
+
+from repro.experiments import energy
+
+from conftest import run_once
+
+
+def test_energy_proxies(benchmark, cache):
+    result = run_once(benchmark, lambda: energy.run(cache))
+    print(result.render())
+
+    # The VC design removes per-CU TLBs entirely: 100% of per-access
+    # TLB lookups disappear.
+    assert result.tlb_lookup_reduction() == 1.0
+    assert all(v == 0 for v in result.tlb_lookups_vc.values())
+
+    # And the IOMMU is consulted substantially less overall — above all
+    # by the workloads that generate the traffic.
+    assert result.iommu_reduction() > 0.2
+    assert result.iommu_reduction_high_bw() > 0.4

@@ -1,0 +1,26 @@
+"""Figure 10: comparison with larger per-CU TLBs."""
+
+from repro.experiments import fig10
+
+from conftest import run_once
+
+
+def test_fig10_vs_large_tlbs(benchmark, cache):
+    result = run_once(benchmark, lambda: fig10.run(cache))
+    print(result.render())
+
+    # Paper: ~1.2x average speedup for the VC hierarchy over 128-entry
+    # fully-associative per-CU TLBs + a 16K IOMMU TLB.  At this model's
+    # reduced footprints a 128-entry TLB recovers more traffic than it
+    # can on the paper's 100s-of-GB workloads, so the expected regime
+    # here is "VC never loses, and wins where divergence persists"
+    # (fw, fw_block, lud, mis) — see EXPERIMENTS.md, known deviations.
+    assert result.average() >= 1.0
+
+    # Some workloads are roughly at parity (the paper names bc,
+    # fw_block, and lud) — large TLBs do filter some traffic.
+    assert any(s < 1.1 for s in result.speedup.values())
+
+    # But nothing should be dramatically *slower* with the VC.
+    for w, s in result.speedup.items():
+        assert s > 0.8, f"{w}: {s}"

@@ -1,0 +1,25 @@
+"""Figure 11: whole-hierarchy vs L1-only virtual caching."""
+
+from repro.experiments import fig11
+
+from conftest import run_once
+
+
+def test_fig11_l1_only(benchmark, cache):
+    result = run_once(benchmark, lambda: fig11.run(cache))
+    print(result.render())
+
+    l1_32 = result.average("L1-Only VC (32)")
+    l1_128 = result.average("L1-Only VC (128)")
+    full = result.average("VC With OPT")
+
+    # L1-only virtual caching already speeds things up (paper: ~1.35x)...
+    assert l1_32 > 1.0
+
+    # ...a bigger per-CU TLB helps the L1-only design a bit more...
+    assert l1_128 >= 0.95 * l1_32
+
+    # ...but the whole hierarchy wins (paper: ~1.31x additional).
+    assert full > l1_32
+    assert full > l1_128
+    assert result.full_vs_l1_only() > 1.05

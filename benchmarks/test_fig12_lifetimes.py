@@ -1,0 +1,25 @@
+"""Figure 12 (Appendix): lifetimes of pages in the TLB and caches."""
+
+from repro.experiments import fig12
+
+from conftest import run_once
+
+
+def test_fig12_lifetimes(benchmark, cache):
+    result = run_once(benchmark, lambda: fig12.run(cache))
+    print(result.render())
+
+    assert len(result.tlb_residence_ns) > 100
+    assert len(result.l2_active_ns) > 100
+
+    # The paper's core observation: TLB entries die before cached data
+    # stops being useful, and L2 data outlives L1 data.
+    dead_tlb, l1_live, l2_live = result.survival_beyond_tlb(5000.0)
+    assert dead_tlb > 0.7          # most TLB entries evicted by 5 µs
+    assert l2_live > l1_live       # the L1/L2 gap of the figure
+    assert l2_live > 0.1           # a meaningful share of L2 data still live
+
+    # CDFs are monotone in the checkpoint horizon.
+    for which in ("tlb", "l1", "l2"):
+        values = [result.cdf_at(which, ns) for ns in fig12.CHECKPOINTS_NS]
+        assert values == sorted(values)

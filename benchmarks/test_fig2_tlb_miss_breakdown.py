@@ -1,0 +1,39 @@
+"""Figure 2: per-CU TLB miss ratio and breakdown by data residence."""
+
+from repro.experiments import fig2
+
+from conftest import run_once
+
+
+def test_fig2_tlb_miss_breakdown(benchmark, cache):
+    result = run_once(benchmark, lambda: fig2.run(cache))
+    print(result.render())
+
+    # Paper: 56% average miss ratio at 32 entries.
+    avg32 = result.average_miss_ratio(32)
+    assert 0.35 <= avg32 <= 0.80, f"avg miss ratio {avg32}"
+
+    # Paper: ~66% of misses filterable by the cache hierarchy at 32
+    # entries, and still ~65% at 128 (the filter is not just TLB size).
+    assert result.filterable_fraction(32) >= 0.45
+    assert result.filterable_fraction(128) >= 0.40
+
+    # Larger TLBs never increase the miss ratio.
+    for w in result.workloads:
+        assert result.miss_ratio[w]["32"] >= result.miss_ratio[w]["128"] - 1e-9
+        assert result.miss_ratio[w]["128"] >= result.miss_ratio[w]["inf"] - 1e-9
+
+    # Graph workloads (Pannotia) show higher miss ratios than the dense
+    # traditional kernels, per the paper's Figure 2 split.
+    graph = ["color_max", "color_maxmin", "mis", "pagerank_spmv", "bc"]
+    dense = ["kmeans", "lud"]
+    graph_avg = sum(result.miss_ratio[w]["32"] for w in graph) / len(graph)
+    dense_avg = sum(result.miss_ratio[w]["32"] for w in dense) / len(dense)
+    assert graph_avg > dense_avg
+
+    # Breakdown fractions always partition the misses.
+    for w in result.workloads:
+        for size in ("32", "64", "128", "inf"):
+            bd = result.breakdown[w][size]
+            total = bd["l1_hit"] + bd["l2_hit"] + bd["l2_miss"]
+            assert abs(total - 1.0) < 1e-9 or total == 0.0

@@ -1,0 +1,23 @@
+"""Figure 5: serialization overhead vs IOMMU TLB peak bandwidth."""
+
+from repro.experiments import fig5
+
+from conftest import run_once
+
+
+def test_fig5_bandwidth_sweep(benchmark, cache):
+    result = run_once(benchmark, lambda: fig5.run(cache))
+    print(result.render())
+
+    overheads = {bw: result.serialization_overhead(bw) for bw in (1.0, 2.0, 3.0, 4.0)}
+
+    # More bandwidth, less serialization — monotone (within noise).
+    assert overheads[1.0] >= overheads[2.0] - 0.02
+    assert overheads[2.0] >= overheads[3.0] - 0.02
+    assert overheads[3.0] >= overheads[4.0] - 0.02
+
+    # One access/cycle hurts badly; four accesses/cycle is near-ideal
+    # (paper: overhead falls to ~8% and ~4% at 3 and 4 accesses/cycle).
+    assert overheads[1.0] > 0.15
+    assert overheads[4.0] < 0.15
+    assert overheads[4.0] < 0.4 * overheads[1.0]

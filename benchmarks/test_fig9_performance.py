@@ -1,0 +1,39 @@
+"""Figure 9: performance of the Table 2 designs relative to IDEAL."""
+
+from repro.experiments import fig9
+
+from conftest import run_once
+
+
+def test_fig9_performance(benchmark, cache):
+    result = run_once(benchmark, lambda: fig9.run(cache))
+    print(result.render())
+
+    base_high = result.average("Baseline 512", "high")
+    base_all = result.average("Baseline 512", "all")
+    vc = result.average("VC W/O OPT", "high")
+    vc_opt = result.average("VC With OPT", "high")
+
+    # Paper: ~42% degradation for high-BW workloads (rel perf ~0.58) and
+    # ~32% across all; we accept the regime.
+    assert base_high < 0.85
+    assert base_all < 0.95
+
+    # The virtual hierarchy reaches (near-)ideal performance.
+    assert vc_opt > 0.90
+    assert vc_opt >= base_high + 0.10
+
+    # The big shared TLB does not rescue the baseline...
+    assert result.average("Baseline 16K", "high") < vc_opt
+
+    # ...and the FBT-as-second-level-TLB optimization never hurts.
+    assert vc_opt >= vc - 0.02
+
+    # Low-bandwidth workloads are never degraded by the VC design
+    # (§5.2: "there is no performance degradation").
+    for w in result.all_workloads:
+        if w not in result.high_bandwidth:
+            assert result.performance[w]["VC With OPT"] > 0.9, w
+
+    # §4.1: most shared-TLB misses are found in the FBT.
+    assert result.average_fbt_hit_fraction() > 0.3

@@ -1,0 +1,45 @@
+"""The complete paper-vs-measured validation.
+
+Runs every experiment (sharing the session's result cache) and checks
+the headline claim of each evaluated figure against the acceptance
+bands in :mod:`repro.analysis.paper_targets`.  This is the one
+benchmark that says, in a single table, how faithful the reproduction
+is.
+"""
+
+from repro.analysis.paper_targets import (
+    TARGETS,
+    compare_all,
+    collect_measurements,
+    render_report,
+)
+
+from conftest import run_once
+
+# Targets whose bands MUST hold for the reproduction to count; the rest
+# are reported but allowed to drift at small REPRO_SCALE values.
+MUST_HOLD = (
+    "fig2.avg_miss_ratio_32",
+    "fig2.filterable_32",
+    "fig4.baseline512_relative_time",
+    "fig4.large_tlb_gain",
+    "fig8.vc_mean_rate",
+    "fig9.baseline512_high_bw",
+    "fig9.vc_opt_high_bw",
+    "fig10.avg_speedup",
+    "fig11.full_vs_l1_only",
+    "fig12.tlb_dead_at_5us",
+)
+
+
+def test_paper_validation(benchmark, cache):
+    measurements = run_once(benchmark, lambda: collect_measurements(cache))
+    print(render_report(measurements))
+
+    assert set(measurements) == set(TARGETS)
+    comparisons = {c.target.key: c for c in compare_all(measurements)}
+    failures = [key for key in MUST_HOLD if not comparisons[key].ok]
+    assert not failures, f"out-of-band claims: {failures}"
+    # Overall: the large majority of all recorded claims reproduce.
+    n_ok = sum(1 for c in comparisons.values() if c.ok)
+    assert n_ok >= int(0.8 * len(comparisons))

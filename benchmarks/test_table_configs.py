@@ -1,0 +1,44 @@
+"""Tables 1 and 2: configuration renders and value checks."""
+
+from repro.experiments.tables import render_table1, render_table2
+from repro.system.config import SoCConfig
+from repro.system.designs import (
+    BASELINE_16K,
+    BASELINE_512,
+    IDEAL_MMU,
+    TABLE2_DESIGNS,
+    VC_WITHOUT_OPT,
+    VC_WITH_OPT,
+)
+
+from conftest import run_once
+
+
+def test_table1_config(benchmark):
+    text = run_once(benchmark, render_table1)
+    cfg = SoCConfig()
+    # The Table 1 values from the paper.
+    assert cfg.n_cus == 16
+    assert cfg.lanes_per_cu == 32
+    assert cfg.frequency_ghz == 0.7
+    assert cfg.l1.size_bytes == 32 * 1024 and not cfg.l1.write_back
+    assert cfg.l2.size_bytes == 2 * 1024 * 1024 and cfg.l2.n_banks == 8
+    assert cfg.l2.line_size == 128
+    assert cfg.per_cu_tlb_entries == 32
+    assert cfg.iommu.ptw_threads == 16
+    assert cfg.iommu.pwc_size_bytes == 8192
+    assert cfg.dram_bandwidth_gbps == 192.0
+    assert "16 CUs" in text and "192 GB/s" in text
+
+
+def test_table2_designs(benchmark):
+    text = run_once(benchmark, render_table2)
+    assert len(TABLE2_DESIGNS) == 5
+    assert IDEAL_MMU.iommu_bandwidth == float("inf")
+    assert BASELINE_512.iommu_entries == 512
+    assert BASELINE_16K.iommu_entries == 16384
+    assert VC_WITHOUT_OPT.per_cu_tlb_entries is None
+    assert VC_WITH_OPT.fbt_as_second_level_tlb
+    for design in (BASELINE_512, BASELINE_16K, VC_WITHOUT_OPT, VC_WITH_OPT):
+        assert design.iommu_bandwidth == 1.0  # one access per cycle
+    assert "VC With OPT" in text

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Domain example: sizing an MMU for graph-analytics GPUs.
+
+The paper's motivation is that emerging graph workloads (Pannotia)
+hammer translation hardware far harder than traditional dense kernels.
+This example plays the role of an SoC architect: for the graph-analytics
+kernels, it sweeps the *conventional* remedies (bigger per-CU TLBs;
+bigger shared IOMMU TLB; more shared-TLB bandwidth) and compares each
+against simply virtualizing the cache hierarchy — reproducing the §3.2
+argument that the conventional knobs don't scale.
+
+Run with::
+
+    python examples/graph_analytics_sweep.py [scale]
+"""
+
+import sys
+
+from repro import IDEAL_MMU, MMUDesign, VC_WITH_OPT, SoCConfig, simulate
+from repro.analysis.metrics import mean
+from repro.analysis.report import format_table
+from repro.workloads.registry import load
+
+GRAPH_KERNELS = ("pagerank", "color_max", "mis", "bfs")
+
+# §3.2's conventional mechanisms, plus the paper's proposal.
+CANDIDATES = [
+    MMUDesign(name="baseline (32-entry TLBs, 512 IOMMU)", iommu_entries=512),
+    MMUDesign(name="bigger per-CU TLBs (128)", per_cu_tlb_entries=128,
+              iommu_entries=512),
+    MMUDesign(name="bigger IOMMU TLB (16K)", iommu_entries=16384),
+    MMUDesign(name="2x IOMMU TLB bandwidth", iommu_entries=512,
+              iommu_bandwidth=2.0),
+    MMUDesign(name="all three combined", per_cu_tlb_entries=128,
+              iommu_entries=16384, iommu_bandwidth=2.0),
+    VC_WITH_OPT,
+]
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    config = SoCConfig()
+
+    per_design = {d.name: [] for d in CANDIDATES}
+    for kernel in GRAPH_KERNELS:
+        trace = load(kernel, scale=scale)
+        page_tables = {0: trace.address_space.page_table}
+        ideal = simulate(trace, IDEAL_MMU.build(config, page_tables),
+                         IDEAL_MMU.soc_config(config), design="ideal")
+        print(f"{kernel}: ideal = {ideal.cycles:,.0f} cycles")
+        for design in CANDIDATES:
+            hierarchy = design.build(config, page_tables)
+            result = simulate(trace, hierarchy, design.soc_config(config),
+                              design=design.name)
+            per_design[design.name].append(ideal.cycles / result.cycles)
+
+    print()
+    rows = [
+        [name, *(f"{v:.2f}" for v in values), f"{mean(values):.2f}"]
+        for name, values in per_design.items()
+    ]
+    print(format_table(
+        ["design (perf relative to IDEAL)", *GRAPH_KERNELS, "mean"], rows,
+    ))
+    print(
+        "\nThe conventional knobs each buy a little; the virtual cache\n"
+        "hierarchy gets essentially all of it — with hardware that scales\n"
+        "with cache capacity instead of workload footprint (§3.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

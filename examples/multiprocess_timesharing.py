@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Domain example: two processes time-sharing a virtually-cached GPU.
+
+§4.3 ("Future GPU System Support") argues multi-process GPUs need no
+cache flushes on context switches: cache lines are ASID-tagged, so
+homonyms (the same virtual address meaning different things in each
+process) cannot alias, and cross-process shared memory is just another
+synonym the backward table resolves to one leading address.
+
+This example builds two processes with *identical* virtual layouts
+(true homonyms) plus one physically shared read-only region, then
+context-switches between them on one virtual cache hierarchy:
+
+* process A runs and warms the caches;
+* process B runs with A's lines still resident — correctness via ASID
+  tags, no flush;
+* A runs again and re-hits its own still-cached data.
+
+Run with::
+
+    python examples/multiprocess_timesharing.py
+"""
+
+from repro.core.virtual_hierarchy import VirtualCacheHierarchy
+from repro.system.config import SoCConfig
+from repro.system.run import simulate
+from repro.workloads.synthetic import multiprocess_homonyms
+
+
+def main() -> None:
+    workload = multiprocess_homonyms(
+        n_private_pages=192, n_shared_pages=48, n_accesses=6000)
+    config = SoCConfig()
+    tables = {space.asid: space.page_table for space in workload.spaces}
+    hierarchy = VirtualCacheHierarchy(config, tables,
+                                      fault_on_rw_synonym=False)
+
+    trace_a, trace_b = workload.traces
+    print("two processes, same virtual base addresses (homonyms), "
+          "one shared region (cross-ASID synonyms)\n")
+
+    schedule = [(trace_a, 0), (trace_b, 1), (trace_a, 0)]
+    clock = 0.0
+    for i, (trace, asid) in enumerate(schedule):
+        before_lines = len(hierarchy.l2)
+        before_hits = hierarchy.counters["vc.l1_hits"] + \
+            hierarchy.counters["vc.l2_hits"]
+        result = simulate(trace, hierarchy, config, asid=asid,
+                          design=f"slice{i}", start_time=clock)
+        clock += result.cycles
+        hits = (hierarchy.counters["vc.l1_hits"]
+                + hierarchy.counters["vc.l2_hits"]) - before_hits
+        print(f"slice {i}: process {asid} ran {result.requests} requests in "
+              f"{result.cycles:,.0f} cycles — L2 lines before: {before_lines}, "
+              f"cache hits this slice: {hits}")
+
+    flushes = hierarchy.counters.as_dict().get("vc.l1_flushes", 0)
+    synonyms = hierarchy.fbt.counters["fbt.synonym_accesses"]
+    print(f"\ncontext switches performed: {len(schedule) - 1}")
+    print(f"cache flushes required:     {flushes}  (ASID tags make them unnecessary)")
+    print(f"cross-process synonym accesses resolved by the BT: {synonyms}")
+
+    # Prove homonym isolation: the same VA is cached once per ASID, with
+    # different backing data.
+    va = workload.spaces[0].mappings[0].base_va
+    from repro.core.virtual_hierarchy import line_key
+    cached = [asid for asid in (0, 1)
+              if hierarchy.l2.contains(line_key(asid, va // 128))]
+    print(f"virtual address {va:#x} cached under ASIDs: {cached} "
+          f"(no aliasing between processes)")
+
+
+if __name__ == "__main__":
+    main()

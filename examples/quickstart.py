@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart: one workload, three MMU designs.
+
+Runs PageRank (a Pannotia-style irregular graph workload) through the
+IDEAL MMU, the realistic baseline (32-entry per-CU TLBs + a 512-entry
+shared IOMMU TLB limited to one access per cycle), and the paper's
+virtual cache hierarchy with the FBT as a second-level TLB — then prints
+the numbers that motivate the whole paper: how often the private TLBs
+miss, how hard the shared IOMMU TLB is hammered, and how much of that
+traffic the virtual caches filter.
+
+Run with::
+
+    python examples/quickstart.py [workload] [scale]
+"""
+
+import sys
+
+from repro import BASELINE_512, IDEAL_MMU, VC_WITH_OPT, SoCConfig, simulate
+from repro.analysis.report import format_table
+from repro.workloads.registry import WORKLOADS, load
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "pagerank"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    if workload not in WORKLOADS:
+        raise SystemExit(f"unknown workload {workload!r}; "
+                         f"choose from: {', '.join(sorted(WORKLOADS))}")
+
+    print(f"generating {workload} trace (scale {scale}) ...")
+    trace = load(workload, scale=scale)
+    print(f"  {trace.n_instructions} memory instructions, "
+          f"{trace.footprint_pages()} 4KB pages touched, "
+          f"mean divergence {trace.mean_divergence():.1f} lines/instruction\n")
+
+    config = SoCConfig()
+    page_tables = {0: trace.address_space.page_table}
+    results = {}
+    for design in (IDEAL_MMU, BASELINE_512, VC_WITH_OPT):
+        hierarchy = design.build(config, page_tables)
+        results[design.name] = simulate(
+            trace, hierarchy, design.soc_config(config), design=design.name
+        )
+        print(f"simulated {design.name}: {results[design.name].cycles:,.0f} cycles")
+
+    ideal = results["IDEAL MMU"]
+    rows = []
+    for name, r in results.items():
+        rows.append([
+            name,
+            f"{r.cycles:,.0f}",
+            f"{ideal.cycles / r.cycles:.2f}",
+            f"{r.per_cu_tlb_miss_ratio():.2f}",
+            f"{r.counters.get('iommu.accesses', 0):,}",
+            f"{r.iommu_accesses_per_cycle():.3f}",
+        ])
+    print()
+    print(format_table(
+        ["design", "cycles", "perf vs IDEAL", "per-CU TLB miss ratio",
+         "IOMMU TLB accesses", "IOMMU acc/cycle"],
+        rows,
+    ))
+
+    base = results["Baseline 512"]
+    vc = results["VC With OPT"]
+    filtered = 1 - vc.counters.get("iommu.accesses", 1) / max(
+        1, base.counters.get("iommu.accesses", 1))
+    if filtered >= 0:
+        print(f"\nThe virtual cache hierarchy filtered "
+              f"{filtered * 100:.0f}% of the shared-TLB traffic and runs "
+              f"{vc.speedup_over(base):.2f}x faster than the baseline.")
+    else:
+        print(f"\nStreaming workload: the virtual hierarchy translates per "
+              f"cold L2 miss where a sequential TLB coped, so its absolute "
+              f"shared-TLB traffic is higher — but demand stays far below "
+              f"the port limit ({vc.iommu_accesses_per_cycle():.2f}/cycle) "
+              f"and performance is unchanged "
+              f"({vc.speedup_over(base):.2f}x vs baseline). "
+              f"Try a graph workload (pagerank, mis, color_max) to see "
+              f"the filtering effect.")
+
+
+if __name__ == "__main__":
+    main()

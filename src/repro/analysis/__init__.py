@@ -1,0 +1,36 @@
+"""Metrics aggregation and plain-text report rendering."""
+
+from repro.analysis.metrics import (
+    average_across_workloads,
+    fbt_hit_fraction,
+    geomean,
+    mean,
+    relative_performance,
+    speedups,
+    translation_filter_rate,
+)
+from repro.analysis.report import bar, bar_chart, format_table, section, stacked_bar
+
+__all__ = [
+    "average_across_workloads", "fbt_hit_fraction", "geomean", "mean",
+    "relative_performance", "speedups", "translation_filter_rate",
+    "bar", "bar_chart", "format_table", "section", "stacked_bar",
+]
+
+from repro.analysis.calibration import (  # noqa: E402
+    OperatingPoint,
+    calibration_report,
+    measure,
+    recommend_interval,
+)
+from repro.analysis.paper_targets import (  # noqa: E402
+    TARGETS,
+    collect_measurements,
+    compare_all,
+    render_report,
+)
+
+__all__ += [
+    "OperatingPoint", "calibration_report", "measure", "recommend_interval",
+    "TARGETS", "collect_measurements", "compare_all", "render_report",
+]

@@ -1,0 +1,92 @@
+"""Aggregation helpers over simulation results.
+
+The paper reports arithmetic means over workload groups (e.g.,
+"Average(High BW)", "Average(ALL)" in Figure 9) and ratios of execution
+times.  These helpers keep that arithmetic in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.system.run import SimulationResult
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (0.0 for empty input); values must be positive."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def relative_performance(
+    results: Mapping[str, SimulationResult],
+    baseline: str,
+) -> Dict[str, float]:
+    """Performance of each design relative to ``baseline``.
+
+    Returns ``baseline_time / design_time`` per design — 1.0 means "as
+    fast as the baseline", <1 slower, >1 faster (the convention of
+    Figure 9, where the IDEAL MMU is the 1.0 reference).
+    """
+    if baseline not in results:
+        raise KeyError(f"baseline design {baseline!r} not in results")
+    ref = results[baseline]
+    return {
+        name: ref.cycles / result.cycles if result.cycles else float("inf")
+        for name, result in results.items()
+    }
+
+
+def speedups(
+    results: Mapping[str, SimulationResult],
+    baseline: str,
+) -> Dict[str, float]:
+    """Speedup of each design over ``baseline`` (Figures 10 and 11)."""
+    return relative_performance(results, baseline)
+
+
+def average_across_workloads(
+    per_workload: Mapping[str, Mapping[str, float]],
+    workloads: Iterable[str] = None,
+) -> Dict[str, float]:
+    """Average a {workload → {design → value}} table over workloads."""
+    names = list(workloads) if workloads is not None else list(per_workload)
+    if not names:
+        return {}
+    designs: List[str] = list(per_workload[names[0]])
+    return {
+        design: mean([per_workload[w][design] for w in names])
+        for design in designs
+    }
+
+
+def translation_filter_rate(
+    baseline: SimulationResult, virtual: SimulationResult
+) -> float:
+    """Fraction of baseline shared-TLB traffic the VC hierarchy removed."""
+    base_traffic = baseline.counters.get("iommu.accesses", 0)
+    if base_traffic == 0:
+        return 0.0
+    vc_traffic = virtual.counters.get("iommu.accesses", 0)
+    return 1.0 - vc_traffic / base_traffic
+
+
+def fbt_hit_fraction(result: SimulationResult) -> float:
+    """Of shared-TLB misses, the fraction the FBT satisfied (§4.1: ≈74%)."""
+    misses = result.counters.get("iommu.tlb_misses", 0)
+    if misses == 0:
+        return 0.0
+    return result.counters.get("iommu.fbt_hits", 0) / misses

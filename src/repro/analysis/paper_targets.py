@@ -1,0 +1,243 @@
+"""The paper's quantitative claims, as checkable data.
+
+Every headline number from the evaluation is recorded here with an
+acceptance band.  Absolute cycle counts cannot transfer from the
+authors' gem5-gpu testbed to this trace-driven model, so the bands
+assert the *regime* — who wins and by roughly what factor — following
+the reproduction contract in DESIGN.md.
+
+``repro-experiment``'s figures and the EXPERIMENTS.md generator compare
+measured values against these targets; the benchmark suite asserts the
+``must_hold`` subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Target:
+    """One claim from the paper."""
+
+    key: str
+    figure: str
+    description: str
+    paper_value: float
+    # Acceptance band for the reproduction (the regime, not the digit).
+    low: float
+    high: float
+    unit: str = ""
+
+    def check(self, measured: float) -> bool:
+        return self.low <= measured <= self.high
+
+    def verdict(self, measured: float) -> str:
+        return "OK" if self.check(measured) else "OUT-OF-BAND"
+
+
+TARGETS: Dict[str, Target] = {
+    t.key: t
+    for t in [
+        Target(
+            key="fig2.avg_miss_ratio_32",
+            figure="Figure 2",
+            description="average per-CU TLB miss ratio, 32-entry TLBs",
+            paper_value=0.56, low=0.35, high=0.80,
+        ),
+        Target(
+            key="fig2.filterable_32",
+            figure="Figure 2",
+            description="fraction of TLB misses that hit in the cache "
+                        "hierarchy (filterable), 32-entry TLBs",
+            paper_value=0.66, low=0.45, high=0.90,
+        ),
+        Target(
+            key="fig2.filterable_128",
+            figure="Figure 2",
+            description="filterable fraction with 128-entry TLBs",
+            paper_value=0.65, low=0.40, high=0.90,
+        ),
+        Target(
+            key="fig3.mean_rate_high_bw",
+            figure="Figure 3",
+            description="mean IOMMU TLB accesses/cycle, high-BW group, "
+                        "unlimited bandwidth",
+            paper_value=1.0, low=0.5, high=2.5, unit="acc/cycle",
+        ),
+        Target(
+            key="fig4.baseline512_relative_time",
+            figure="Figure 4",
+            description="average relative execution time of Baseline 512 "
+                        "across all workloads",
+            paper_value=1.77, low=1.25, high=2.6, unit="x",
+        ),
+        Target(
+            key="fig4.large_tlb_gain",
+            figure="Figure 4",
+            description="Baseline 16K time divided by Baseline 512 time "
+                        "(≈1: capacity does not rescue the baseline)",
+            paper_value=1.0, low=0.85, high=1.02,
+        ),
+        Target(
+            key="fig5.overhead_at_4",
+            figure="Figure 5",
+            description="serialization overhead at 4 accesses/cycle",
+            paper_value=0.04, low=0.0, high=0.15,
+        ),
+        Target(
+            key="fig8.vc_mean_rate",
+            figure="Figure 8",
+            description="average IOMMU TLB demand with the VC hierarchy",
+            paper_value=0.3, low=0.0, high=0.5, unit="acc/cycle",
+        ),
+        Target(
+            key="fig9.baseline512_high_bw",
+            figure="Figure 9",
+            description="Baseline 512 performance relative to IDEAL, "
+                        "high-BW average (paper: 42% degradation)",
+            paper_value=0.58, low=0.35, high=0.85,
+        ),
+        Target(
+            key="fig9.vc_opt_high_bw",
+            figure="Figure 9",
+            description="VC With OPT performance relative to IDEAL, "
+                        "high-BW average",
+            paper_value=1.0, low=0.90, high=1.05,
+        ),
+        Target(
+            key="fig9.fbt_hit_fraction",
+            figure="§4.1",
+            description="fraction of shared-TLB misses found in the FBT",
+            paper_value=0.74, low=0.30, high=1.0,
+        ),
+        Target(
+            key="fig10.avg_speedup",
+            figure="Figure 10",
+            description="VC speedup over 128-entry per-CU TLBs + 16K IOMMU",
+            paper_value=1.2, low=1.0, high=1.8, unit="x",
+        ),
+        Target(
+            key="fig11.l1_only_speedup",
+            figure="Figure 11",
+            description="L1-only VC (32) speedup over Baseline 16K",
+            paper_value=1.35, low=1.0, high=1.9, unit="x",
+        ),
+        Target(
+            key="fig11.full_vs_l1_only",
+            figure="Figure 11",
+            description="full-hierarchy speedup over L1-only VC",
+            paper_value=1.31, low=1.05, high=1.8, unit="x",
+        ),
+        Target(
+            key="fig12.tlb_dead_at_5us",
+            figure="Figure 12",
+            description="fraction of TLB entries evicted within 5000 ns (bfs)",
+            paper_value=0.90, low=0.70, high=1.0,
+        ),
+        Target(
+            key="fig12.l2_live_at_5us",
+            figure="Figure 12",
+            description="fraction of L2 data still actively used at 5000 ns",
+            paper_value=0.60, low=0.10, high=0.90,
+        ),
+    ]
+}
+
+
+@dataclass
+class Comparison:
+    """A measured value against its target."""
+
+    target: Target
+    measured: float
+
+    @property
+    def ok(self) -> bool:
+        return self.target.check(self.measured)
+
+    def row(self) -> List[object]:
+        t = self.target
+        return [
+            t.figure, t.description,
+            f"{t.paper_value:g}{t.unit}", f"{self.measured:.3f}{t.unit}",
+            f"[{t.low:g}, {t.high:g}]", t.verdict(self.measured),
+        ]
+
+
+def compare_all(measurements: Dict[str, float]) -> List[Comparison]:
+    """Pair measurements (by target key) with their targets."""
+    comparisons = []
+    for key, value in measurements.items():
+        if key not in TARGETS:
+            raise KeyError(f"no paper target named {key!r}")
+        comparisons.append(Comparison(target=TARGETS[key], measured=value))
+    return comparisons
+
+
+def collect_measurements(cache=None) -> Dict[str, float]:
+    """Run every experiment and extract the target metrics.
+
+    This is the EXPERIMENTS.md engine: one call produces the full
+    paper-vs-measured table (it reuses the shared result cache, so
+    anything already simulated is free).
+    """
+    from repro.analysis.metrics import mean
+    from repro.experiments import fig2, fig3, fig4, fig5, fig8, fig9, fig10, fig11, fig12
+    from repro.experiments.common import GLOBAL_CACHE, HIGH_BANDWIDTH
+
+    cache = cache if cache is not None else GLOBAL_CACHE
+    out: Dict[str, float] = {}
+
+    r2 = fig2.run(cache)
+    out["fig2.avg_miss_ratio_32"] = r2.average_miss_ratio(32)
+    out["fig2.filterable_32"] = r2.filterable_fraction(32)
+    out["fig2.filterable_128"] = r2.filterable_fraction(128)
+
+    r3 = fig3.run(cache)
+    out["fig3.mean_rate_high_bw"] = mean(
+        [r3.rates[w].mean for w in HIGH_BANDWIDTH])
+
+    r4 = fig4.run(cache)
+    out["fig4.baseline512_relative_time"] = r4.average("Baseline 512")
+    out["fig4.large_tlb_gain"] = (r4.average("Baseline 16K")
+                                  / r4.average("Baseline 512"))
+
+    r5 = fig5.run(cache)
+    out["fig5.overhead_at_4"] = r5.serialization_overhead(4.0)
+
+    r8 = fig8.run(cache)
+    out["fig8.vc_mean_rate"] = r8.average_rate("vc")
+
+    r9 = fig9.run(cache)
+    out["fig9.baseline512_high_bw"] = r9.average("Baseline 512", "high")
+    out["fig9.vc_opt_high_bw"] = r9.average("VC With OPT", "high")
+    out["fig9.fbt_hit_fraction"] = r9.average_fbt_hit_fraction()
+
+    r10 = fig10.run(cache)
+    out["fig10.avg_speedup"] = r10.average()
+
+    r11 = fig11.run(cache)
+    out["fig11.l1_only_speedup"] = r11.average("L1-Only VC (32)")
+    out["fig11.full_vs_l1_only"] = r11.full_vs_l1_only()
+
+    r12 = fig12.run(cache)
+    dead, _l1_live, l2_live = r12.survival_beyond_tlb(5000.0)
+    out["fig12.tlb_dead_at_5us"] = dead
+    out["fig12.l2_live_at_5us"] = l2_live
+    return out
+
+
+def render_report(measurements: Dict[str, float]) -> str:
+    """The paper-vs-measured table as text (EXPERIMENTS.md body)."""
+    from repro.analysis.report import format_table
+
+    comparisons = compare_all(measurements)
+    rows = [c.row() for c in comparisons]
+    n_ok = sum(1 for c in comparisons if c.ok)
+    table = format_table(
+        ["figure", "claim", "paper", "measured", "accept band", "verdict"],
+        rows,
+    )
+    return f"{table}\n\n{n_ok}/{len(comparisons)} claims reproduced in band."

@@ -1,0 +1,82 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment driver renders to monospaced text: aligned tables and
+horizontal ASCII bars, so `python -m repro.experiments.fig9` prints
+something directly comparable to the paper's figure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = None) -> str:
+    """Render an aligned text table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def bar(value: float, scale: float = 1.0, width: int = 40, char: str = "#") -> str:
+    """A horizontal bar: ``value/scale`` of ``width`` characters."""
+    if scale <= 0:
+        raise ValueError("bar scale must be positive")
+    n = int(round(min(max(value / scale, 0.0), 1.0) * width))
+    return char * n
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    scale: float = None,
+) -> str:
+    """Render labelled horizontal bars, auto-scaled to the maximum."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return "(no data)"
+    top = scale if scale is not None else max(max(values), 1e-12)
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        lines.append(
+            f"{label.ljust(label_w)}  {value:8.3f}{unit} |{bar(value, top, width)}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_bar(fractions: Sequence[float], chars: str = "#xo.",
+                width: int = 40) -> str:
+    """Render stacked fractions (e.g., Figure 2's miss breakdown)."""
+    if len(fractions) > len(chars):
+        raise ValueError("not enough distinct characters for the segments")
+    out = []
+    for frac, ch in zip(fractions, chars):
+        out.append(ch * int(round(frac * width)))
+    return "".join(out)[:width]
+
+
+def section(title: str, body: str) -> str:
+    """A titled block."""
+    rule = "-" * max(len(title), 8)
+    return f"\n{title}\n{rule}\n{body}\n"

@@ -1,0 +1,182 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+The experiment drivers print text; this module draws them.  It writes
+plain SVG 1.1 by hand (no matplotlib in the offline environment), with
+just the two chart shapes the paper's evaluation uses: grouped bar
+charts (Figures 3, 4, 8, 9, 10, 11) and step-line CDFs (Figure 12).
+"""
+
+from __future__ import annotations
+
+import xml.sax.saxutils as saxutils
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+PALETTE = ("#31588A", "#C14B42", "#D9A441", "#5B8C5A", "#7B5B8F", "#4E9B9B")
+
+
+def _esc(text: str) -> str:
+    return saxutils.escape(str(text))
+
+
+@dataclass
+class _Canvas:
+    width: int
+    height: int
+    parts: List[str] = field(default_factory=list)
+
+    def rect(self, x, y, w, h, fill, opacity=1.0, title=None) -> None:
+        tip = f"<title>{_esc(title)}</title>" if title else ""
+        self.parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}" fill-opacity="{opacity}">{tip}</rect>'
+        )
+
+    def line(self, x1, y1, x2, y2, stroke="#444", width=1.0, dash=None) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def polyline(self, points: Sequence[Tuple[float, float]], stroke,
+                 width=1.5) -> None:
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def text(self, x, y, content, size=11, anchor="middle", rotate=None,
+             fill="#222") -> None:
+        transform = f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{fill}" '
+            f'font-family="sans-serif"{transform}>{_esc(content)}</text>'
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self.parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def grouped_bar_chart(
+    title: str,
+    categories: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    y_label: str = "",
+    width: int = 900,
+    height: int = 360,
+    reference_line: float = None,
+) -> str:
+    """A grouped bar chart (one group per category, one bar per series)."""
+    if not categories or not series:
+        raise ValueError("need at least one category and one series")
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ValueError(f"series {name!r} length mismatch")
+
+    margin_l, margin_r, margin_t, margin_b = 60, 20, 40, 90
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    y_max = max(max(values) for values in series.values())
+    y_max = max(y_max, reference_line or 0.0, 1e-9) * 1.08
+
+    c = _Canvas(width, height)
+    c.text(width / 2, 20, title, size=14)
+    # Axes + gridlines.
+    c.line(margin_l, margin_t, margin_l, margin_t + plot_h)
+    c.line(margin_l, margin_t + plot_h, margin_l + plot_w, margin_t + plot_h)
+    for i in range(5):
+        y_val = y_max * (i + 1) / 5
+        y = margin_t + plot_h * (1 - (i + 1) / 5)
+        c.line(margin_l, y, margin_l + plot_w, y, stroke="#ddd")
+        c.text(margin_l - 6, y + 4, f"{y_val:.2f}", size=10, anchor="end")
+    if y_label:
+        c.text(16, margin_t + plot_h / 2, y_label, size=11, rotate=-90)
+
+    n_groups = len(categories)
+    n_series = len(series)
+    group_w = plot_w / n_groups
+    bar_w = group_w * 0.8 / n_series
+    for s_idx, (name, values) in enumerate(series.items()):
+        color = PALETTE[s_idx % len(PALETTE)]
+        for g_idx, value in enumerate(values):
+            h = plot_h * min(value, y_max) / y_max
+            x = margin_l + g_idx * group_w + group_w * 0.1 + s_idx * bar_w
+            c.rect(x, margin_t + plot_h - h, bar_w * 0.92, h, color,
+                   title=f"{name} / {categories[g_idx]}: {value:.3f}")
+    if reference_line is not None:
+        y = margin_t + plot_h * (1 - reference_line / y_max)
+        c.line(margin_l, y, margin_l + plot_w, y, stroke="#888", dash="5,4")
+
+    for g_idx, cat in enumerate(categories):
+        x = margin_l + (g_idx + 0.5) * group_w
+        c.text(x, margin_t + plot_h + 14, cat, size=10, rotate=-35,
+               anchor="end")
+    # Legend.
+    lx = margin_l
+    ly = height - 16
+    for s_idx, name in enumerate(series):
+        color = PALETTE[s_idx % len(PALETTE)]
+        c.rect(lx, ly - 9, 10, 10, color)
+        c.text(lx + 14, ly, name, size=10, anchor="start")
+        lx += 14 + 7 * len(name) + 24
+    return c.render()
+
+
+def cdf_chart(
+    title: str,
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    x_label: str = "",
+    width: int = 700,
+    height: int = 400,
+    x_max: float = None,
+) -> str:
+    """Step-line CDFs (Figure 12's shape)."""
+    if not series:
+        raise ValueError("need at least one series")
+    margin_l, margin_r, margin_t, margin_b = 60, 20, 40, 60
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    data_max = max((pt[0] for pts in series.values() for pt in pts),
+                   default=1.0)
+    x_top = x_max if x_max is not None else data_max
+    x_top = max(x_top, 1e-9)
+
+    c = _Canvas(width, height)
+    c.text(width / 2, 20, title, size=14)
+    c.line(margin_l, margin_t, margin_l, margin_t + plot_h)
+    c.line(margin_l, margin_t + plot_h, margin_l + plot_w, margin_t + plot_h)
+    for i in range(6):
+        frac = i / 5
+        y = margin_t + plot_h * (1 - frac)
+        c.line(margin_l, y, margin_l + plot_w, y, stroke="#ddd")
+        c.text(margin_l - 6, y + 4, f"{frac:.1f}", size=10, anchor="end")
+        x = margin_l + plot_w * frac
+        c.text(x, margin_t + plot_h + 16, f"{x_top * frac:.0f}", size=10)
+    if x_label:
+        c.text(margin_l + plot_w / 2, height - 12, x_label, size=11)
+
+    for s_idx, (name, points) in enumerate(series.items()):
+        color = PALETTE[s_idx % len(PALETTE)]
+        coords = []
+        for x_val, frac in points:
+            x = margin_l + plot_w * min(x_val, x_top) / x_top
+            y = margin_t + plot_h * (1 - frac)
+            coords.append((x, y))
+            if x_val > x_top:
+                break
+        if coords:
+            c.polyline(coords, stroke=color)
+        c.rect(margin_l + plot_w - 170, margin_t + 10 + 16 * s_idx, 10, 10,
+               color)
+        c.text(margin_l + plot_w - 154, margin_t + 19 + 16 * s_idx, name,
+               size=10, anchor="start")
+    return c.render()

@@ -1,0 +1,22 @@
+"""The paper's contribution: FBT and GPU virtual cache hierarchies."""
+
+from repro.core.backward_table import BackwardTable, BTEntry
+from repro.core.fbt import AccessCheck, ForwardBackwardTable, InvalidationOrder
+from repro.core.forward_table import ForwardTable
+from repro.core.invalidation_filter import InvalidationFilter
+from repro.core.l1_only import ASDT, ASDTEntry, L1OnlyVirtualHierarchy
+from repro.core.virtual_hierarchy import (
+    VirtualCacheHierarchy,
+    line_key,
+    page_key,
+    split_page_key,
+)
+
+__all__ = [
+    "BackwardTable", "BTEntry",
+    "AccessCheck", "ForwardBackwardTable", "InvalidationOrder",
+    "ForwardTable",
+    "InvalidationFilter",
+    "ASDT", "ASDTEntry", "L1OnlyVirtualHierarchy",
+    "VirtualCacheHierarchy", "line_key", "page_key", "split_page_key",
+]

@@ -1,0 +1,174 @@
+"""Backward table (BT): physical page → leading virtual page.
+
+The BT is the reverse-translation half of the forward-backward table
+(Figure 7).  Each entry is tagged by a physical page number and records:
+
+* the unique *leading* virtual page (ASID + VPN) under which data from
+  this physical page may be placed in the virtual caches — the first
+  virtual address that referenced the page;
+* the page permissions;
+* a 32-bit vector marking which lines of the page are resident in the
+  shared L2 (inclusive tracking; the non-inclusive L1s are covered by
+  per-L1 invalidation filters instead, §4.2);
+* a ``written`` flag used to detect read-write synonyms (footnote 5);
+* a ``locked`` flag set while an invalidation is in progress (§4.1,
+  "While the invalidation is in progress, the FBT entry is locked").
+
+For large pages a per-entry counter replaces the bit vector (§4.3): a
+2 MB page would need a 16,384-bit vector, so the entry counts resident
+lines instead and invalidation walks the cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.memsys.addressing import is_power_of_two
+from repro.memsys.permissions import Permissions
+
+
+@dataclass
+class BTEntry:
+    """One backward-table entry."""
+
+    ppn: int
+    leading_asid: int
+    leading_vpn: int
+    permissions: Permissions
+    # 'bitvector' for base (4 KB) pages, 'counter' for large pages.
+    tracking: str = "bitvector"
+    line_bits: int = 0
+    line_count: int = 0
+    written: bool = False
+    locked: bool = False
+
+    def mark_line_cached(self, line_index: int) -> None:
+        """A line of this page was filled into the L2."""
+        if self.tracking == "bitvector":
+            bit = 1 << line_index
+            if not self.line_bits & bit:
+                self.line_bits |= bit
+                self.line_count += 1
+        else:
+            self.line_count += 1
+
+    def mark_line_evicted(self, line_index: int) -> None:
+        """A line of this page left the L2."""
+        if self.tracking == "bitvector":
+            bit = 1 << line_index
+            if self.line_bits & bit:
+                self.line_bits &= ~bit
+                self.line_count -= 1
+        else:
+            if self.line_count > 0:
+                self.line_count -= 1
+
+    def line_cached(self, line_index: int) -> bool:
+        """Whether ``line_index`` of the page is (conservatively) resident."""
+        if self.tracking == "bitvector":
+            return bool(self.line_bits & (1 << line_index))
+        # Counter mode has no per-line information: conservatively true
+        # while any line is resident.
+        return self.line_count > 0
+
+    def cached_line_indices(self, lines_per_page: int = 32) -> List[int]:
+        """Line indices to invalidate selectively (bit-vector mode only)."""
+        if self.tracking != "bitvector":
+            raise ValueError("counter-mode entries have no per-line information")
+        return [i for i in range(lines_per_page) if self.line_bits & (1 << i)]
+
+    @property
+    def leading_key(self) -> Tuple[int, int]:
+        return (self.leading_asid, self.leading_vpn)
+
+
+class BackwardTable:
+    """A set-associative table of :class:`BTEntry`, keyed by PPN."""
+
+    def __init__(self, n_entries: int = 16384, associativity: int = 8) -> None:
+        if n_entries <= 0 or associativity <= 0:
+            raise ValueError("BT geometry must be positive")
+        if n_entries % associativity != 0:
+            raise ValueError("entries must divide evenly into sets")
+        n_sets = n_entries // associativity
+        if not is_power_of_two(n_sets):
+            raise ValueError(f"BT set count ({n_sets}) must be a power of two")
+        self.n_entries = n_entries
+        self.associativity = associativity
+        self.n_sets = n_sets
+        self._sets: List[OrderedDict[int, BTEntry]] = [OrderedDict() for _ in range(n_sets)]
+        self.lookups = 0
+        self.hits = 0
+        self.evictions = 0
+
+    def _set_for(self, ppn: int) -> OrderedDict:
+        return self._sets[ppn % self.n_sets]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def lookup(self, ppn: int) -> Optional[BTEntry]:
+        """Find the entry for ``ppn``, refreshing LRU on a hit."""
+        bt_set = self._set_for(ppn)
+        entry = bt_set.get(ppn)
+        self.lookups += 1
+        if entry is not None:
+            bt_set.move_to_end(ppn)
+            self.hits += 1
+        return entry
+
+    def peek(self, ppn: int) -> Optional[BTEntry]:
+        """Find without LRU/stat side effects."""
+        return self._set_for(ppn).get(ppn)
+
+    def allocate(
+        self,
+        ppn: int,
+        leading_asid: int,
+        leading_vpn: int,
+        permissions: Permissions,
+        tracking: str = "bitvector",
+    ) -> Tuple[BTEntry, Optional[BTEntry]]:
+        """Create an entry for ``ppn``; returns ``(entry, evicted_victim)``.
+
+        The victim — if one had to be displaced — must have its cached
+        data invalidated by the caller before the eviction is complete
+        (§4.1, "Eviction of FBT Entry").  Locked entries are never chosen
+        as victims.
+        """
+        if tracking not in ("bitvector", "counter"):
+            raise ValueError(f"unknown tracking mode {tracking!r}")
+        bt_set = self._set_for(ppn)
+        if ppn in bt_set:
+            raise ValueError(f"BT entry for ppn {ppn:#x} already exists")
+        victim = None
+        if len(bt_set) >= self.associativity:
+            victim_ppn = next(
+                (p for p, e in bt_set.items() if not e.locked), None
+            )
+            if victim_ppn is None:
+                raise RuntimeError("all BT candidates in the set are locked")
+            victim = bt_set.pop(victim_ppn)
+            self.evictions += 1
+        entry = BTEntry(
+            ppn=ppn,
+            leading_asid=leading_asid,
+            leading_vpn=leading_vpn,
+            permissions=permissions,
+            tracking=tracking,
+        )
+        bt_set[ppn] = entry
+        return entry, victim
+
+    def remove(self, ppn: int) -> Optional[BTEntry]:
+        """Drop the entry for ``ppn`` (shootdown path)."""
+        return self._set_for(ppn).pop(ppn, None)
+
+    def entries(self) -> List[BTEntry]:
+        """All live entries (test/diagnostic helper)."""
+        out: List[BTEntry] = []
+        for bt_set in self._sets:
+            out.extend(bt_set.values())
+        return out

@@ -1,0 +1,65 @@
+"""Forward table (FT): leading virtual page → backward-table entry.
+
+The FT is the second half of the forward-backward table (Figure 7).  It
+lets the FBT be indexed by *virtual* addresses: cache evictions, TLB
+shootdowns, and responses to coherence requests all arrive with the
+leading virtual address and need to find the owning BT entry without a
+shared-TLB lookup or page walk (§4).  With the forward translation
+information the FBT can also serve as a large second-level TLB
+("VC With OPT").
+
+The paper provisions exactly one FT entry per BT entry (the FT stores a
+log2(#BT-entries)-bit index), so FT entries are created and destroyed in
+lockstep with BT entries and the FT never evicts on its own.  We model
+that pairing directly: the FT maps the leading (ASID, VPN) key to the
+live :class:`BTEntry` object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.backward_table import BTEntry
+
+
+class ForwardTable:
+    """Index from leading virtual page to BT entry."""
+
+    def __init__(self) -> None:
+        self._index: Dict[Tuple[int, int], BTEntry] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def insert(self, entry: BTEntry) -> None:
+        """Pair an FT entry with a freshly-allocated BT entry."""
+        key = entry.leading_key
+        if key in self._index:
+            raise ValueError(
+                f"forward entry for leading page {key} already exists — "
+                "leading virtual pages must be unique"
+            )
+        self._index[key] = entry
+
+    def lookup(self, asid: int, vpn: int) -> Optional[BTEntry]:
+        """BT entry whose leading page is ``(asid, vpn)``, or None.
+
+        A miss is meaningful: on a single-entry TLB shootdown it means no
+        data from that virtual page is cached, so the invalidation
+        request is filtered (§4.1, "TLB Shootdown").
+        """
+        self.lookups += 1
+        entry = self._index.get((asid, vpn))
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def remove(self, asid: int, vpn: int) -> Optional[BTEntry]:
+        """Drop the pairing when its BT entry dies."""
+        return self._index.pop((asid, vpn), None)
+
+    def remove_entry(self, entry: BTEntry) -> None:
+        """Drop by entry identity (used on BT replacement)."""
+        self._index.pop(entry.leading_key, None)

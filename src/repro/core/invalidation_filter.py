@@ -1,0 +1,66 @@
+"""Per-L1 invalidation filter.
+
+Modern GPU hierarchies are non-inclusive: a private L1 may hold lines
+the shared L2 does not.  Rather than track L1 contents precisely in the
+backward table, the design adds a small filter at each L1 (§4.2): each
+entry holds a virtual page number and a counter of resident lines from
+that page.  When a page invalidation arrives (FBT-entry eviction or TLB
+shootdown), a filter miss proves the L1 holds nothing from the page; a
+filter hit conservatively flushes the *entire* L1 — safe because GPU L1s
+are write-through (no dirty data) and cheap because their hit ratios are
+low and such events are rare.
+
+A 32 KB L1 with 128 B lines has 256 lines, so the filter needs at most
+256 entries (≈1 KB, <3% of the L1 per §4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class InvalidationFilter:
+    """Counting filter over the virtual pages resident in one L1."""
+
+    def __init__(self, name: str = "inval-filter") -> None:
+        self.name = name
+        self._counts: Dict[Tuple[int, int], int] = {}
+        self.checks = 0
+        self.filtered = 0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def on_fill(self, asid: int, vpn: int) -> None:
+        """The L1 filled a line from ``(asid, vpn)``."""
+        key = (asid, vpn)
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def on_evict(self, asid: int, vpn: int) -> None:
+        """The L1 dropped a line from ``(asid, vpn)``."""
+        key = (asid, vpn)
+        count = self._counts.get(key, 0)
+        if count <= 1:
+            self._counts.pop(key, None)
+        else:
+            self._counts[key] = count - 1
+
+    def might_hold(self, asid: int, vpn: int) -> bool:
+        """Conservative membership test used by page invalidations.
+
+        ``False`` filters the invalidation (nothing from the page is in
+        this L1); ``True`` obliges the caller to flush the L1.
+        """
+        self.checks += 1
+        present = (asid, vpn) in self._counts
+        if not present:
+            self.filtered += 1
+        return present
+
+    def lines_from(self, asid: int, vpn: int) -> int:
+        """Resident-line count for a page (diagnostics/tests)."""
+        return self._counts.get((asid, vpn), 0)
+
+    def clear(self) -> None:
+        """Reset after a full L1 flush."""
+        self._counts.clear()

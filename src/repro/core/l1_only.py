@@ -1,0 +1,258 @@
+"""L1-only virtual caching (§5.4, Figure 11).
+
+This design virtualizes only the private L1s — the configuration most
+CPU virtual-cache proposals correspond to.  The shared L2 stays
+physically indexed, so translation (per-CU TLB, then the IOMMU) is
+needed on every L1 *miss* and on every write-through.  L1 read hits are
+the only accesses that skip translation, which is why the paper finds
+whole-hierarchy virtual caching filters roughly twice the shared-TLB
+traffic (31% vs 66% of private-TLB misses, Figure 2's black vs
+black+red bars).
+
+Synonym correctness at the L1 level is kept by an ASDT-style table
+(after Yoon & Sohi [52], the design §4 builds on): one entry per
+physical page with data in any L1, recording the unique leading virtual
+page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.virtual_hierarchy import line_key, page_key, split_page_key
+from repro.engine.resources import BankedServer
+from repro.engine.stats import Counters
+from repro.gpu.coalescer import CoalescedRequest
+from repro.memsys.addressing import lines_per_page
+from repro.memsys.cache import Cache
+from repro.memsys.dram import DRAM
+from repro.memsys.iommu import IOMMU
+from repro.memsys.page_table import PageTable
+from repro.memsys.permissions import PermissionFault, ReadWriteSynonymFault
+from repro.memsys.tlb import TLB
+from repro.system.config import SoCConfig
+
+
+@dataclass
+class ASDTEntry:
+    """Active-synonym-detection entry: one per physical page in the L1s."""
+
+    ppn: int
+    leading_asid: int
+    leading_vpn: int
+    resident_lines: int = 0
+    written: bool = False
+
+
+class ASDT:
+    """Tracks the leading virtual page of every physical page in the L1s."""
+
+    def __init__(self, fault_on_rw_synonym: bool = True) -> None:
+        self._by_ppn: Dict[int, ASDTEntry] = {}
+        self._by_leading: Dict[Tuple[int, int], int] = {}
+        self.fault_on_rw_synonym = fault_on_rw_synonym
+        self.synonym_accesses = 0
+
+    def __len__(self) -> int:
+        return len(self._by_ppn)
+
+    def check(self, asid: int, vpn: int, ppn: int, is_write: bool) -> ASDTEntry:
+        """Establish/verify the leading page for an L1 fill of ``ppn``."""
+        entry = self._by_ppn.get(ppn)
+        if entry is None:
+            entry = ASDTEntry(ppn=ppn, leading_asid=asid, leading_vpn=vpn,
+                              written=is_write)
+            self._by_ppn[ppn] = entry
+            self._by_leading[(asid, vpn)] = ppn
+            return entry
+        if (entry.leading_asid, entry.leading_vpn) != (asid, vpn):
+            self.synonym_accesses += 1
+            if self.fault_on_rw_synonym and (is_write or entry.written):
+                raise ReadWriteSynonymFault(ppn, entry.leading_vpn, vpn)
+        if is_write:
+            entry.written = True
+        return entry
+
+    def note_write(self, asid: int, vpn: int, ppn: int) -> None:
+        """A write-through to ``ppn`` passed by; mark tracked pages written.
+
+        Writes to untracked pages are harmless (no stale data can be in
+        the L1s) and do not allocate an entry — write-through L1s never
+        hold a dirty copy.
+        """
+        entry = self._by_ppn.get(ppn)
+        if entry is None:
+            return
+        if (entry.leading_asid, entry.leading_vpn) != (asid, vpn):
+            self.synonym_accesses += 1
+            if self.fault_on_rw_synonym:
+                raise ReadWriteSynonymFault(ppn, entry.leading_vpn, vpn)
+        entry.written = True
+
+    def on_fill(self, ppn: int) -> None:
+        entry = self._by_ppn.get(ppn)
+        if entry is not None:
+            entry.resident_lines += 1
+
+    def on_evict(self, ppn: int) -> None:
+        entry = self._by_ppn.get(ppn)
+        if entry is None:
+            return
+        entry.resident_lines -= 1
+        if entry.resident_lines <= 0:
+            del self._by_ppn[ppn]
+            self._by_leading.pop((entry.leading_asid, entry.leading_vpn), None)
+
+    def leading_of(self, ppn: int) -> Optional[Tuple[int, int]]:
+        entry = self._by_ppn.get(ppn)
+        if entry is None:
+            return None
+        return entry.leading_asid, entry.leading_vpn
+
+    def ppn_of_leading(self, asid: int, vpn: int) -> Optional[int]:
+        """Reverse index: the PPN led by ``(asid, vpn)``, if tracked."""
+        return self._by_leading.get((asid, vpn))
+
+
+class L1OnlyVirtualHierarchy:
+    """Virtual L1s over a physical L2, with per-CU TLBs on L1 misses."""
+
+    def __init__(
+        self,
+        config: SoCConfig,
+        page_tables: Dict[int, PageTable],
+        fault_on_rw_synonym: bool = True,
+    ) -> None:
+        self.config = config
+        self.counters = Counters()
+        self._lpp = lines_per_page(config.line_size)
+        self.l1s: List[Cache] = [
+            Cache(config.l1, name=f"cu{i}-vl1") for i in range(config.n_cus)
+        ]
+        self.per_cu_tlbs: List[TLB] = [
+            TLB(capacity=config.per_cu_tlb_entries, name=f"cu{i}-tlb")
+            for i in range(config.n_cus)
+        ]
+        self.l2 = Cache(config.l2, name="l2-physical")
+        self.l2_banks = BankedServer(config.l2.n_banks)
+        self.dram = DRAM(
+            latency_cycles=config.dram_latency,
+            bandwidth_gbps=config.dram_bandwidth_gbps,
+            frequency_ghz=config.frequency_ghz,
+            line_size=config.line_size,
+        )
+        self.iommu = IOMMU(config.iommu, page_tables,
+                           frequency_ghz=config.frequency_ghz)
+        self.asdt = ASDT(fault_on_rw_synonym=fault_on_rw_synonym)
+
+    # -- translation (per-CU TLB → IOMMU) ----------------------------------
+    def _translate(self, cu_id: int, vpn: int, now: float, asid: int):
+        tlb = self.per_cu_tlbs[cu_id]
+        self.counters.add("tlb.accesses")
+        key = (asid << 52) | vpn
+        entry = tlb.lookup(key, now)
+        t = now + self.config.per_cu_tlb_latency
+        if entry is not None:
+            return t, entry.ppn, entry.permissions
+        self.counters.add("tlb.misses")
+        request_at = t + self.config.interconnect.gpu_to_iommu
+        outcome = self.iommu.translate(vpn, request_at, asid=asid)
+        ready = outcome.finish + self.config.interconnect.iommu_to_gpu
+        tlb.insert(key, outcome.ppn, outcome.permissions, ready)
+        return ready, outcome.ppn, outcome.permissions
+
+    # -- the access path ------------------------------------------------------
+    def access(
+        self, cu_id: int, request: CoalescedRequest, now: float, asid: int = 0
+    ) -> float:
+        """Service one coalesced request; return its completion time."""
+        cfg = self.config
+        vline = request.line_addr
+        vpn = request.vpn
+        line_index = vline % self._lpp
+        l1 = self.l1s[cu_id]
+        self.counters.add("vc.accesses")
+
+        key = line_key(asid, vline)
+        line = l1.lookup(key)
+        if line is not None and not request.is_write:
+            if not line.permissions.allows(False):
+                raise PermissionFault(vpn, False, line.permissions)
+            self.counters.add("vc.l1_hits")
+            return now + cfg.l1_latency
+
+        # Everything else needs a physical address: L1 read misses and
+        # all writes (write-through to the physical L2).
+        ready, ppn, permissions, *_ = self._translate(cu_id, vpn, now, asid)
+        if not permissions.allows(request.is_write):
+            raise PermissionFault(vpn, request.is_write, permissions)
+        physical_line = ppn * self._lpp + line_index
+
+        if request.is_write:
+            if line is not None:
+                self.counters.add("vc.l1_hits")
+            self.asdt.note_write(asid, vpn, ppn)
+            return self._l2_write(physical_line, ready + cfg.l1_latency)
+
+        entry = self.asdt.check(asid, vpn, ppn, False)
+        lead_key = line_key(entry.leading_asid,
+                            entry.leading_vpn * self._lpp + line_index)
+        if lead_key != key:
+            # Synonym: the data, if present, is cached under the leading
+            # virtual address; replay there.
+            self.counters.add("vc.synonym_replays")
+            replayed = l1.lookup(lead_key)
+            if replayed is not None:
+                self.counters.add("vc.l1_hits")
+                return ready + cfg.l1_latency
+            key = lead_key
+            asid, vpn = entry.leading_asid, entry.leading_vpn
+
+        completion = self._l2_read(physical_line, ready)
+        self._fill_l1(cu_id, asid, vpn, key, ppn, permissions)
+        return completion
+
+    def _l2_write(self, physical_line: int, now: float) -> float:
+        cfg = self.config
+        t_l2 = now + cfg.interconnect.l1_to_l2
+        start = self.l2_banks.request(t_l2, self.l2.bank_of(physical_line))
+        t_done = start + cfg.l2_latency
+        if self.l2.lookup(physical_line) is not None:
+            self.l2.mark_dirty(physical_line)
+            return t_done
+        victim = self.l2.insert(physical_line, dirty=True)
+        if victim is not None and victim.dirty:
+            self.dram.access_line(start)
+            self.counters.add("l2.writebacks")
+        return t_done
+
+    def _l2_read(self, physical_line: int, now: float) -> float:
+        cfg = self.config
+        t_l2 = now + cfg.l1_latency + cfg.interconnect.l1_to_l2
+        start = self.l2_banks.request(t_l2, self.l2.bank_of(physical_line))
+        t_hit = start + cfg.l2_latency
+        if self.l2.lookup(physical_line) is not None:
+            self.counters.add("l2.hits")
+            return t_hit + cfg.interconnect.l1_to_l2
+        t_mem = self.dram.access_line(t_hit)
+        victim = self.l2.insert(physical_line)
+        if victim is not None and victim.dirty:
+            self.dram.access_line(t_mem)
+            self.counters.add("l2.writebacks")
+        return t_mem + cfg.interconnect.l1_to_l2
+
+    def _fill_l1(
+        self, cu_id: int, asid: int, vpn: int, key: int, ppn: int, permissions
+    ) -> None:
+        victim = self.l1s[cu_id].insert(key, permissions=permissions,
+                                        page=page_key(asid, vpn))
+        if victim is not None and victim.page is not None:
+            v_asid, v_vpn = split_page_key(victim.page)
+            victim_ppn = self.asdt.ppn_of_leading(v_asid, v_vpn)
+            if victim_ppn is not None:
+                self.asdt.on_evict(victim_ppn)
+        self.asdt.on_fill(ppn)
+
+    def finish(self, now: float) -> None:
+        """End-of-run hook (parity with the other hierarchies)."""

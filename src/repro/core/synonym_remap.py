@@ -1,0 +1,76 @@
+"""Dynamic synonym remapping (§4.3, after Yoon & Sohi [52]).
+
+Without remapping, every access through a non-leading virtual address
+misses the whole virtual cache hierarchy and is replayed at the FBT —
+"it will miss in the cache and will be replayed on every access" (§4.1).
+The paper points out that for synonym-heavy future workloads the ASDT
+paper's *dynamic synonym remapping* integrates naturally: a small
+per-CU table remembers active non-leading → leading page remappings and
+applies them *before* the L1 lookup, so repeated synonymous accesses
+become ordinary virtual-cache hits.
+
+Entries are learned from FBT synonym detections (the replay response
+carries the leading address) and must be dropped whenever the leading
+page's FBT entry dies (shootdown, eviction, remap) — a stale remapping
+would resurrect invalidated data.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+Key = Tuple[int, int]  # (asid, vpn)
+
+
+class SynonymRemapTable:
+    """A small per-CU LRU table of non-leading → leading page remappings."""
+
+    def __init__(self, capacity: int = 32, name: str = "srt") -> None:
+        if capacity <= 0:
+            raise ValueError("SRT capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._entries: "OrderedDict[Key, Key]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, asid: int, vpn: int) -> Optional[Key]:
+        """Leading ``(asid, vpn)`` for a known synonym page, or None."""
+        leading = self._entries.get((asid, vpn))
+        if leading is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end((asid, vpn))
+        self.hits += 1
+        return leading
+
+    def insert(self, asid: int, vpn: int, leading_asid: int,
+               leading_vpn: int) -> None:
+        """Learn a remapping (from an FBT synonym detection)."""
+        if (asid, vpn) == (leading_asid, leading_vpn):
+            raise ValueError("a page cannot be a synonym of itself")
+        key = (asid, vpn)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = (leading_asid, leading_vpn)
+
+    def invalidate_leading(self, leading_asid: int, leading_vpn: int) -> int:
+        """Drop every remapping that targets a dead leading page."""
+        doomed = [k for k, v in self._entries.items()
+                  if v == (leading_asid, leading_vpn)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def invalidate(self, asid: int, vpn: int) -> bool:
+        """Drop one source page's remapping (its own mapping changed)."""
+        return self._entries.pop((asid, vpn), None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()

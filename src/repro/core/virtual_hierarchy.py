@@ -1,0 +1,432 @@
+"""The proposed GPU virtual cache hierarchy (Figure 6).
+
+Both the per-CU L1s and the shared L2 are indexed and tagged by virtual
+addresses; per-CU TLBs are gone.  A request reaches address translation
+only when it misses the *entire* cache hierarchy, so the hierarchy acts
+as a bandwidth filter in front of the shared IOMMU TLB.  The
+forward-backward table in the IOMMU keeps execution correct for
+synonyms, shootdowns, and physically-addressed coherence — and in the
+"With OPT" configuration doubles as a second-level TLB.
+
+Cache keys are ASID-qualified virtual line addresses, which is how the
+design handles homonyms (§4.3: "each cache line needs to track the
+corresponding ASID information", avoiding flushes on context switches).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.fbt import ForwardBackwardTable, InvalidationOrder
+from repro.core.invalidation_filter import InvalidationFilter
+from repro.core.synonym_remap import SynonymRemapTable
+from repro.engine.resources import BankedServer
+from repro.engine.stats import Counters
+from repro.gpu.coalescer import CoalescedRequest
+from repro.memsys.cache import Cache
+from repro.memsys.directory import CoherenceProbe
+from repro.memsys.dram import DRAM
+from repro.memsys.iommu import IOMMU
+from repro.memsys.addressing import lines_per_page
+from repro.memsys.page_table import PageTable
+from repro.memsys.permissions import PermissionFault, Permissions
+from repro.system.config import SoCConfig
+
+# Virtual line/page keys are ASID-qualified so distinct address spaces
+# never alias in the caches (homonym safety).
+_ASID_SHIFT = 52
+
+
+def line_key(asid: int, virtual_line: int) -> int:
+    """ASID-qualified virtual line address used as the cache key."""
+    return (asid << _ASID_SHIFT) | virtual_line
+
+
+def page_key(asid: int, vpn: int) -> int:
+    """ASID-qualified virtual page number used for page-level tracking."""
+    return (asid << _ASID_SHIFT) | vpn
+
+
+def split_page_key(key: int) -> Tuple[int, int]:
+    """Inverse of :func:`page_key`."""
+    return key >> _ASID_SHIFT, key & ((1 << _ASID_SHIFT) - 1)
+
+
+class VirtualCacheHierarchy:
+    """Whole-hierarchy (L1 + L2) virtual caching with an FBT."""
+
+    def __init__(
+        self,
+        config: SoCConfig,
+        page_tables: Dict[int, PageTable],
+        fbt_as_second_level_tlb: bool = True,
+        fault_on_rw_synonym: bool = True,
+        use_invalidation_filters: bool = True,
+        large_page_policy: str = "subpage",
+        enable_synonym_remapping: bool = False,
+        srt_entries: int = 32,
+    ) -> None:
+        self.config = config
+        self.counters = Counters()
+        self._lpp = lines_per_page(config.line_size)
+        # Ablation knob: without the per-L1 filters (§4.2), every page
+        # invalidation must conservatively flush every L1.
+        self.use_invalidation_filters = use_invalidation_filters
+
+        self.l1s: List[Cache] = [
+            Cache(config.l1, name=f"cu{i}-vl1") for i in range(config.n_cus)
+        ]
+        self.filters: List[InvalidationFilter] = [
+            InvalidationFilter(name=f"cu{i}-filter") for i in range(config.n_cus)
+        ]
+        self.l2 = Cache(config.l2, name="vl2")
+        self.l2_banks = BankedServer(config.l2.n_banks)
+        self.dram = DRAM(
+            latency_cycles=config.dram_latency,
+            bandwidth_gbps=config.dram_bandwidth_gbps,
+            frequency_ghz=config.frequency_ghz,
+            line_size=config.line_size,
+        )
+        self.fbt = ForwardBackwardTable(
+            n_entries=config.fbt_entries,
+            associativity=config.fbt_associativity,
+            lines_per_page=self._lpp,
+            fault_on_rw_synonym=fault_on_rw_synonym,
+            large_page_policy=large_page_policy,
+        )
+        self.fbt_as_second_level_tlb = fbt_as_second_level_tlb
+        self.iommu = IOMMU(
+            config.iommu,
+            page_tables,
+            frequency_ghz=config.frequency_ghz,
+            second_level=self.fbt if fbt_as_second_level_tlb else None,
+        )
+        # Dynamic synonym remapping (§4.3): optional per-CU tables that
+        # redirect known synonym pages to their leading address before
+        # the L1 lookup.
+        self.enable_synonym_remapping = enable_synonym_remapping
+        self.srts: Optional[List[SynonymRemapTable]] = None
+        if enable_synonym_remapping:
+            self.srts = [SynonymRemapTable(srt_entries, name=f"cu{i}-srt")
+                         for i in range(config.n_cus)]
+
+    # -- the access path --------------------------------------------------
+    def access(
+        self, cu_id: int, request: CoalescedRequest, now: float, asid: int = 0
+    ) -> float:
+        """Service one coalesced request; return its completion time.
+
+        Reads complete when data arrives; writes are posted (complete at
+        L1-write time) but still exercise the L2/translation machinery
+        at the correct simulated times.
+        """
+        vline = request.line_addr
+        vpn = request.vpn
+        line_index = vline % self._lpp
+        cfg = self.config
+        l1 = self.l1s[cu_id]
+
+        self.counters.add("vc.accesses")
+        if self.srts is not None:
+            # Dynamic synonym remapping: redirect known synonym pages to
+            # their leading address before the L1 lookup (one extra
+            # cycle, subsumed by the L1 access latency here).
+            remap = self.srts[cu_id].lookup(asid, vpn)
+            if remap is not None:
+                asid, vpn = remap
+                vline = vpn * self._lpp + line_index
+                self.counters.add("vc.srt_remaps")
+        key = line_key(asid, vline)
+        line = l1.lookup(key)
+        if line is not None:
+            if not line.permissions.allows(request.is_write):
+                raise PermissionFault(vpn, request.is_write, line.permissions)
+            self.counters.add("vc.l1_hits")
+            if request.is_write:
+                # Write-through: the write still flows to the L2 and the
+                # store occupies the CU window until it lands there.
+                return self._l2_write(cu_id, asid, vpn, vline, line_index,
+                                      now + cfg.l1_latency)
+            return now + cfg.l1_latency
+
+        # L1 miss → virtual L2.
+        t_l2 = now + cfg.l1_latency + cfg.interconnect.l1_to_l2
+        start = self.l2_banks.request(t_l2, self.l2.bank_of(key))
+        t_hit = start + cfg.l2_latency
+        l2_line = self.l2.lookup(key)
+        if l2_line is not None:
+            if not l2_line.permissions.allows(request.is_write):
+                raise PermissionFault(vpn, request.is_write, l2_line.permissions)
+            self.counters.add("vc.l2_hits")
+            if request.is_write:
+                self.l2.mark_dirty(key)
+                self.fbt.note_write(asid, vpn)
+                return t_hit
+            self._fill_l1(cu_id, asid, vpn, key, l2_line.permissions)
+            return t_hit + cfg.interconnect.l1_to_l2
+
+        # Whole-hierarchy miss → translation is finally needed.
+        self.counters.add("vc.l2_misses")
+        return self._miss_path(
+            cu_id, asid, vpn, vline, line_index, request.is_write, t_hit
+        )
+
+    def _l2_write(
+        self,
+        cu_id: int,
+        asid: int,
+        vpn: int,
+        vline: int,
+        line_index: int,
+        now: float,
+    ) -> float:
+        """Write-through from an L1 write hit: update/allocate in the L2."""
+        cfg = self.config
+        key = line_key(asid, vline)
+        t_l2 = now + cfg.interconnect.l1_to_l2
+        start = self.l2_banks.request(t_l2, self.l2.bank_of(key))
+        if self.l2.lookup(key) is not None:
+            self.l2.mark_dirty(key)
+            self.fbt.note_write(asid, vpn)
+            return start + cfg.l2_latency
+        # Non-inclusive hierarchy: the L1 held the line but the L2 did
+        # not.  The write allocates in the write-back L2, which needs an
+        # FBT consultation (translation) to keep inclusion tracking.
+        return self._miss_path(cu_id, asid, vpn, vline, line_index, True,
+                               start + cfg.l2_latency, fill_l1=False)
+
+    def _miss_path(
+        self,
+        cu_id: int,
+        asid: int,
+        vpn: int,
+        vline: int,
+        line_index: int,
+        is_write: bool,
+        now: float,
+        fill_l1: bool = True,
+    ) -> float:
+        """Translate, consult the FBT, and fetch on a whole-hierarchy miss."""
+        cfg = self.config
+        t_iommu = now + cfg.interconnect.gpu_to_iommu
+        outcome = self.iommu.translate(vpn, t_iommu, asid=asid)
+        if not outcome.permissions.allows(is_write):
+            raise PermissionFault(vpn, is_write, outcome.permissions)
+
+        t_fbt = outcome.finish + cfg.interconnect.l2_to_fbt + cfg.interconnect.fbt_lookup
+        check = self.fbt.check_access(
+            asid, vpn, outcome.ppn, outcome.permissions, line_index, is_write,
+            is_large=outcome.is_large,
+            large_base_vpn=outcome.large_base_vpn,
+            large_base_ppn=outcome.large_base_ppn,
+        )
+        for order in check.invalidations:
+            self._execute_invalidation(order, t_fbt)
+
+        if check.status == "synonym":
+            return self._synonym_replay(
+                cu_id, asid, vpn, check, outcome.ppn, line_index, is_write,
+                t_fbt, fill_l1,
+            )
+
+        # Leading (or brand-new leading) access: place the data under
+        # the requested — leading — virtual address.  Writes allocate in
+        # the write-back L2 without a memory fetch (full-line store);
+        # reads fetch the line from DRAM first.
+        if is_write:
+            self._fill_l2(asid, vpn, line_index, outcome.ppn, True,
+                          outcome.permissions, t_fbt)
+            return t_fbt + cfg.interconnect.l1_to_l2
+        t_mem = self.dram.access_line(t_fbt)
+        self._fill_l2(asid, vpn, line_index, outcome.ppn, False, outcome.permissions, t_mem)
+        if fill_l1:
+            self._fill_l1(cu_id, asid, vpn, line_key(asid, vline), outcome.permissions)
+        return t_mem + cfg.interconnect.l1_to_l2
+
+    def _synonym_replay(
+        self,
+        cu_id: int,
+        asid: int,
+        vpn: int,
+        check,
+        ppn: int,
+        line_index: int,
+        is_write: bool,
+        now: float,
+        fill_l1: bool,
+    ) -> float:
+        """Replay a synonym access with the page's leading virtual address."""
+        cfg = self.config
+        self.counters.add("vc.synonym_replays")
+        if self.srts is not None:
+            # Learn the remapping so this CU's future accesses through
+            # the synonym page hit the caches directly.
+            self.srts[cu_id].insert(asid, vpn, check.leading_asid,
+                                    check.leading_vpn)
+        lead_vline = check.leading_vpn * self._lpp + line_index
+        lead_key = line_key(check.leading_asid, lead_vline)
+        t_replay = now + cfg.interconnect.l2_to_fbt  # back to the L2
+
+        if check.replay_hits_l2:
+            start = self.l2_banks.request(t_replay, self.l2.bank_of(lead_key))
+            t_hit = start + cfg.l2_latency
+            line = self.l2.lookup(lead_key)
+            if line is None:
+                if check.entry.tracking != "counter":
+                    raise RuntimeError(
+                        "BT bit vector said the replay would hit, but the L2 "
+                        "does not hold the leading line — inclusion broken"
+                    )
+                # Counter-mode entries are conservative: "some line of
+                # the large page is cached" does not pin down this one.
+                # Fall through to the memory fetch below.
+                t_replay = t_hit
+            else:
+                if is_write:
+                    self.l2.mark_dirty(lead_key)
+                elif fill_l1:
+                    self._fill_l1(cu_id, check.leading_asid, check.leading_vpn,
+                                  lead_key, line.permissions)
+                return t_hit + cfg.interconnect.l1_to_l2
+
+        # Bit clear: writes allocate directly; reads fetch from memory.
+        # Either way the data is cached under the leading address.
+        if is_write:
+            self._fill_l2(check.leading_asid, check.leading_vpn, line_index, ppn,
+                          True, check.entry.permissions, t_replay)
+            return t_replay + cfg.interconnect.l1_to_l2
+        t_mem = self.dram.access_line(t_replay)
+        self._fill_l2(check.leading_asid, check.leading_vpn, line_index, ppn,
+                      False, check.entry.permissions, t_mem)
+        if fill_l1:
+            self._fill_l1(cu_id, check.leading_asid, check.leading_vpn, lead_key,
+                          check.entry.permissions)
+        return t_mem + cfg.interconnect.l1_to_l2
+
+    # -- fills -------------------------------------------------------------
+    def _fill_l1(
+        self, cu_id: int, asid: int, vpn: int, key: int, permissions: Permissions
+    ) -> None:
+        victim = self.l1s[cu_id].insert(key, permissions=permissions,
+                                        page=page_key(asid, vpn))
+        fltr = self.filters[cu_id]
+        if victim is not None and victim.page is not None:
+            v_asid, v_vpn = split_page_key(victim.page)
+            fltr.on_evict(v_asid, v_vpn)
+        fltr.on_fill(asid, vpn)
+
+    def _fill_l2(
+        self,
+        asid: int,
+        vpn: int,
+        line_index: int,
+        ppn: int,
+        dirty: bool,
+        permissions: Permissions,
+        now: float,
+    ) -> None:
+        key = line_key(asid, vpn * self._lpp + line_index)
+        victim = self.l2.insert(key, dirty=dirty, permissions=permissions,
+                                page=page_key(asid, vpn))
+        if victim is not None:
+            if victim.dirty:
+                self.dram.access_line(now)
+                self.counters.add("vc.l2_writebacks")
+            if victim.page is not None:
+                v_asid, v_vpn = split_page_key(victim.page)
+                self.fbt.note_l2_eviction(v_asid, v_vpn, victim.line_addr % self._lpp)
+        self.fbt.note_l2_fill(ppn, line_index)
+
+    # -- invalidation machinery ---------------------------------------------
+    def _execute_invalidation(self, order: InvalidationOrder, now: float) -> None:
+        """Carry out an FBT-entry eviction / shootdown invalidation (§4.2)."""
+        if order.walk_l2:
+            # Counter-mode (large page) invalidation: walk every subpage.
+            dropped = []
+            for subpage in range(order.n_subpages):
+                pkey = page_key(order.asid, order.leading_vpn + subpage)
+                dropped.extend(self.l2.invalidate_page(pkey))
+        else:
+            dropped = []
+            base = order.leading_vpn * self._lpp
+            for idx in order.line_indices:
+                line = self.l2.invalidate_line(line_key(order.asid, base + idx))
+                if line is not None:
+                    dropped.append(line)
+        for line in dropped:
+            if line.dirty:
+                self.dram.access_line(now)
+                self.counters.add("vc.l2_writebacks")
+        self.counters.add("vc.invalidations")
+
+        # Non-inclusive L1s: consult each CU's invalidation filter; a hit
+        # conservatively flushes that whole (clean, write-through) L1.
+        for cu_id, fltr in enumerate(self.filters):
+            flush = not self.use_invalidation_filters
+            if not flush:
+                flush = any(
+                    fltr.might_hold(order.asid, order.leading_vpn + subpage)
+                    for subpage in range(order.n_subpages)
+                )
+            if flush:
+                self.l1s[cu_id].invalidate_all()
+                fltr.clear()
+                self.counters.add("vc.l1_flushes")
+        if self.srts is not None:
+            # Stale remappings to the dead leading page must go too.
+            for srt in self.srts:
+                srt.invalidate_leading(order.asid, order.leading_vpn)
+
+    # -- software-visible operations ------------------------------------------
+    def shootdown(self, asid: int, vpn: int, now: float = 0.0) -> bool:
+        """Single-entry TLB shootdown: drop the translation and cached data.
+
+        Returns True when data had to be invalidated (the FT did not
+        filter the request).
+        """
+        self.iommu.invalidate(vpn, asid)
+        if self.srts is not None:
+            # The shot-down page may be a synonym *source*: its own
+            # remapping is stale even when the FT filters the request
+            # (non-leading pages have no FT entry).
+            for srt in self.srts:
+                srt.invalidate(asid, vpn)
+        order = self.fbt.shootdown(asid, vpn)
+        if order is None:
+            return False
+        self._execute_invalidation(order, now)
+        return True
+
+    def shootdown_all(self, now: float = 0.0) -> int:
+        """All-entry shootdown: flush every cached translation and page."""
+        self.iommu.invalidate_all()
+        orders = self.fbt.shootdown_all()
+        for order in orders:
+            self._execute_invalidation(order, now)
+        return len(orders)
+
+    def handle_probe(self, probe: CoherenceProbe, now: float = 0.0) -> CoherenceProbe:
+        """Service a physically-addressed coherence probe from the directory."""
+        reverse = self.fbt.reverse_translate_probe(probe.physical_line)
+        if reverse is None:
+            probe.filtered = True
+            return probe
+        probe.filtered = False
+        asid, virtual_line, line_index, l2_has_line = reverse
+        probe.forwarded_virtual_line = virtual_line
+        if l2_has_line:
+            line = self.l2.invalidate_line(line_key(asid, virtual_line))
+            if line is not None:
+                if line.dirty:
+                    self.dram.access_line(now)
+                self.fbt.note_l2_eviction(asid, virtual_line // self._lpp, line_index)
+        vpn = virtual_line // self._lpp
+        for cu_id, fltr in enumerate(self.filters):
+            if fltr.might_hold(asid, vpn):
+                self.l1s[cu_id].invalidate_all()
+                fltr.clear()
+                self.counters.add("vc.l1_flushes")
+        return probe
+
+    def finish(self, now: float) -> None:
+        """End-of-run hook (parity with the physical hierarchy)."""

@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel, shared-resource models, statistics."""
+
+from repro.engine.events import EventQueue, Simulator
+from repro.engine.resources import (
+    BandwidthLink,
+    BankedServer,
+    ThreadPool,
+    ThroughputServer,
+)
+from repro.engine.stats import (
+    Counters,
+    IntervalSampler,
+    LifetimeTracker,
+    RateStats,
+    cdf,
+    fraction_at_or_below,
+)
+
+__all__ = [
+    "EventQueue",
+    "Simulator",
+    "ThroughputServer",
+    "BankedServer",
+    "ThreadPool",
+    "BandwidthLink",
+    "Counters",
+    "IntervalSampler",
+    "LifetimeTracker",
+    "RateStats",
+    "cdf",
+    "fraction_at_or_below",
+]

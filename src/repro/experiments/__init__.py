@@ -1,0 +1,21 @@
+"""Experiment drivers: one module per table/figure of the paper."""
+
+from repro.experiments import (
+    energy,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    tables,
+)
+from repro.experiments.common import GLOBAL_CACHE, ResultCache
+
+__all__ = [
+    "energy", "fig2", "fig3", "fig4", "fig5", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "tables", "GLOBAL_CACHE", "ResultCache",
+]

@@ -1,0 +1,101 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    repro-experiment fig9               # one figure
+    repro-experiment all                # everything
+    repro-experiment fig2 --scale 0.25  # quick, scaled-down run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import (
+    energy,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    tables,
+)
+from repro.experiments.common import GLOBAL_CACHE
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table1": lambda: tables.render_table1(),
+    "table2": lambda: tables.render_table2(),
+    "fig2": lambda: fig2.run(GLOBAL_CACHE).render(),
+    "fig3": lambda: fig3.run(GLOBAL_CACHE).render(),
+    "fig4": lambda: fig4.run(GLOBAL_CACHE).render(),
+    "fig5": lambda: fig5.run(GLOBAL_CACHE).render(),
+    "fig8": lambda: fig8.run(GLOBAL_CACHE).render(),
+    "fig9": lambda: fig9.run(GLOBAL_CACHE).render(),
+    "fig10": lambda: fig10.run(GLOBAL_CACHE).render(),
+    "fig11": lambda: fig11.run(GLOBAL_CACHE).render(),
+    "fig12": lambda: fig12.run(GLOBAL_CACHE).render(),
+    "energy": lambda: energy.run(GLOBAL_CACHE).render(),
+    "coherence": lambda: _coherence(),
+    "validate": lambda: _validate(),
+}
+
+
+def _coherence() -> str:
+    from repro.experiments import coherence
+
+    return coherence.run(GLOBAL_CACHE).render()
+
+
+def _validate() -> str:
+    from repro.analysis.paper_targets import collect_measurements, render_report
+
+    return render_report(collect_measurements(GLOBAL_CACHE))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate tables/figures from 'Filtering Translation "
+                    "Bandwidth with Virtual Caching' (ASPLOS 2018)",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale factor (default: REPRO_SCALE env or 1.0)",
+    )
+    parser.add_argument(
+        "--svg", metavar="DIR", default=None,
+        help="additionally render the data figures as SVG files into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scale is not None:
+        GLOBAL_CACHE.scale = args.scale
+
+    chosen = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in chosen:
+        start = time.time()
+        print(EXPERIMENTS[name]())
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+
+    if args.svg is not None:
+        from repro.experiments.figures_svg import save_all
+
+        for path in save_all(args.svg, GLOBAL_CACHE):
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

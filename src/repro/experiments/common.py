@@ -1,0 +1,82 @@
+"""Shared experiment machinery.
+
+Experiments run (workload × MMU design) simulations; many figures share
+the same runs (the IDEAL MMU baseline appears in Figures 4, 5, and 9,
+for example), so results are memoized per process in a
+:class:`ResultCache`.  Each run builds a *fresh* hierarchy — simulator
+state never leaks between design points — but reuses the memoized trace
+from :mod:`repro.workloads.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.system.config import SoCConfig
+from repro.system.designs import MMUDesign
+from repro.system.run import SimulationResult, simulate
+from repro.workloads import registry
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class ResultCache:
+    """Memoizes simulation results keyed by (workload, scale, design)."""
+
+    config: SoCConfig = field(default_factory=SoCConfig)
+    scale: Optional[float] = None
+    _results: Dict[Tuple[str, float, str, bool], SimulationResult] = \
+        field(default_factory=dict)
+
+    def effective_scale(self) -> float:
+        return self.scale if self.scale is not None else registry.default_scale()
+
+    def trace(self, workload: str) -> Trace:
+        return registry.load(workload, scale=self.effective_scale())
+
+    def run(
+        self,
+        workload: str,
+        design: MMUDesign,
+        track_lifetimes: bool = False,
+    ) -> SimulationResult:
+        """Run (or fetch) one simulation."""
+        key = (workload, self.effective_scale(), design.name, track_lifetimes)
+        if key not in self._results:
+            trace = self.trace(workload)
+            page_tables = {0: trace.address_space.page_table}
+            hierarchy = design.build(self.config, page_tables,
+                                     track_lifetimes=track_lifetimes)
+            self._results[key] = simulate(
+                trace, hierarchy, design.soc_config(self.config),
+                design=design.name,
+            )
+        return self._results[key]
+
+    def run_designs(
+        self, workload: str, designs: Iterable[MMUDesign]
+    ) -> Dict[str, SimulationResult]:
+        return {d.name: self.run(workload, d) for d in designs}
+
+    def clear(self) -> None:
+        self._results.clear()
+
+
+# A process-wide cache shared by all experiment drivers (and by the
+# pytest-benchmark harness, which regenerates every figure in one run).
+GLOBAL_CACHE = ResultCache()
+
+
+def resolve_workloads(names: Optional[Iterable[str]], default: Iterable[str]) -> List[str]:
+    """Validate a workload-name list against the registry."""
+    chosen = list(names) if names is not None else list(default)
+    for name in chosen:
+        if name not in registry.WORKLOADS:
+            raise KeyError(f"unknown workload {name!r}")
+    return chosen
+
+
+ALL_WORKLOADS: Tuple[str, ...] = tuple(registry.WORKLOADS)
+HIGH_BANDWIDTH = registry.HIGH_BANDWIDTH
+LOW_BANDWIDTH = registry.LOW_BANDWIDTH

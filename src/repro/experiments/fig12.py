@@ -1,0 +1,102 @@
+"""Figure 12 (Appendix): lifetimes of pages in the TLB vs the caches.
+
+Runs ``bfs`` on the baseline MMU with lifetime tracking and compares the
+residence time of per-CU TLB entries against the *active lifetime*
+(insertion → last access) of data in the L1s and the shared L2, as CDFs
+in nanoseconds.
+
+Paper findings: ≈90% of TLB entries are evicted within 5000 ns while
+≈40% of L1 data and ≈60% of L2 data are still being actively used —
+which is exactly why cache hits outlive translations and a virtual cache
+hierarchy filters TLB misses.  The gap between the L1 and L2 curves is
+why extending virtual caching to the L2 filters more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import format_table, section
+from repro.engine.stats import fraction_at_or_below
+from repro.experiments.common import GLOBAL_CACHE, ResultCache
+from repro.system.config import SoCConfig
+from repro.system.designs import BASELINE_512
+
+CHECKPOINTS_NS = (1000.0, 2000.0, 5000.0, 10_000.0, 20_000.0, 40_000.0)
+
+
+@dataclass
+class Fig12Result:
+    """Lifetime samples (ns) for TLB entries and L1/L2 cache data."""
+
+    tlb_residence_ns: List[float]
+    l1_active_ns: List[float]
+    l2_active_ns: List[float]
+    workload: str = "bfs"
+
+    def cdf_at(self, which: str, ns: float) -> float:
+        samples = {
+            "tlb": self.tlb_residence_ns,
+            "l1": self.l1_active_ns,
+            "l2": self.l2_active_ns,
+        }[which]
+        return fraction_at_or_below(samples, ns)
+
+    def survival_beyond_tlb(self, ns: float = 5000.0) -> Tuple[float, float, float]:
+        """(TLB dead, L1 still live, L2 still live) fractions at ``ns``."""
+        return (
+            self.cdf_at("tlb", ns),
+            1.0 - self.cdf_at("l1", ns),
+            1.0 - self.cdf_at("l2", ns),
+        )
+
+    def render(self) -> str:
+        rows = []
+        for ns in CHECKPOINTS_NS:
+            rows.append([
+                f"{ns:8.0f}",
+                self.cdf_at("tlb", ns),
+                self.cdf_at("l1", ns),
+                self.cdf_at("l2", ns),
+            ])
+        table = format_table(
+            ["lifetime (ns)", "TLB entries CDF", "L1 data CDF", "L2 data CDF"],
+            rows,
+        )
+        dead, l1_live, l2_live = self.survival_beyond_tlb(5000.0)
+        summary = (
+            f"\nat 5000 ns: {dead * 100:.0f}% of TLB entries evicted, while "
+            f"{l1_live * 100:.0f}% of L1 data and {l2_live * 100:.0f}% of L2 "
+            f"data still actively used\n(paper: ~90% evicted vs ~40%/~60% live)"
+        )
+        return section(
+            f"Figure 12: relative lifetime of pages ({self.workload})",
+            table + summary,
+        )
+
+
+def run(cache: ResultCache = None, workload: str = "bfs") -> Fig12Result:
+    """Regenerate Figure 12."""
+    cache = cache if cache is not None else GLOBAL_CACHE
+    result = cache.run(workload, BASELINE_512, track_lifetimes=True)
+    hierarchy = result.hierarchy
+    freq = cache.config.frequency_ghz
+
+    def to_ns(samples: List[float]) -> List[float]:
+        return [s / freq for s in samples]
+
+    return Fig12Result(
+        tlb_residence_ns=to_ns(hierarchy.lifetimes["tlb"].residence_times),
+        l1_active_ns=to_ns(hierarchy.lifetimes["l1"].active_lifetimes),
+        l2_active_ns=to_ns(hierarchy.lifetimes["l2"].active_lifetimes),
+        workload=workload,
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Figure 4: GPU address-translation overheads.
+
+Average relative execution time across all simulated workloads for the
+IDEAL MMU, the baseline with a small (512-entry) shared IOMMU TLB, and
+the baseline with a large (16K-entry) one — all bandwidth-limited to one
+access per cycle except IDEAL.
+
+Paper findings: ≈1.77× average runtime for the small-TLB baseline; the
+large TLB barely helps, because the overhead is *serialization* at the
+shared TLB port, not capacity or page-walk latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.metrics import mean
+from repro.analysis.report import bar_chart, section
+from repro.experiments.common import ALL_WORKLOADS, GLOBAL_CACHE, ResultCache, resolve_workloads
+from repro.system.designs import BASELINE_16K, BASELINE_512, IDEAL_MMU
+
+DESIGNS = (IDEAL_MMU, BASELINE_512, BASELINE_16K)
+
+
+@dataclass
+class Fig4Result:
+    """Relative execution time (IDEAL = 1.0): workload → design → value."""
+
+    relative_time: Dict[str, Dict[str, float]]
+    workloads: List[str]
+
+    def average(self, design: str) -> float:
+        return mean([self.relative_time[w][design] for w in self.workloads])
+
+    def render(self) -> str:
+        labels = [d.name for d in DESIGNS]
+        chart = bar_chart(labels, [self.average(l) for l in labels], unit="x")
+        per_wl = "\n".join(
+            f"{w:15s} " + "  ".join(
+                f"{l}={self.relative_time[w][l]:5.2f}x" for l in labels[1:]
+            )
+            for w in self.workloads
+        )
+        note = (f"\nSmall-TLB baseline average: {self.average('Baseline 512'):.2f}x"
+                f" (paper: 1.77x); large-TLB average: "
+                f"{self.average('Baseline 16K'):.2f}x — capacity barely helps.")
+        return section("Figure 4: address-translation overhead (relative execution time)",
+                       chart + "\n\n" + per_wl + note)
+
+
+def run(cache: ResultCache = None, workloads=None) -> Fig4Result:
+    """Regenerate Figure 4."""
+    cache = cache if cache is not None else GLOBAL_CACHE
+    names = resolve_workloads(workloads, ALL_WORKLOADS)
+    relative: Dict[str, Dict[str, float]] = {}
+    for w in names:
+        ideal = cache.run(w, IDEAL_MMU)
+        relative[w] = {
+            d.name: cache.run(w, d).relative_time(ideal) for d in DESIGNS
+        }
+    return Fig4Result(relative_time=relative, workloads=names)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Render the evaluation figures to SVG files.
+
+``repro-experiment`` prints text; this module additionally draws SVG
+versions of every data figure, reproducing the paper's chart shapes:
+
+* Figure 3 / Figure 8: bar charts of IOMMU TLB accesses per cycle;
+* Figure 4: relative execution time of the baseline MMUs;
+* Figure 9: performance relative to IDEAL for the Table 2 designs;
+* Figure 10 / Figure 11: speedup bar charts;
+* Figure 12: lifetime CDFs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.analysis.svgfig import cdf_chart, grouped_bar_chart
+from repro.engine.stats import cdf
+from repro.experiments import fig3, fig4, fig8, fig9, fig10, fig11, fig12
+from repro.experiments.common import GLOBAL_CACHE, ResultCache
+
+
+def fig3_svg(cache: ResultCache) -> str:
+    r = fig3.run(cache)
+    order = r.sorted_workloads()
+    return grouped_bar_chart(
+        "Figure 3: IOMMU TLB accesses per cycle (unlimited bandwidth)",
+        order,
+        {
+            "mean": [r.rates[w].mean for w in order],
+            "max": [r.rates[w].maximum for w in order],
+        },
+        y_label="accesses / cycle",
+        reference_line=1.0,
+    )
+
+
+def fig4_svg(cache: ResultCache) -> str:
+    r = fig4.run(cache)
+    designs = ["IDEAL MMU", "Baseline 512", "Baseline 16K"]
+    return grouped_bar_chart(
+        "Figure 4: relative execution time (IDEAL = 1.0)",
+        designs,
+        {"average over all workloads": [r.average(d) for d in designs]},
+        y_label="relative execution time",
+        reference_line=1.0,
+    )
+
+
+def fig8_svg(cache: ResultCache) -> str:
+    r = fig8.run(cache)
+    order = sorted(r.baseline, key=lambda w: r.baseline[w].mean, reverse=True)
+    return grouped_bar_chart(
+        "Figure 8: IOMMU TLB bandwidth reduction",
+        order,
+        {
+            "Baseline": [r.baseline[w].mean for w in order],
+            "Virtual Cache Hierarchy": [r.virtual_cache[w].mean for w in order],
+        },
+        y_label="accesses / cycle",
+    )
+
+
+def fig9_svg(cache: ResultCache) -> str:
+    r = fig9.run(cache)
+    designs = ["Baseline 512", "Baseline 16K", "VC W/O OPT", "VC With OPT"]
+    categories = r.high_bandwidth + ["Average(High BW)", "Average(ALL)"]
+    series: Dict[str, List[float]] = {}
+    for d in designs:
+        values = [r.performance[w][d] for w in r.high_bandwidth]
+        values.append(r.average(d, "high"))
+        values.append(r.average(d, "all"))
+        series[d] = values
+    return grouped_bar_chart(
+        "Figure 9: performance relative to IDEAL MMU (closer to 1.0 is better)",
+        categories, series, y_label="relative performance",
+        reference_line=1.0,
+    )
+
+
+def fig10_svg(cache: ResultCache) -> str:
+    r = fig10.run(cache)
+    categories = list(r.speedup) + ["Average"]
+    values = [r.speedup[w] for w in r.speedup] + [r.average()]
+    return grouped_bar_chart(
+        "Figure 10: speedup over larger (128-entry) per-CU TLBs",
+        categories, {"VC With OPT": values},
+        y_label="speedup", reference_line=1.0,
+    )
+
+
+def fig11_svg(cache: ResultCache) -> str:
+    r = fig11.run(cache)
+    designs = ["L1-Only VC (32)", "L1-Only VC (128)", "VC With OPT"]
+    return grouped_bar_chart(
+        "Figure 11: speedup over Baseline 16K by virtual-cache scope",
+        designs,
+        {"average (high-BW workloads)": [r.average(d) for d in designs]},
+        y_label="speedup", reference_line=1.0,
+    )
+
+
+def fig12_svg(cache: ResultCache) -> str:
+    r = fig12.run(cache)
+    return cdf_chart(
+        f"Figure 12: lifetime of pages in each level ({r.workload})",
+        {
+            "Per-CU TLB entry": cdf(r.tlb_residence_ns),
+            "Data in L1 cache": cdf(r.l1_active_ns),
+            "Data in L2 cache": cdf(r.l2_active_ns),
+        },
+        x_label="lifetime (ns)",
+        x_max=40_000.0,
+    )
+
+
+RENDERERS = {
+    "fig3": fig3_svg,
+    "fig4": fig4_svg,
+    "fig8": fig8_svg,
+    "fig9": fig9_svg,
+    "fig10": fig10_svg,
+    "fig11": fig11_svg,
+    "fig12": fig12_svg,
+}
+
+
+def save_all(outdir: Union[str, Path], cache: ResultCache = None) -> List[Path]:
+    """Render every figure into ``outdir``; returns the written paths."""
+    cache = cache if cache is not None else GLOBAL_CACHE
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, renderer in RENDERERS.items():
+        path = outdir / f"{name}.svg"
+        path.write_text(renderer(cache))
+        written.append(path)
+    return written
+
+
+def main() -> None:
+    import sys
+
+    outdir = sys.argv[1] if len(sys.argv) > 1 else "figures"
+    for path in save_all(outdir):
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Tables 1 and 2: configuration summaries.
+
+These "experiments" render the simulated configuration so runs are
+self-documenting and the values can be asserted against the paper.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table, section
+from repro.system.config import SoCConfig
+from repro.system.designs import TABLE2_DESIGNS
+
+
+def render_table1(config: SoCConfig = None) -> str:
+    """Table 1: simulation configuration details."""
+    cfg = config if config is not None else SoCConfig()
+    rows = [
+        ["GPU", f"{cfg.n_cus} CUs, {cfg.lanes_per_cu} lanes per CU, "
+                f"{cfg.frequency_ghz * 1000:.0f} MHz"],
+        ["L1 GPU cache", f"per-CU {cfg.l1.size_bytes // 1024}KB, "
+                         f"write-through no allocate"],
+        ["L2 GPU cache", f"shared {cfg.l2.size_bytes // (1024 * 1024)}MB, "
+                         f"{cfg.l2.n_banks} banks, write-back, "
+                         f"{cfg.l2.line_size}B lines"],
+        ["TLBs", f"{cfg.per_cu_tlb_entries}-entry per-CU TLBs (4KB pages)"],
+        ["IOMMU", f"shared TLB ({cfg.iommu.shared_tlb_entries}-entry), "
+                  f"{cfg.iommu.ptw_threads} concurrent PTW, "
+                  f"{cfg.iommu.pwc_size_bytes // 1024}KB page-walk cache"],
+        ["DRAM, NoC", f"{cfg.dram_bandwidth_gbps:.0f} GB/s; dance-hall GPU NoC; "
+                      f"PCIe-protocol GPU↔IOMMU latency "
+                      f"{cfg.interconnect.gpu_to_iommu:.0f}+"
+                      f"{cfg.interconnect.iommu_to_gpu:.0f} cycles"],
+    ]
+    return section("Table 1: simulation configuration",
+                   format_table(["component", "configuration"], rows))
+
+
+def render_table2() -> str:
+    """Table 2: evaluated MMU design configurations."""
+    rows = []
+    for d in TABLE2_DESIGNS:
+        per_cu = ("Infinite size" if d.per_cu_tlb_entries is None and d.ideal
+                  else "-" if d.per_cu_tlb_entries is None
+                  else f"{d.per_cu_tlb_entries}-entry")
+        iommu = ("Infinite size" if d.iommu_entries is None
+                 else f"{d.iommu_entries}-entry")
+        if d.fbt_as_second_level_tlb:
+            iommu += " +16K-entry FBT"
+        bw = ("Infinite" if d.iommu_bandwidth == float("inf")
+              else f"{d.iommu_bandwidth:g} Access/Cycle")
+        rows.append([d.name, per_cu, iommu, bw])
+    return section("Table 2: evaluated MMU design configurations",
+                   format_table(["Design", "Per-CU TLB", "IOMMU TLB", "B/W Limit"],
+                                rows))
+
+
+def main() -> None:
+    print(render_table1())
+    print(render_table2())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Memory-access coalescer.
+
+Each CU coalesces its 32 lanes' addresses into the minimum number of
+cache-line requests before consulting the TLB (§2.1: "The TLB is
+consulted after the per-lane accesses have been coalesced").  Regular
+workloads coalesce a whole warp into one or two requests; divergent
+scatter/gather instructions produce tens of requests to different lines
+— and often different *pages*, which is what stresses translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.memsys.addressing import DEFAULT_LINE_SIZE, PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class CoalescedRequest:
+    """One line-sized request produced by coalescing a warp access."""
+
+    line_addr: int  # virtual line address
+    is_write: bool
+    n_lanes: int  # how many lanes this request serves
+
+    @property
+    def byte_addr(self) -> int:
+        return self.line_addr * DEFAULT_LINE_SIZE
+
+    @property
+    def vpn(self) -> int:
+        return self.byte_addr // PAGE_SIZE
+
+
+class Coalescer:
+    """Merges lane addresses into per-line requests."""
+
+    def __init__(self, line_size: int = DEFAULT_LINE_SIZE) -> None:
+        if line_size <= 0:
+            raise ValueError("line size must be positive")
+        self.line_size = line_size
+        self.instructions = 0
+        self.requests = 0
+
+    def coalesce(self, addresses: Sequence[int], is_write: bool = False) -> List[CoalescedRequest]:
+        """Coalesce one instruction's lane addresses.
+
+        Requests come out in first-appearance order (the order lanes are
+        serviced), each annotated with how many lanes it satisfies.
+        """
+        lane_counts: dict = {}
+        for addr in addresses:
+            line = addr // self.line_size
+            lane_counts[line] = lane_counts.get(line, 0) + 1
+        requests = [
+            CoalescedRequest(line_addr=line, is_write=is_write, n_lanes=count)
+            for line, count in lane_counts.items()
+        ]
+        self.instructions += 1
+        self.requests += len(requests)
+        return requests
+
+    def mean_divergence(self) -> float:
+        """Average requests per coalesced instruction so far."""
+        return self.requests / self.instructions if self.instructions else 0.0

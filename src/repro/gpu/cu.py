@@ -1,0 +1,83 @@
+"""Compute-unit timing state.
+
+GPUs tolerate memory latency by keeping many requests in flight per CU
+(§1: up to 40 execution contexts).  We model this with an
+*outstanding-request window*: a CU issues one coalesced request per
+cycle as long as it has fewer than ``window`` requests in flight; when
+the window is full, issue stalls until the oldest outstanding request
+completes.  This is the mechanism by which serialization at the shared
+IOMMU TLB turns into lost performance — latency only hurts once it
+exceeds what the window can hide.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from repro.gpu.coalescer import Coalescer
+from repro.gpu.scratchpad import Scratchpad
+
+
+class ComputeUnit:
+    """Issue/outstanding-request bookkeeping for one CU."""
+
+    def __init__(
+        self,
+        cu_id: int,
+        window: int = 64,
+        issue_interval: float = 4.0,
+        scratchpad: Scratchpad = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("outstanding-request window must be positive")
+        if issue_interval <= 0:
+            raise ValueError("issue interval must be positive")
+        self.cu_id = cu_id
+        self.window = window
+        self.issue_interval = issue_interval
+        self.scratchpad = scratchpad if scratchpad is not None else Scratchpad()
+        self.coalescer = Coalescer()
+        self._outstanding: List[float] = []  # completion times, min-heap
+        self.next_issue_time = 0.0
+        self.last_completion = 0.0
+        self.stall_cycles = 0.0
+        self.requests_issued = 0
+
+    def in_flight(self) -> int:
+        return len(self._outstanding)
+
+    def earliest_issue(self, now: float) -> float:
+        """Earliest cycle a new request can issue, given the window."""
+        t = now if now > self.next_issue_time else self.next_issue_time
+        if len(self._outstanding) >= self.window:
+            oldest = self._outstanding[0]
+            if oldest > t:
+                self.stall_cycles += oldest - t
+                t = oldest
+        return t
+
+    def issue(self, issue_time: float, completion_time: float, gap: float = 1.0) -> None:
+        """Record a request issued at ``issue_time`` completing at ``completion_time``.
+
+        ``gap`` is the pipeline occupancy until the *next* request can
+        issue: 1 cycle between coalesced requests of one instruction,
+        ``issue_interval`` cycles after an instruction's last request
+        (modelling the compute between memory instructions).
+        """
+        if completion_time < issue_time:
+            raise ValueError("completion cannot precede issue")
+        # Retire anything that finished before this issue.
+        while self._outstanding and self._outstanding[0] <= issue_time:
+            heapq.heappop(self._outstanding)
+        heapq.heappush(self._outstanding, completion_time)
+        if completion_time > self.last_completion:
+            self.last_completion = completion_time
+        self.next_issue_time = issue_time + gap
+        self.requests_issued += 1
+
+    def drain_time(self) -> float:
+        """Completion time of the last outstanding request."""
+        if self._outstanding:
+            return max(self._outstanding)
+        return self.last_completion

@@ -1,0 +1,40 @@
+"""Memory-system substrate: caches, TLBs, page tables, IOMMU, DRAM."""
+
+from repro.memsys.address_space import AddressSpace, Mapping, System
+from repro.memsys.addressing import (
+    DEFAULT_LINE_SIZE,
+    PAGE_SIZE,
+    line_address,
+    line_index_in_page,
+    lines_per_page,
+    page_number,
+)
+from repro.memsys.cache import Cache, CacheConfig, CacheLine
+from repro.memsys.directory import CoherenceProbe, Directory
+from repro.memsys.dram import DRAM
+from repro.memsys.interconnect import InterconnectConfig
+from repro.memsys.iommu import IOMMU, IOMMUConfig, TranslationOutcome
+from repro.memsys.page_table import FrameAllocator, PageTable, WalkResult
+from repro.memsys.page_table_walker import PageTableWalker, TimedWalk
+from repro.memsys.page_walk_cache import PageWalkCache
+from repro.memsys.permissions import (
+    PageFault,
+    PermissionFault,
+    Permissions,
+    ReadWriteSynonymFault,
+)
+from repro.memsys.tlb import TLB, TLBEntry
+
+__all__ = [
+    "AddressSpace", "Mapping", "System",
+    "DEFAULT_LINE_SIZE", "PAGE_SIZE",
+    "line_address", "line_index_in_page", "lines_per_page", "page_number",
+    "Cache", "CacheConfig", "CacheLine",
+    "CoherenceProbe", "Directory",
+    "DRAM", "InterconnectConfig",
+    "IOMMU", "IOMMUConfig", "TranslationOutcome",
+    "FrameAllocator", "PageTable", "WalkResult",
+    "PageTableWalker", "TimedWalk", "PageWalkCache",
+    "PageFault", "PermissionFault", "Permissions", "ReadWriteSynonymFault",
+    "TLB", "TLBEntry",
+]

@@ -1,0 +1,185 @@
+"""Process address spaces and a minimal OS-like memory mapper.
+
+The workload generators (``repro.workloads``) lay out their data
+structures — CSR graph arrays, matrices, grids — in a process's virtual
+address space through this module.  It plays the role the OS plays in
+the paper's full-system simulation: building page tables, backing pages
+with physical frames, and (for synonym experiments) mapping the same
+frames at multiple virtual addresses, optionally across address spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.memsys.addressing import PAGE_SIZE, page_number
+from repro.memsys.page_table import FrameAllocator, PageTable
+from repro.memsys.permissions import Permissions
+
+
+@dataclass
+class Mapping:
+    """A contiguous virtual allocation."""
+
+    base_va: int
+    n_pages: int
+    permissions: Permissions
+    large: bool = False  # backed by 2 MB pages
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n_pages * PAGE_SIZE
+
+    @property
+    def end_va(self) -> int:
+        return self.base_va + self.size_bytes
+
+    def contains(self, va: int) -> bool:
+        return self.base_va <= va < self.end_va
+
+
+class AddressSpace:
+    """One process's virtual address space (one ASID, one page table)."""
+
+    def __init__(
+        self,
+        asid: int,
+        frame_allocator: Optional[FrameAllocator] = None,
+        base_va: int = 0x1000_0000,
+    ) -> None:
+        self.asid = asid
+        self.frames = frame_allocator if frame_allocator is not None else FrameAllocator()
+        self.page_table = PageTable(self.frames)
+        self._next_va = base_va
+        self.mappings: List[Mapping] = []
+
+    # -- allocation -------------------------------------------------------
+    def mmap(
+        self,
+        n_pages: int,
+        permissions: Permissions = Permissions.READ_WRITE,
+        align_pages: int = 1,
+        large_pages: bool = False,
+    ) -> Mapping:
+        """Allocate ``n_pages`` of fresh, physically-backed virtual memory.
+
+        With ``large_pages=True`` the allocation is rounded up to whole
+        2 MB pages, virtually aligned, and backed by physically
+        contiguous, naturally aligned frames mapped at the page-
+        directory level (§4.3, "Large Page Support").
+        """
+        if n_pages <= 0:
+            raise ValueError("must allocate at least one page")
+        if align_pages <= 0:
+            raise ValueError("alignment must be positive")
+        if large_pages:
+            from repro.memsys.addressing import BASE_PAGES_PER_LARGE
+            chunk = BASE_PAGES_PER_LARGE
+            n_pages = ((n_pages + chunk - 1) // chunk) * chunk
+            align_pages = max(align_pages, chunk)
+        align_bytes = align_pages * PAGE_SIZE
+        base = ((self._next_va + align_bytes - 1) // align_bytes) * align_bytes
+        base_vpn = page_number(base)
+        if large_pages:
+            from repro.memsys.addressing import BASE_PAGES_PER_LARGE
+            for i in range(0, n_pages, BASE_PAGES_PER_LARGE):
+                ppn = self.frames.allocate_contiguous(
+                    BASE_PAGES_PER_LARGE, align=BASE_PAGES_PER_LARGE)
+                self.page_table.map_large(base_vpn + i, ppn, permissions)
+        else:
+            for i in range(n_pages):
+                self.page_table.map(base_vpn + i, self.frames.allocate(),
+                                    permissions)
+        self._next_va = base + n_pages * PAGE_SIZE
+        mapping = Mapping(base_va=base, n_pages=n_pages,
+                          permissions=permissions, large=large_pages)
+        self.mappings.append(mapping)
+        return mapping
+
+    def alloc_array(self, n_elements: int, element_size: int,
+                    permissions: Permissions = Permissions.READ_WRITE) -> Mapping:
+        """Allocate a page-aligned array of ``n_elements``."""
+        if n_elements <= 0 or element_size <= 0:
+            raise ValueError("array dimensions must be positive")
+        n_bytes = n_elements * element_size
+        n_pages = (n_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+        return self.mmap(n_pages, permissions)
+
+    def map_synonym(
+        self,
+        of: Mapping,
+        permissions: Optional[Permissions] = None,
+    ) -> Mapping:
+        """Map a second virtual range onto the *same* physical frames.
+
+        This creates virtual-address synonyms within this address space
+        — the situation the backward table's leading-VPN discipline
+        exists to handle (§4.1).
+        """
+        perms = permissions if permissions is not None else of.permissions
+        base = self._next_va
+        base_vpn = page_number(base)
+        source_vpn = page_number(of.base_va)
+        for i in range(of.n_pages):
+            translation = self.page_table.lookup(source_vpn + i)
+            if translation is None:
+                raise ValueError(f"source mapping page {source_vpn + i:#x} is not mapped")
+            ppn, _ = translation
+            self.page_table.map(base_vpn + i, ppn, perms)
+        self._next_va = base + of.size_bytes
+        mapping = Mapping(base_va=base, n_pages=of.n_pages, permissions=perms)
+        self.mappings.append(mapping)
+        return mapping
+
+    def share_into(self, other: "AddressSpace", mapping: Mapping) -> Mapping:
+        """Map this space's ``mapping`` frames into ``other`` (cross-ASID sharing)."""
+        base = other._next_va
+        base_vpn = page_number(base)
+        source_vpn = page_number(mapping.base_va)
+        for i in range(mapping.n_pages):
+            translation = self.page_table.lookup(source_vpn + i)
+            if translation is None:
+                raise ValueError(f"source page {source_vpn + i:#x} is not mapped")
+            ppn, _ = translation
+            other.page_table.map(base_vpn + i, ppn, mapping.permissions)
+        other._next_va = base + mapping.size_bytes
+        shared = Mapping(base_va=base, n_pages=mapping.n_pages, permissions=mapping.permissions)
+        other.mappings.append(shared)
+        return shared
+
+    # -- introspection ------------------------------------------------------
+    def translate(self, va: int) -> Optional[int]:
+        """Physical byte address for ``va``, or None if unmapped."""
+        entry = self.page_table.lookup(page_number(va))
+        if entry is None:
+            return None
+        ppn, _ = entry
+        return ppn * PAGE_SIZE + va % PAGE_SIZE
+
+    def footprint_pages(self) -> int:
+        """Total mapped pages across all allocations."""
+        return sum(m.n_pages for m in self.mappings)
+
+
+class System:
+    """A set of address spaces sharing one physical memory.
+
+    GPUs "execute a small number of applications at a time"
+    (Observation 5); most experiments use a single address space, but
+    multi-process runs (homonyms/synonyms across ASIDs) construct
+    several spaces through one :class:`System`.
+    """
+
+    def __init__(self) -> None:
+        self.frames = FrameAllocator()
+        self.spaces: Dict[int, AddressSpace] = {}
+
+    def create_address_space(self, asid: Optional[int] = None) -> AddressSpace:
+        if asid is None:
+            asid = len(self.spaces)
+        if asid in self.spaces:
+            raise ValueError(f"asid {asid} already exists")
+        space = AddressSpace(asid, frame_allocator=self.frames)
+        self.spaces[asid] = space
+        return space

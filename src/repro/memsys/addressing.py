@@ -1,0 +1,105 @@
+"""Address arithmetic shared across the memory system.
+
+All simulated addresses are plain Python integers (byte addresses).
+Caches operate on *line addresses* (byte address >> line bits) and the
+virtual-memory machinery on *page numbers* (byte address >> page bits).
+The SoC in Table 1 uses 128-byte cache lines and 4 KB pages, giving 32
+lines per page — which is why the backward table's per-page bit vector
+is 32 bits wide.
+"""
+
+from __future__ import annotations
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+# x86-64-style 2 MB large pages: one page-directory-level mapping
+# covering 512 base pages (§4.3, "Large Page Support").
+BASE_PAGES_PER_LARGE = 512
+LARGE_PAGE_SIZE = PAGE_SIZE * BASE_PAGES_PER_LARGE
+LARGE_PAGE_SHIFT = 21
+
+DEFAULT_LINE_SIZE = 128
+
+
+def large_page_number(addr: int) -> int:
+    """2 MB large-page number containing byte address ``addr``."""
+    return addr // LARGE_PAGE_SIZE
+
+
+def large_page_base_vpn(vpn: int) -> int:
+    """First 4 KB page number of the large page containing ``vpn``."""
+    return vpn - vpn % BASE_PAGES_PER_LARGE
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2; raises for non powers of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def page_number(addr: int, page_size: int = PAGE_SIZE) -> int:
+    """Page number containing byte address ``addr``."""
+    return addr // page_size
+
+
+def page_offset(addr: int, page_size: int = PAGE_SIZE) -> int:
+    """Offset of ``addr`` within its page."""
+    return addr % page_size
+
+
+def line_address(addr: int, line_size: int = DEFAULT_LINE_SIZE) -> int:
+    """Line address (byte address divided by the line size)."""
+    return addr // line_size
+
+def line_base(addr: int, line_size: int = DEFAULT_LINE_SIZE) -> int:
+    """Byte address of the start of the line containing ``addr``."""
+    return (addr // line_size) * line_size
+
+
+def lines_per_page(line_size: int = DEFAULT_LINE_SIZE, page_size: int = PAGE_SIZE) -> int:
+    """Number of cache lines in one page (32 for the Table 1 geometry)."""
+    if page_size % line_size != 0:
+        raise ValueError("page size must be a multiple of the line size")
+    return page_size // line_size
+
+
+def line_index_in_page(
+    addr: int, line_size: int = DEFAULT_LINE_SIZE, page_size: int = PAGE_SIZE
+) -> int:
+    """Which line of its page the byte address ``addr`` falls in."""
+    return (addr % page_size) // line_size
+
+
+def compose_address(page: int, offset: int, page_size: int = PAGE_SIZE) -> int:
+    """Byte address from a page number and in-page offset."""
+    if not 0 <= offset < page_size:
+        raise ValueError(f"offset {offset} outside page of size {page_size}")
+    return page * page_size + offset
+
+
+def translate_line_address(
+    line_addr: int,
+    from_page: int,
+    to_page: int,
+    line_size: int = DEFAULT_LINE_SIZE,
+    page_size: int = PAGE_SIZE,
+) -> int:
+    """Re-home a line address from one page to another, keeping the offset.
+
+    Used for reverse translation: a physical line address within
+    ``from_page`` becomes the corresponding virtual line address within
+    ``to_page`` (and vice versa).
+    """
+    lpp = lines_per_page(line_size, page_size)
+    if line_addr // lpp != from_page:
+        raise ValueError(
+            f"line address {line_addr} is not within page {from_page}"
+        )
+    return to_page * lpp + line_addr % lpp

@@ -1,0 +1,218 @@
+"""Set-associative cache model.
+
+The same mechanical cache backs every cache-like structure in the SoC:
+the per-CU 32 KB L1s (write-through, no write-allocate), the shared 2 MB
+8-banked L2 (write-back), and the 8 KB page-walk cache.  Whether the
+cache is indexed by virtual or physical line addresses is the *caller's*
+choice — the cache just stores line addresses plus per-line metadata
+(dirty bit, page permissions, and for virtual caches the owning virtual
+page, which is what the extra "virtual tag" bits in §4.3 pay for).
+
+Replacement is LRU within a set.  Eviction returns the victim so the
+hierarchy can write back dirty data and keep the backward table's
+inclusion bit vectors up to date.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.memsys.addressing import is_power_of_two, lines_per_page
+from repro.memsys.permissions import Permissions
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one cache.
+
+    ``size_bytes``/``line_size``/``associativity`` must give a
+    power-of-two number of sets so simple modulo indexing is a bit
+    slice, as in hardware.
+    """
+
+    size_bytes: int
+    line_size: int = 128
+    associativity: int = 8
+    n_banks: int = 1
+    write_back: bool = True
+    write_allocate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_size * self.associativity) != 0:
+            raise ValueError("cache size must divide evenly into sets")
+        if not is_power_of_two(self.n_sets):
+            raise ValueError(f"number of sets ({self.n_sets}) must be a power of two")
+        if self.n_banks < 1:
+            raise ValueError("need at least one bank")
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.associativity
+
+
+@dataclass
+class CacheLine:
+    """Metadata stored with each resident line."""
+
+    line_addr: int
+    dirty: bool = False
+    permissions: Permissions = Permissions.READ_WRITE
+    page: Optional[int] = None  # owning page number (virtual for VCs)
+
+
+class Cache:
+    """An LRU set-associative cache of line addresses."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self._sets: List[OrderedDict[int, CacheLine]] = [
+            OrderedDict() for _ in range(config.n_sets)
+        ]
+        # page number -> count of resident lines, for fast page invalidation
+        self._page_lines: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- indexing -------------------------------------------------------
+    def set_index(self, line_addr: int) -> int:
+        return line_addr % self.config.n_sets
+
+    def bank_of(self, line_addr: int) -> int:
+        """Bank selected by low-order line-address bits (above set bits)."""
+        return line_addr % self.config.n_banks
+
+    # -- queries --------------------------------------------------------
+    def contains(self, line_addr: int) -> bool:
+        """Probe without touching LRU state or hit/miss counters."""
+        return line_addr in self._sets[self.set_index(line_addr)]
+
+    def peek(self, line_addr: int) -> Optional[CacheLine]:
+        """Return the resident line's metadata without LRU update."""
+        return self._sets[self.set_index(line_addr)].get(line_addr)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_lines(self) -> Iterable[CacheLine]:
+        """Iterate over every resident line (test/diagnostic helper)."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def resident_pages(self) -> Dict[int, int]:
+        """Map of page number → number of resident lines from that page."""
+        return dict(self._page_lines)
+
+    # -- access path ----------------------------------------------------
+    def lookup(self, line_addr: int) -> Optional[CacheLine]:
+        """Access a line: on hit, refresh LRU and return it; else None."""
+        cache_set = self._sets[self.set_index(line_addr)]
+        line = cache_set.get(line_addr)
+        if line is None:
+            self.misses += 1
+            return None
+        cache_set.move_to_end(line_addr)
+        self.hits += 1
+        return line
+
+    def insert(
+        self,
+        line_addr: int,
+        dirty: bool = False,
+        permissions: Permissions = Permissions.READ_WRITE,
+        page: Optional[int] = None,
+    ) -> Optional[CacheLine]:
+        """Fill ``line_addr``; return the evicted victim line, if any.
+
+        Inserting a line that is already resident refreshes its LRU
+        position and merges the dirty bit (a write-back cache must not
+        lose dirtiness on a refill).
+        """
+        cache_set = self._sets[self.set_index(line_addr)]
+        existing = cache_set.get(line_addr)
+        if existing is not None:
+            existing.dirty = existing.dirty or dirty
+            existing.permissions = permissions
+            cache_set.move_to_end(line_addr)
+            return None
+        victim = None
+        if len(cache_set) >= self.config.associativity:
+            _, victim = cache_set.popitem(last=False)
+            self._forget_page_line(victim)
+        line = CacheLine(line_addr=line_addr, dirty=dirty, permissions=permissions, page=page)
+        cache_set[line_addr] = line
+        if page is not None:
+            self._page_lines[page] = self._page_lines.get(page, 0) + 1
+        return victim
+
+    def mark_dirty(self, line_addr: int) -> bool:
+        """Set the dirty bit of a resident line; False if not resident."""
+        line = self.peek(line_addr)
+        if line is None:
+            return False
+        line.dirty = True
+        return True
+
+    # -- invalidation ---------------------------------------------------
+    def invalidate_line(self, line_addr: int) -> Optional[CacheLine]:
+        """Drop one line; return it (caller handles write-back) or None."""
+        cache_set = self._sets[self.set_index(line_addr)]
+        line = cache_set.pop(line_addr, None)
+        if line is not None:
+            self._forget_page_line(line)
+        return line
+
+    def invalidate_page(self, page: int) -> List[CacheLine]:
+        """Drop every resident line belonging to ``page``; return them.
+
+        Used for FBT-entry evictions and TLB shootdowns, where all data
+        cached under a virtual page must leave the hierarchy.
+        """
+        if self._page_lines.get(page, 0) == 0:
+            return []
+        dropped: List[CacheLine] = []
+        for cache_set in self._sets:
+            for line_addr in [a for a, ln in cache_set.items() if ln.page == page]:
+                dropped.append(cache_set.pop(line_addr))
+        self._page_lines.pop(page, None)
+        return dropped
+
+    def invalidate_all(self) -> List[CacheLine]:
+        """Flush the whole cache; return all previously resident lines."""
+        dropped: List[CacheLine] = []
+        for cache_set in self._sets:
+            dropped.extend(cache_set.values())
+            cache_set.clear()
+        self._page_lines.clear()
+        return dropped
+
+    def _forget_page_line(self, line: CacheLine) -> None:
+        if line.page is None:
+            return
+        remaining = self._page_lines.get(line.page, 0) - 1
+        if remaining > 0:
+            self._page_lines[line.page] = remaining
+        else:
+            self._page_lines.pop(line.page, None)
+
+    # -- stats ----------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def lines_of_page_resident(self, page: int) -> int:
+        """How many lines of ``page`` are currently resident."""
+        return self._page_lines.get(page, 0)
+
+    def max_lines_per_page(self) -> int:
+        """Upper bound used to size per-page bit vectors."""
+        return lines_per_page(self.config.line_size)

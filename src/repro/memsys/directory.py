@@ -1,0 +1,55 @@
+"""CPU-side coherence directory (stub).
+
+The paper's SoC keeps CPU and GPU caches coherent through a directory
+that addresses the GPU with *physical* addresses.  For a virtual cache
+hierarchy those probes must be reverse-translated at the backward table
+(§4.1, step ④), and the BT — being fully inclusive of the GPU caches —
+doubles as a coherence filter (like the region buffer of heterogeneous
+system coherence).
+
+This module models only what the FBT needs to be exercised: a registry
+of physically-addressed lines the GPU holds, and probe generation.  The
+interesting machinery (reverse translation, filtering) lives in
+:class:`repro.core.fbt.ForwardBackwardTable`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.engine.stats import Counters
+
+
+class Directory:
+    """Tracks which physical lines the GPU may hold and issues probes."""
+
+    def __init__(self) -> None:
+        self._gpu_lines: Set[int] = set()
+        self.counters = Counters()
+
+    def record_gpu_fill(self, physical_line: int) -> None:
+        """The GPU fetched ``physical_line`` into its hierarchy."""
+        self._gpu_lines.add(physical_line)
+        self.counters.add("directory.fills")
+
+    def record_gpu_writeback(self, physical_line: int) -> None:
+        """The GPU wrote back / dropped ``physical_line``."""
+        self._gpu_lines.discard(physical_line)
+        self.counters.add("directory.writebacks")
+
+    def gpu_may_hold(self, physical_line: int) -> bool:
+        return physical_line in self._gpu_lines
+
+    def make_probe(self, physical_line: int) -> "CoherenceProbe":
+        """Build a CPU-initiated probe for a physical line."""
+        self.counters.add("directory.probes")
+        return CoherenceProbe(physical_line=physical_line)
+
+
+class CoherenceProbe:
+    """A physically-addressed invalidation/downgrade request to the GPU."""
+
+    def __init__(self, physical_line: int) -> None:
+        self.physical_line = physical_line
+        self.filtered: Optional[bool] = None  # set by the FBT
+        self.forwarded_virtual_line: Optional[int] = None

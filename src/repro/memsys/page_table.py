@@ -1,0 +1,244 @@
+"""An x86-64-style four-level radix page table.
+
+The IOMMU's page-table walker in the paper walks real per-process radix
+tables; the page-walk cache works because consecutive walks share upper-
+level directory entries.  To preserve that locality structure we build
+an actual radix tree whose interior nodes occupy physical frames — a
+walk returns the *physical addresses of the node entries it touched*,
+and the walker plays those addresses against the page-walk cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.memsys.addressing import PAGE_SIZE
+from repro.memsys.permissions import PageFault, Permissions
+
+LEVELS = 4
+BITS_PER_LEVEL = 9
+ENTRIES_PER_NODE = 1 << BITS_PER_LEVEL
+PTE_SIZE = 8
+
+
+class FrameAllocator:
+    """Hands out physical page frames sequentially.
+
+    A deliberately simple physical memory manager: frames are never
+    freed (simulated workloads allocate once and run).  Separate
+    allocators are *not* needed for page-table versus data frames — they
+    share one physical address space, as on real hardware.
+    """
+
+    def __init__(self, first_frame: int = 1) -> None:
+        if first_frame < 0:
+            raise ValueError("first frame must be nonnegative")
+        self._next = first_frame
+
+    @property
+    def frames_allocated(self) -> int:
+        return self._next
+
+    def allocate(self) -> int:
+        """Allocate and return a fresh physical frame number."""
+        frame = self._next
+        self._next += 1
+        return frame
+
+    def allocate_contiguous(self, n_frames: int, align: int = 1) -> int:
+        """Allocate ``n_frames`` contiguous frames at an aligned base.
+
+        Large pages need physically contiguous, naturally aligned
+        backing (512 frames aligned to 512 for a 2 MB page).
+        """
+        if n_frames <= 0:
+            raise ValueError("must allocate at least one frame")
+        if align <= 0:
+            raise ValueError("alignment must be positive")
+        base = ((self._next + align - 1) // align) * align
+        self._next = base + n_frames
+        return base
+
+
+@dataclass
+class WalkResult:
+    """Outcome of a successful page-table walk."""
+
+    vpn: int
+    ppn: int
+    permissions: Permissions
+    # Physical byte addresses of the PTEs read, root level first.  The
+    # page-table walker replays these against the page-walk cache.
+    node_addresses: Tuple[int, ...] = ()
+    # Large-page mappings resolve one level early (3 PTE reads, not 4)
+    # and cover 512 base pages from the aligned base VPN/PPN.
+    is_large: bool = False
+    large_base_vpn: int = 0
+    large_base_ppn: int = 0
+
+
+class _Node:
+    """One interior node (512 entries) occupying a physical frame."""
+
+    __slots__ = ("frame", "children", "leaves", "large_leaves")
+
+    def __init__(self, frame: int) -> None:
+        self.frame = frame
+        self.children: Dict[int, "_Node"] = {}
+        self.leaves: Dict[int, Tuple[int, Permissions]] = {}
+        # Page-directory-level 2 MB mappings: index → (base ppn, perms).
+        self.large_leaves: Dict[int, Tuple[int, Permissions]] = {}
+
+    def entry_address(self, index: int) -> int:
+        """Physical byte address of entry ``index`` within this node."""
+        return self.frame * PAGE_SIZE + index * PTE_SIZE
+
+
+def _level_indices(vpn: int) -> List[int]:
+    """The four 9-bit radix indices of ``vpn``, root level first."""
+    indices = []
+    for level in range(LEVELS - 1, -1, -1):
+        indices.append((vpn >> (level * BITS_PER_LEVEL)) & (ENTRIES_PER_NODE - 1))
+    return indices
+
+
+class PageTable:
+    """A four-level radix page table for one address space."""
+
+    def __init__(self, frame_allocator: FrameAllocator) -> None:
+        self._frames = frame_allocator
+        self._root = _Node(frame_allocator.allocate())
+        self.n_mappings = 0
+        self.n_large_mappings = 0
+
+    # -- construction ----------------------------------------------------
+    def map(self, vpn: int, ppn: int, permissions: Permissions = Permissions.READ_WRITE) -> None:
+        """Install or replace the translation ``vpn → ppn``."""
+        if vpn < 0 or ppn < 0:
+            raise ValueError("page numbers must be nonnegative")
+        indices = _level_indices(vpn)
+        node = self._root
+        for depth, index in enumerate(indices[:-1]):
+            if depth == 2 and index in node.large_leaves:
+                raise ValueError(
+                    f"vpn {vpn:#x} is covered by a 2MB mapping; unmap it first"
+                )
+            child = node.children.get(index)
+            if child is None:
+                child = _Node(self._frames.allocate())
+                node.children[index] = child
+            node = child
+        if indices[-1] not in node.leaves:
+            self.n_mappings += 1
+        node.leaves[indices[-1]] = (ppn, permissions)
+
+    def map_large(self, vpn: int, ppn: int,
+                  permissions: Permissions = Permissions.READ_WRITE) -> None:
+        """Install a 2 MB mapping at the page-directory level.
+
+        ``vpn`` and ``ppn`` are base-page numbers and must be aligned to
+        the 512-page large-page boundary; the backing frames must be
+        physically contiguous (use ``FrameAllocator.allocate_contiguous``).
+        """
+        if vpn % ENTRIES_PER_NODE or ppn % ENTRIES_PER_NODE:
+            raise ValueError("large mappings must be 512-page aligned")
+        indices = _level_indices(vpn)
+        node = self._root
+        for index in indices[:2]:
+            child = node.children.get(index)
+            if child is None:
+                child = _Node(self._frames.allocate())
+                node.children[index] = child
+            node = child
+        pd_index = indices[2]
+        child = node.children.get(pd_index)
+        if child is not None and child.leaves:
+            raise ValueError(
+                f"large mapping at vpn {vpn:#x} would shadow existing 4KB mappings"
+            )
+        if pd_index not in node.large_leaves:
+            self.n_large_mappings += 1
+        node.large_leaves[pd_index] = (ppn, permissions)
+
+    def unmap(self, vpn: int) -> bool:
+        """Remove a translation; True if one existed."""
+        node = self._find_leaf_node(vpn)
+        if node is None:
+            return False
+        removed = node.leaves.pop(_level_indices(vpn)[-1], None)
+        if removed is None:
+            return False
+        self.n_mappings -= 1
+        return True
+
+    def set_permissions(self, vpn: int, permissions: Permissions) -> None:
+        """Change the permissions of an existing mapping."""
+        node = self._find_leaf_node(vpn)
+        leaf_index = _level_indices(vpn)[-1]
+        if node is None or leaf_index not in node.leaves:
+            raise PageFault(vpn)
+        ppn, _ = node.leaves[leaf_index]
+        node.leaves[leaf_index] = (ppn, permissions)
+
+    # -- walking ----------------------------------------------------------
+    def walk(self, vpn: int) -> WalkResult:
+        """Walk the tree for ``vpn``; raise :class:`PageFault` if unmapped.
+
+        Returns the translation plus the physical addresses of all four
+        PTEs read along the way.
+        """
+        indices = _level_indices(vpn)
+        node = self._root
+        touched = []
+        for depth, index in enumerate(indices[:-1]):
+            touched.append(node.entry_address(index))
+            if depth == 2:
+                large = node.large_leaves.get(index)
+                if large is not None:
+                    base_ppn, permissions = large
+                    offset = vpn % ENTRIES_PER_NODE
+                    return WalkResult(
+                        vpn=vpn,
+                        ppn=base_ppn + offset,
+                        permissions=permissions,
+                        node_addresses=tuple(touched),  # one level fewer
+                        is_large=True,
+                        large_base_vpn=vpn - offset,
+                        large_base_ppn=base_ppn,
+                    )
+            child = node.children.get(index)
+            if child is None:
+                raise PageFault(vpn)
+            node = child
+        touched.append(node.entry_address(indices[-1]))
+        leaf = node.leaves.get(indices[-1])
+        if leaf is None:
+            raise PageFault(vpn)
+        ppn, permissions = leaf
+        return WalkResult(
+            vpn=vpn, ppn=ppn, permissions=permissions, node_addresses=tuple(touched)
+        )
+
+    def lookup(self, vpn: int) -> Optional[Tuple[int, Permissions]]:
+        """Translation for ``vpn`` without walk bookkeeping, or None."""
+        indices = _level_indices(vpn)
+        node = self._root
+        for depth, index in enumerate(indices[:-1]):
+            if depth == 2:
+                large = node.large_leaves.get(index)
+                if large is not None:
+                    base_ppn, permissions = large
+                    return base_ppn + vpn % ENTRIES_PER_NODE, permissions
+            node = node.children.get(index)
+            if node is None:
+                return None
+        return node.leaves.get(indices[-1])
+
+    def _find_leaf_node(self, vpn: int) -> Optional[_Node]:
+        node = self._root
+        for index in _level_indices(vpn)[:-1]:
+            node = node.children.get(index)
+            if node is None:
+                return None
+        return node

@@ -1,0 +1,69 @@
+"""Page permissions.
+
+Virtual caches must carry page permissions with each cache line because
+the TLB — where a physical hierarchy performs its permission check — is
+no longer on the access path (§4.1, "the permissions of the virtual page
+are maintained with each cache line").
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Permissions(enum.IntFlag):
+    """Read/write/execute permission bits of a page mapping."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    EXECUTE = 4
+
+    READ_ONLY = READ
+    READ_WRITE = READ | WRITE
+
+    def allows(self, is_write: bool) -> bool:
+        """Whether this permission set admits the given access type."""
+        needed = Permissions.WRITE if is_write else Permissions.READ
+        return bool(self & needed)
+
+
+class PermissionFault(Exception):
+    """An access violated its page's permissions."""
+
+    def __init__(self, vpn: int, is_write: bool, permissions: Permissions) -> None:
+        kind = "write" if is_write else "read"
+        super().__init__(
+            f"{kind} access to virtual page {vpn:#x} violates permissions {permissions!r}"
+        )
+        self.vpn = vpn
+        self.is_write = is_write
+        self.permissions = permissions
+
+
+class PageFault(Exception):
+    """No valid translation exists for a virtual page."""
+
+    def __init__(self, vpn: int, asid: int = 0) -> None:
+        super().__init__(f"page fault: no mapping for virtual page {vpn:#x} (asid {asid})")
+        self.vpn = vpn
+        self.asid = asid
+
+
+class ReadWriteSynonymFault(Exception):
+    """A read-write synonym access was detected at the FBT (§4.2).
+
+    GPUs lack precise exceptions, so the design conservatively faults
+    rather than attempting replay/rollback when a synonymous access
+    touches a physical page that has been written (or writes a page that
+    has synonymous readers).
+    """
+
+    def __init__(self, ppn: int, leading_vpn: int, vpn: int) -> None:
+        super().__init__(
+            f"read-write synonym on physical page {ppn:#x}: leading vpn {leading_vpn:#x}, "
+            f"synonymous access via vpn {vpn:#x}"
+        )
+        self.ppn = ppn
+        self.leading_vpn = leading_vpn
+        self.vpn = vpn

@@ -1,0 +1,134 @@
+"""Translation lookaside buffers.
+
+Models both the small per-CU L1 TLBs (32/64/128 entries, fully
+associative, LRU) and the large shared IOMMU TLB (512 or 16K entries).
+``capacity=None`` gives the infinite TLB used for the "inf" bars of
+Figure 2 and the IDEAL MMU of Figure 4.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.engine.stats import LifetimeTracker
+from repro.memsys.permissions import Permissions
+
+
+@dataclass
+class TLBEntry:
+    """One cached translation."""
+
+    vpn: int
+    ppn: int
+    permissions: Permissions = Permissions.READ_WRITE
+    # Large-page provenance (carried so downstream structures — the FBT
+    # above all — can apply their large-page policy on hits too).
+    is_large: bool = False
+    large_base_vpn: int = 0
+    large_base_ppn: int = 0
+
+
+class TLB:
+    """A fully-associative, LRU translation buffer.
+
+    An optional :class:`LifetimeTracker` records entry residence times
+    (insertion → eviction), which the Appendix (Figure 12) compares
+    against cache-data lifetimes to explain why virtual caches filter
+    TLB misses.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        name: str = "tlb",
+        lifetimes: Optional[LifetimeTracker] = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("TLB capacity must be positive (or None for infinite)")
+        self.capacity = capacity
+        self.name = name
+        self.lifetimes = lifetimes
+        self._entries: OrderedDict[int, TLBEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    # -- access path ----------------------------------------------------
+    def lookup(self, vpn: int, now: float = 0.0) -> Optional[TLBEntry]:
+        """Translate ``vpn``: LRU-refreshing hit, or None on miss."""
+        entry = self._entries.get(vpn)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(vpn)
+        self.hits += 1
+        if self.lifetimes is not None:
+            self.lifetimes.on_access(vpn, now)
+        return entry
+
+    def insert(
+        self,
+        vpn: int,
+        ppn: int,
+        permissions: Permissions = Permissions.READ_WRITE,
+        now: float = 0.0,
+        is_large: bool = False,
+        large_base_vpn: int = 0,
+        large_base_ppn: int = 0,
+    ) -> Optional[TLBEntry]:
+        """Fill a translation; return the LRU victim entry, if any."""
+        existing = self._entries.get(vpn)
+        if existing is not None:
+            existing.ppn = ppn
+            existing.permissions = permissions
+            existing.is_large = is_large
+            existing.large_base_vpn = large_base_vpn
+            existing.large_base_ppn = large_base_ppn
+            self._entries.move_to_end(vpn)
+            return None
+        victim = None
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            _, victim = self._entries.popitem(last=False)
+            if self.lifetimes is not None:
+                self.lifetimes.on_evict(victim.vpn, now)
+        self._entries[vpn] = TLBEntry(vpn=vpn, ppn=ppn, permissions=permissions,
+                                      is_large=is_large,
+                                      large_base_vpn=large_base_vpn,
+                                      large_base_ppn=large_base_ppn)
+        if self.lifetimes is not None:
+            self.lifetimes.on_insert(vpn, now)
+        return victim
+
+    # -- shootdown ------------------------------------------------------
+    def invalidate(self, vpn: int, now: float = 0.0) -> bool:
+        """Single-entry shootdown; True if an entry was dropped."""
+        entry = self._entries.pop(vpn, None)
+        if entry is None:
+            return False
+        if self.lifetimes is not None:
+            self.lifetimes.on_evict(vpn, now)
+        return True
+
+    def invalidate_all(self, now: float = 0.0) -> int:
+        """All-entry shootdown; returns the number of entries dropped."""
+        dropped = len(self._entries)
+        if self.lifetimes is not None:
+            for vpn in self._entries:
+                self.lifetimes.on_evict(vpn, now)
+        self._entries.clear()
+        return dropped
+
+    # -- stats ----------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,29 @@
+"""System assembly: Table 1 configuration, Table 2 designs, drivers."""
+
+from repro.system.config import SoCConfig, l1_cache_config, l2_cache_config
+from repro.system.designs import (
+    BASELINE_16K,
+    BASELINE_512,
+    BASELINE_LARGE_PER_CU,
+    IDEAL_MMU,
+    L1_ONLY_VC_128,
+    L1_ONLY_VC_32,
+    MMUDesign,
+    TABLE2_DESIGNS,
+    VC_WITHOUT_OPT,
+    VC_WITH_OPT,
+    baseline_unlimited_bandwidth,
+    baseline_with_bandwidth,
+)
+from repro.system.physical_hierarchy import PhysicalHierarchy
+from repro.system.run import SimulationResult, simulate
+
+__all__ = [
+    "SoCConfig", "l1_cache_config", "l2_cache_config",
+    "MMUDesign", "TABLE2_DESIGNS",
+    "IDEAL_MMU", "BASELINE_512", "BASELINE_16K", "BASELINE_LARGE_PER_CU",
+    "VC_WITHOUT_OPT", "VC_WITH_OPT", "L1_ONLY_VC_32", "L1_ONLY_VC_128",
+    "baseline_with_bandwidth", "baseline_unlimited_bandwidth",
+    "PhysicalHierarchy",
+    "SimulationResult", "simulate",
+]

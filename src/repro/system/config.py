@@ -1,0 +1,113 @@
+"""Simulation configuration (Table 1 of the paper).
+
++---------------+-------------------------------------------------------+
+| GPU           | 16 CUs, 32 lanes per CU, 700 MHz                      |
+| L1 GPU cache  | per-CU 32 KB, write-through no allocate               |
+| L2 GPU cache  | shared 2 MB, 8 banks, write-back, 128 B lines         |
+| TLBs          | 32-entry per-CU TLBs (4 KB pages)                     |
+| IOMMU         | shared TLB (512 or 16K entries), 16 concurrent PTW,   |
+|               | 8 KB page-walk cache                                  |
+| DRAM, NoC     | 192 GB/s; dance-hall GPU NoC; PCIe-protocol latency   |
+|               | on the GPU↔IOMMU path                                 |
++---------------+-------------------------------------------------------+
+
+Everything is a frozen dataclass so experiment sweeps derive variants
+with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.memsys.cache import CacheConfig
+from repro.memsys.interconnect import InterconnectConfig
+from repro.memsys.iommu import IOMMUConfig
+
+
+def l1_cache_config() -> CacheConfig:
+    """Per-CU 32 KB L1: write-through, no write-allocate (Table 1)."""
+    return CacheConfig(
+        size_bytes=32 * 1024,
+        line_size=128,
+        associativity=8,
+        n_banks=1,
+        write_back=False,
+        write_allocate=False,
+    )
+
+
+def l2_cache_config() -> CacheConfig:
+    """Shared 2 MB L2: 8 banks, write-back, 128 B lines (Table 1)."""
+    return CacheConfig(
+        size_bytes=2 * 1024 * 1024,
+        line_size=128,
+        associativity=16,
+        n_banks=8,
+        write_back=True,
+        write_allocate=True,
+    )
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """The full simulated SoC (Table 1 defaults)."""
+
+    n_cus: int = 16
+    lanes_per_cu: int = 32
+    frequency_ghz: float = 0.7
+
+    l1: CacheConfig = field(default_factory=l1_cache_config)
+    l2: CacheConfig = field(default_factory=l2_cache_config)
+    l1_latency: float = 4.0
+    l2_latency: float = 20.0
+
+    # Per-CU L1 TLBs; None models the infinite TLBs of the IDEAL MMU and
+    # the "inf" bars of Figure 2.
+    per_cu_tlb_entries: Optional[int] = 32
+    per_cu_tlb_latency: float = 1.0
+
+    iommu: IOMMUConfig = field(default_factory=IOMMUConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+
+    dram_latency: float = 160.0
+    dram_bandwidth_gbps: float = 192.0
+
+    # Outstanding coalesced requests a CU can keep in flight (latency
+    # tolerance; §1 — GPUs run up to ~40 contexts per CU).
+    cu_window: int = 64
+
+    # FBT sizing (§4.3: 16K entries covers a unique page per L2 line).
+    fbt_entries: int = 16384
+    fbt_associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_cus <= 0:
+            raise ValueError("need at least one CU")
+        if self.lanes_per_cu <= 0:
+            raise ValueError("need at least one lane per CU")
+        if self.l1.line_size != self.l2.line_size:
+            raise ValueError("L1 and L2 must share a line size")
+
+    @property
+    def line_size(self) -> int:
+        return self.l1.line_size
+
+    def with_per_cu_tlb(self, entries: Optional[int]) -> "SoCConfig":
+        """Variant with a different per-CU TLB size (Figure 2 sweep)."""
+        return replace(self, per_cu_tlb_entries=entries)
+
+    def with_iommu(
+        self,
+        entries: Optional[int] = None,
+        bandwidth: Optional[float] = None,
+    ) -> "SoCConfig":
+        """Variant with a different shared IOMMU TLB size/bandwidth."""
+        new_iommu = replace(
+            self.iommu,
+            shared_tlb_entries=(
+                entries if entries is not None else self.iommu.shared_tlb_entries
+            ),
+            bandwidth=bandwidth if bandwidth is not None else self.iommu.bandwidth,
+        )
+        return replace(self, iommu=new_iommu)

@@ -1,0 +1,154 @@
+"""MMU design presets (Table 2) and the design → hierarchy builder.
+
++---------------+--------------+-----------------+------------------+
+| Design        | Per-CU TLB   | IOMMU TLB       | B/W limit        |
++---------------+--------------+-----------------+------------------+
+| IDEAL MMU     | infinite     | infinite        | infinite         |
+| Baseline 512  | 32-entry     | 512-entry       | 1 access/cycle   |
+| Baseline 16K  | 32-entry     | 16K-entry       | 1 access/cycle   |
+| VC W/O OPT    | —            | 512-entry       | 1 access/cycle   |
+| VC With OPT   | —            | +16K-entry FBT  | 1 access/cycle   |
++---------------+--------------+-----------------+------------------+
+
+plus the large-per-CU-TLB baseline of Figure 10 and the two L1-only
+virtual-cache designs of Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.core.l1_only import L1OnlyVirtualHierarchy
+from repro.core.virtual_hierarchy import VirtualCacheHierarchy
+from repro.memsys.page_table import PageTable
+from repro.system.config import SoCConfig
+from repro.system.physical_hierarchy import PhysicalHierarchy
+
+PHYSICAL = "physical"
+FULL_VC = "vc"
+L1_ONLY_VC = "l1vc"
+
+
+@dataclass(frozen=True)
+class MMUDesign:
+    """One row of Table 2 (or a sweep variant)."""
+
+    name: str
+    kind: str = PHYSICAL
+    ideal: bool = False
+    per_cu_tlb_entries: Optional[int] = 32
+    iommu_entries: Optional[int] = 512
+    iommu_bandwidth: float = 1.0
+    fbt_as_second_level_tlb: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in (PHYSICAL, FULL_VC, L1_ONLY_VC):
+            raise ValueError(f"unknown design kind {self.kind!r}")
+
+    def soc_config(self, base: SoCConfig) -> SoCConfig:
+        """Apply this design's TLB/IOMMU overrides to a base SoC config."""
+        cfg = base.with_per_cu_tlb(self.per_cu_tlb_entries)
+        iommu = replace(
+            cfg.iommu,
+            shared_tlb_entries=self.iommu_entries,
+            bandwidth=self.iommu_bandwidth,
+        )
+        return replace(cfg, iommu=iommu)
+
+    def build(
+        self,
+        base: SoCConfig,
+        page_tables: Dict[int, PageTable],
+        track_lifetimes: bool = False,
+    ):
+        """Instantiate the memory hierarchy this design describes."""
+        cfg = self.soc_config(base)
+        if self.kind == PHYSICAL:
+            return PhysicalHierarchy(
+                cfg, page_tables, ideal=self.ideal, track_lifetimes=track_lifetimes
+            )
+        if self.kind == FULL_VC:
+            return VirtualCacheHierarchy(
+                cfg, page_tables,
+                fbt_as_second_level_tlb=self.fbt_as_second_level_tlb,
+            )
+        return L1OnlyVirtualHierarchy(cfg, page_tables)
+
+
+# -- Table 2 presets -----------------------------------------------------
+
+IDEAL_MMU = MMUDesign(
+    name="IDEAL MMU",
+    ideal=True,
+    per_cu_tlb_entries=None,
+    iommu_entries=None,
+    iommu_bandwidth=float("inf"),
+)
+
+BASELINE_512 = MMUDesign(name="Baseline 512", iommu_entries=512)
+
+BASELINE_16K = MMUDesign(name="Baseline 16K", iommu_entries=16384)
+
+VC_WITHOUT_OPT = MMUDesign(
+    name="VC W/O OPT",
+    kind=FULL_VC,
+    per_cu_tlb_entries=None,  # no per-CU TLBs in the proposal
+    iommu_entries=512,
+)
+
+VC_WITH_OPT = MMUDesign(
+    name="VC With OPT",
+    kind=FULL_VC,
+    per_cu_tlb_entries=None,
+    iommu_entries=512,
+    fbt_as_second_level_tlb=True,
+)
+
+# Figure 10's comparison point: large fully-associative per-CU TLBs.
+BASELINE_LARGE_PER_CU = MMUDesign(
+    name="Baseline 128-entry TLBs + 16K",
+    per_cu_tlb_entries=128,
+    iommu_entries=16384,
+)
+
+# Figure 11's L1-only virtual cache designs.
+L1_ONLY_VC_32 = MMUDesign(
+    name="L1-Only VC (32)",
+    kind=L1_ONLY_VC,
+    per_cu_tlb_entries=32,
+    iommu_entries=16384,
+)
+
+L1_ONLY_VC_128 = MMUDesign(
+    name="L1-Only VC (128)",
+    kind=L1_ONLY_VC,
+    per_cu_tlb_entries=128,
+    iommu_entries=16384,
+)
+
+TABLE2_DESIGNS = (
+    IDEAL_MMU,
+    BASELINE_512,
+    BASELINE_16K,
+    VC_WITHOUT_OPT,
+    VC_WITH_OPT,
+)
+
+
+def baseline_with_bandwidth(accesses_per_cycle: float) -> MMUDesign:
+    """Figure 5 sweep point: 16K-entry IOMMU TLB at a given peak bandwidth."""
+    return MMUDesign(
+        name=f"Baseline 16K @ {accesses_per_cycle:g}/cycle",
+        iommu_entries=16384,
+        iommu_bandwidth=accesses_per_cycle,
+    )
+
+
+def baseline_unlimited_bandwidth() -> MMUDesign:
+    """Figure 3's measurement design: demand rate with no bandwidth limit."""
+    return MMUDesign(
+        name="Baseline 16K, unlimited B/W",
+        iommu_entries=16384,
+        iommu_bandwidth=float("inf"),
+    )

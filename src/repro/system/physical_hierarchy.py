@@ -1,0 +1,215 @@
+"""Baseline physically-addressed GPU memory hierarchy (Figure 1).
+
+Per-CU TLBs are consulted after coalescing and before the (physically
+indexed) caches.  A private-TLB miss becomes a translation service
+request to the IOMMU over the PCIe-protocol link; once the translation
+returns, the access proceeds down the physical L1 → shared banked L2 →
+DRAM path.
+
+The IDEAL MMU variant (Figure 4) gives every CU an infinite TLB whose
+misses are satisfied instantly — translation never costs cycles, which
+isolates the pure cache/DRAM behaviour as the 1.0 reference point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.engine.stats import Counters, LifetimeTracker
+from repro.gpu.coalescer import CoalescedRequest
+from repro.memsys.addressing import line_index_in_page, lines_per_page
+from repro.memsys.cache import Cache
+from repro.memsys.dram import DRAM
+from repro.memsys.iommu import IOMMU
+from repro.memsys.page_table import PageTable
+from repro.memsys.permissions import PageFault, PermissionFault
+from repro.memsys.tlb import TLB
+from repro.engine.resources import BankedServer
+from repro.system.config import SoCConfig
+
+
+class PhysicalHierarchy:
+    """The baseline MMU + physical cache hierarchy."""
+
+    def __init__(
+        self,
+        config: SoCConfig,
+        page_tables: Dict[int, PageTable],
+        ideal: bool = False,
+        track_lifetimes: bool = False,
+    ) -> None:
+        self.config = config
+        self.page_tables = dict(page_tables)
+        self.ideal = ideal
+        self.counters = Counters()
+
+        self.lifetimes: Optional[Dict[str, LifetimeTracker]] = None
+        if track_lifetimes:
+            self.lifetimes = {
+                "tlb": LifetimeTracker(),
+                "l1": LifetimeTracker(),
+                "l2": LifetimeTracker(),
+            }
+
+        tlb_entries = None if ideal else config.per_cu_tlb_entries
+        self.per_cu_tlbs: List[TLB] = [
+            TLB(capacity=tlb_entries, name=f"cu{i}-tlb")
+            for i in range(config.n_cus)
+        ]
+        self.l1s: List[Cache] = [
+            Cache(config.l1, name=f"cu{i}-l1") for i in range(config.n_cus)
+        ]
+        self.l2 = Cache(config.l2, name="l2")
+        self.l2_banks = BankedServer(config.l2.n_banks)
+        self.dram = DRAM(
+            latency_cycles=config.dram_latency,
+            bandwidth_gbps=config.dram_bandwidth_gbps,
+            frequency_ghz=config.frequency_ghz,
+            line_size=config.line_size,
+        )
+        self.iommu = IOMMU(
+            config.iommu, page_tables, frequency_ghz=config.frequency_ghz
+        )
+        self._lpp = lines_per_page(config.line_size)
+
+    # -- translation -----------------------------------------------------
+    def _translate(self, cu_id: int, vpn: int, now: float, asid: int):
+        """Per-CU TLB, then IOMMU on a miss.  Returns (ready_time, ppn, perms, tlb_hit)."""
+        tlb = self.per_cu_tlbs[cu_id]
+        self.counters.add("tlb.accesses")
+        key = (asid << 52) | vpn
+        entry = tlb.lookup(key, now)
+        t = now + self.config.per_cu_tlb_latency
+        if entry is not None:
+            if self.lifetimes is not None:
+                self.lifetimes["tlb"].on_access((cu_id, key), now)
+            return t, entry.ppn, entry.permissions, True
+
+        self.counters.add("tlb.misses")
+        if self.ideal:
+            # Instant fill from the page table: translation is free.
+            mapping = self.page_tables[asid].lookup(vpn)
+            if mapping is None:
+                raise PageFault(vpn, asid)
+            ppn, permissions = mapping
+            self._tlb_fill(cu_id, key, ppn, permissions, t)
+            return t, ppn, permissions, False
+
+        request_at = t + self.config.interconnect.gpu_to_iommu
+        outcome = self.iommu.translate(vpn, request_at, asid=asid)
+        ready = outcome.finish + self.config.interconnect.iommu_to_gpu
+        self._tlb_fill(cu_id, key, outcome.ppn, outcome.permissions, ready)
+        return ready, outcome.ppn, outcome.permissions, False
+
+    def _tlb_fill(self, cu_id: int, key: int, ppn: int, permissions, now: float) -> None:
+        tlb = self.per_cu_tlbs[cu_id]
+        victim = tlb.insert(key, ppn, permissions, now)
+        if self.lifetimes is not None:
+            if victim is not None:
+                self.lifetimes["tlb"].on_evict((cu_id, victim.vpn), now)
+            self.lifetimes["tlb"].on_insert((cu_id, key), now)
+
+    # -- the access path ---------------------------------------------------
+    def access(
+        self, cu_id: int, request: CoalescedRequest, now: float, asid: int = 0
+    ) -> float:
+        """Service one coalesced request; return its completion time."""
+        vpn = request.vpn
+        line_index = request.line_addr % self._lpp
+
+        ready, ppn, permissions, tlb_hit = self._translate(cu_id, vpn, now, asid)
+        if not permissions.allows(request.is_write):
+            raise PermissionFault(vpn, request.is_write, permissions)
+
+        physical_line = ppn * self._lpp + line_index
+        if not tlb_hit:
+            self._classify_tlb_miss(cu_id, physical_line)
+
+        return self._cache_access(cu_id, physical_line, request.is_write, ready)
+
+    def _classify_tlb_miss(self, cu_id: int, physical_line: int) -> None:
+        """Figure 2 breakdown: where would a virtual cache have found the data?"""
+        if self.l1s[cu_id].contains(physical_line):
+            self.counters.add("tlb.miss_l1_hit")
+        elif self.l2.contains(physical_line):
+            self.counters.add("tlb.miss_l2_hit")
+        else:
+            self.counters.add("tlb.miss_l2_miss")
+
+    def _cache_access(
+        self, cu_id: int, physical_line: int, is_write: bool, now: float
+    ) -> float:
+        l1 = self.l1s[cu_id]
+        cfg = self.config
+        if is_write:
+            # Write-through, no-allocate L1: update on hit; the store
+            # occupies the CU window until it lands in the L2.
+            l1.lookup(physical_line)
+            t_l2 = now + cfg.l1_latency + cfg.interconnect.l1_to_l2
+            start = self.l2_banks.request(t_l2, self.l2.bank_of(physical_line))
+            t_done = start + cfg.l2_latency
+            if self.l2.lookup(physical_line) is not None:
+                self.l2.mark_dirty(physical_line)
+                self._touch_l2(physical_line, start)
+            else:
+                # Write-allocate into the write-back L2 (full-line store:
+                # no memory fetch needed).
+                self._fill_l2(physical_line, dirty=True, now=t_done)
+            return t_done
+
+        line = l1.lookup(physical_line)
+        if line is not None:
+            self._touch_l1(cu_id, physical_line, now)
+            return now + cfg.l1_latency
+
+        t_l2 = now + cfg.l1_latency + cfg.interconnect.l1_to_l2
+        start = self.l2_banks.request(t_l2, self.l2.bank_of(physical_line))
+        t_hit = start + cfg.l2_latency
+        if self.l2.lookup(physical_line) is not None:
+            self._touch_l2(physical_line, t_hit)
+            self._fill_l1(cu_id, physical_line, t_hit)
+            return t_hit + cfg.interconnect.l1_to_l2
+
+        t_mem = self.dram.access_line(t_hit)
+        self._fill_l2(physical_line, dirty=False, now=t_mem)
+        self._fill_l1(cu_id, physical_line, t_mem)
+        return t_mem + cfg.interconnect.l1_to_l2
+
+    # -- fills with lifetime accounting -------------------------------------
+    def _fill_l1(self, cu_id: int, physical_line: int, now: float) -> None:
+        victim = self.l1s[cu_id].insert(physical_line)
+        if self.lifetimes is not None:
+            if victim is not None:
+                self.lifetimes["l1"].on_evict((cu_id, victim.line_addr), now)
+            self.lifetimes["l1"].on_insert((cu_id, physical_line), now)
+
+    def _fill_l2(self, physical_line: int, dirty: bool, now: float) -> None:
+        victim = self.l2.insert(physical_line, dirty=dirty)
+        if victim is not None and victim.dirty:
+            self.dram.access_line(now)  # write-back traffic
+            self.counters.add("l2.writebacks")
+        if self.lifetimes is not None:
+            if victim is not None:
+                self.lifetimes["l2"].on_evict(victim.line_addr, now)
+            self.lifetimes["l2"].on_insert(physical_line, now)
+
+    def _touch_l1(self, cu_id: int, physical_line: int, now: float) -> None:
+        if self.lifetimes is not None:
+            self.lifetimes["l1"].on_access((cu_id, physical_line), now)
+
+    def _touch_l2(self, physical_line: int, now: float) -> None:
+        if self.lifetimes is not None:
+            self.lifetimes["l2"].on_access(physical_line, now)
+
+    # -- aggregate statistics ---------------------------------------------------
+    def per_cu_tlb_miss_ratio(self) -> float:
+        accesses = sum(t.accesses for t in self.per_cu_tlbs)
+        misses = sum(t.misses for t in self.per_cu_tlbs)
+        return misses / accesses if accesses else 0.0
+
+    def finish(self, now: float) -> None:
+        """End-of-run accounting: flush lifetime trackers."""
+        if self.lifetimes is None:
+            return
+        for tracker in self.lifetimes.values():
+            tracker.flush(now)

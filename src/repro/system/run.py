@@ -1,0 +1,210 @@
+"""Top-level trace-driven simulation driver.
+
+Drives a :class:`~repro.workloads.trace.Trace` through a memory
+hierarchy (physical baseline, L1-only VC, or full virtual hierarchy).
+CUs issue coalesced requests in globally nondecreasing time order (a
+lazy-reinsertion heap over CUs), so the shared-resource queues — the
+IOMMU TLB port above all — see arrivals in order and their queueing
+delays are exactly the paper's serialization overhead.
+
+Execution time is the cycle at which the last CU drains its outstanding
+requests; all relative-performance figures (4, 5, 9, 10, 11) are ratios
+of this quantity across MMU designs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.stats import RateStats
+from repro.gpu.cu import ComputeUnit
+from repro.system.config import SoCConfig
+from repro.workloads.trace import Trace
+
+_TIME_EPS = 1e-9
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated run."""
+
+    workload: str
+    design: str
+    cycles: float
+    instructions: int
+    requests: int
+    counters: Dict[str, int]
+    iommu_rate: Optional[RateStats] = None
+    hierarchy: object = field(default=None, repr=False)
+
+    # -- derived metrics ---------------------------------------------------
+    def relative_time(self, baseline: "SimulationResult") -> float:
+        """Execution time relative to ``baseline`` (1.0 = equal)."""
+        if baseline.cycles == 0:
+            raise ValueError("baseline run has zero cycles")
+        return self.cycles / baseline.cycles
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """How much faster this run is than ``baseline``."""
+        if self.cycles == 0:
+            raise ValueError("run has zero cycles")
+        return baseline.cycles / self.cycles
+
+    def per_cu_tlb_miss_ratio(self) -> float:
+        accesses = self.counters.get("tlb.accesses", 0)
+        if accesses == 0:
+            return 0.0
+        return self.counters.get("tlb.misses", 0) / accesses
+
+    def tlb_miss_breakdown(self) -> Dict[str, float]:
+        """Figure 2 fractions of per-CU TLB misses by data residence."""
+        misses = self.counters.get("tlb.misses", 0)
+        if misses == 0:
+            return {"l1_hit": 0.0, "l2_hit": 0.0, "l2_miss": 0.0}
+        return {
+            "l1_hit": self.counters.get("tlb.miss_l1_hit", 0) / misses,
+            "l2_hit": self.counters.get("tlb.miss_l2_hit", 0) / misses,
+            "l2_miss": self.counters.get("tlb.miss_l2_miss", 0) / misses,
+        }
+
+    def iommu_accesses_per_cycle(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.counters.get("iommu.accesses", 0) / self.cycles
+
+
+def simulate(
+    trace: Trace,
+    hierarchy,
+    config: SoCConfig,
+    design: str = "unnamed",
+    asid: int = 0,
+    max_instructions_per_cu: Optional[int] = None,
+    start_time: float = 0.0,
+) -> SimulationResult:
+    """Run ``trace`` through ``hierarchy`` and collect statistics.
+
+    ``hierarchy`` is any object with ``access(cu_id, request, now, asid)
+    → completion_time``, a ``counters`` bag, and a ``finish(now)`` hook
+    (the three hierarchy classes in this package all qualify).
+
+    ``start_time`` continues the clock of a previous run on the *same*
+    hierarchy — the time-sharing case (context switches) — so shared
+    resource servers never see time run backwards.  The reported
+    ``cycles`` are relative to ``start_time``.
+    """
+    if start_time < 0:
+        raise ValueError("start_time must be nonnegative")
+    streams = trace.per_cu
+    if max_instructions_per_cu is not None:
+        streams = [s[:max_instructions_per_cu] for s in streams]
+    n_cus = len(streams)
+    hierarchy_cus = len(getattr(hierarchy, "l1s", ()) or ())
+    if hierarchy_cus and n_cus > hierarchy_cus:
+        raise ValueError(
+            f"trace {trace.name!r} has {n_cus} CU streams but the hierarchy "
+            f"models only {hierarchy_cus} CUs — build it from a SoCConfig "
+            f"with n_cus >= {n_cus}"
+        )
+
+    cus: List[ComputeUnit] = [
+        ComputeUnit(i, window=config.cu_window, issue_interval=trace.issue_interval)
+        for i in range(n_cus)
+    ]
+    cursors = [0] * n_cus
+    # Per-CU list of this instruction's coalesced requests + position.
+    pending: List[Optional[list]] = [None] * n_cus
+    pending_pos = [0] * n_cus
+    pending_scratch = [False] * n_cus
+
+    for cu in cus:
+        cu.next_issue_time = start_time
+    heap = [(start_time, cu_id) for cu_id in range(n_cus) if streams[cu_id]]
+    heapq.heapify(heap)
+    total_requests = 0
+    total_instructions = 0
+
+    while heap:
+        candidate, cu_id = heapq.heappop(heap)
+        cu = cus[cu_id]
+        issue = cu.earliest_issue(candidate)
+        if issue > candidate + _TIME_EPS:
+            # The outstanding-request window is full: retry at the time
+            # the oldest request completes (keeps global time order).
+            heapq.heappush(heap, (issue, cu_id))
+            continue
+
+        requests = pending[cu_id]
+        if requests is None:
+            inst = streams[cu_id][cursors[cu_id]]
+            total_instructions += 1
+            if inst.scratchpad:
+                pending[cu_id] = []
+                pending_scratch[cu_id] = True
+            else:
+                pending[cu_id] = cu.coalescer.coalesce(inst.addresses, inst.is_write)
+                pending_scratch[cu_id] = False
+            pending_pos[cu_id] = 0
+            requests = pending[cu_id]
+
+        if pending_scratch[cu_id]:
+            completion = cu.scratchpad.access(issue)
+            cu.issue(issue, completion, gap=trace.issue_interval)
+            self_done = True
+        else:
+            pos = pending_pos[cu_id]
+            request = requests[pos]
+            completion = hierarchy.access(cu_id, request, issue, asid=asid)
+            total_requests += 1
+            last = pos == len(requests) - 1
+            cu.issue(issue, completion,
+                     gap=trace.issue_interval if last else 1.0)
+            pending_pos[cu_id] = pos + 1
+            self_done = last
+
+        if self_done:
+            pending[cu_id] = None
+            cursors[cu_id] += 1
+            if cursors[cu_id] >= len(streams[cu_id]):
+                continue  # this CU is finished
+        heapq.heappush(heap, (cu.next_issue_time, cu_id))
+
+    end_time = max((cu.drain_time() for cu in cus), default=start_time)
+    end_time = max(end_time, start_time)
+    hierarchy.finish(end_time)
+
+    counters = dict(hierarchy.counters.as_dict())
+    iommu = getattr(hierarchy, "iommu", None)
+    iommu_rate = None
+    if iommu is not None:
+        counters.update(iommu.counters.as_dict())
+        iommu_rate = iommu.access_sampler.rate_stats(end_time)
+    _merge_cache_counters(hierarchy, counters)
+
+    return SimulationResult(
+        workload=trace.name,
+        design=design,
+        cycles=end_time - start_time,
+        instructions=total_instructions,
+        requests=total_requests,
+        counters=counters,
+        iommu_rate=iommu_rate,
+        hierarchy=hierarchy,
+    )
+
+
+def _merge_cache_counters(hierarchy, counters: Dict[str, int]) -> None:
+    l1s = getattr(hierarchy, "l1s", None)
+    if l1s:
+        counters["l1.hits"] = sum(c.hits for c in l1s)
+        counters["l1.misses"] = sum(c.misses for c in l1s)
+    l2 = getattr(hierarchy, "l2", None)
+    if l2 is not None:
+        counters["l2.hits"] = counters.get("l2.hits", 0) + l2.hits
+        counters["l2.misses"] = counters.get("l2.misses", 0) + l2.misses
+    tlbs = getattr(hierarchy, "per_cu_tlbs", None)
+    if tlbs:
+        counters.setdefault("tlb.accesses", sum(t.accesses for t in tlbs))
+        counters.setdefault("tlb.misses", sum(t.misses for t in tlbs))

@@ -1,0 +1,155 @@
+"""Building blocks for GPU-kernel trace generation.
+
+Workload generators in this package *run the actual algorithms* (BFS
+levels, PageRank sweeps, Floyd–Warshall updates, …) over data structures
+laid out in a simulated virtual address space, and record the per-lane
+addresses each warp-sized step would issue.  :class:`DeviceArray` is the
+layout piece (an array living in the address space); :class:`TraceBuilder`
+is the recording piece; :func:`warp_chunks` is the work distributor
+(block-cyclic warp scheduling over the CUs, as GPU runtimes do).
+
+Trace *sampling*: real kernels execute millions of warps; the simulator
+is a Python model, so generators may emit only every ``sample``-th warp.
+Sampling keeps the access *pattern* (strides, gathers, page reuse,
+divergence) while bounding trace length; footprints are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.memsys.address_space import AddressSpace, Mapping
+from repro.memsys.permissions import Permissions
+from repro.workloads.trace import MemoryInstruction, Trace
+
+LANES = 32
+
+
+class DeviceArray:
+    """A typed array resident in the simulated virtual address space."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        n_elements: int,
+        element_size: int = 4,
+        name: str = "array",
+        permissions: Permissions = Permissions.READ_WRITE,
+    ) -> None:
+        if n_elements <= 0:
+            raise ValueError("array must have at least one element")
+        self.space = space
+        self.n_elements = n_elements
+        self.element_size = element_size
+        self.name = name
+        self.mapping: Mapping = space.alloc_array(n_elements, element_size, permissions)
+
+    @property
+    def base_va(self) -> int:
+        return self.mapping.base_va
+
+    def addr(self, index: int) -> int:
+        """Virtual byte address of ``self[index]``."""
+        if not 0 <= index < self.n_elements:
+            raise IndexError(f"{self.name}[{index}] out of bounds ({self.n_elements})")
+        return self.mapping.base_va + index * self.element_size
+
+    def addrs(self, indices: Iterable[int]) -> List[int]:
+        """Virtual byte addresses for a gather over ``indices``."""
+        base = self.mapping.base_va
+        size = self.element_size
+        return [base + int(i) * size for i in indices]
+
+    def row_addr(self, row: int, col: int, n_cols: int) -> int:
+        """Address of element (row, col) of a row-major 2-D view."""
+        return self.addr(row * n_cols + col)
+
+
+class TraceBuilder:
+    """Accumulates per-CU memory-instruction streams into a Trace."""
+
+    def __init__(self, n_cus: int = 16, lanes: int = LANES) -> None:
+        if n_cus <= 0:
+            raise ValueError("need at least one CU")
+        self.n_cus = n_cus
+        self.lanes = lanes
+        self.streams: List[List[MemoryInstruction]] = [[] for _ in range(n_cus)]
+
+    def emit(self, cu: int, addresses: Sequence[int], is_write: bool = False) -> None:
+        """Record one global-memory instruction on ``cu``."""
+        self.streams[cu % self.n_cus].append(
+            MemoryInstruction(addresses=tuple(addresses), is_write=is_write)
+        )
+
+    def emit_scratch(self, cu: int, is_write: bool = False) -> None:
+        """Record one scratchpad instruction (no TLB/cache traffic)."""
+        self.streams[cu % self.n_cus].append(
+            MemoryInstruction(addresses=(0,), is_write=is_write, scratchpad=True)
+        )
+
+    def emit_scratch_burst(self, cu: int, count: int) -> None:
+        """Record ``count`` scratchpad instructions (tile compute phases)."""
+        for _ in range(count):
+            self.emit_scratch(cu)
+
+    def build(
+        self,
+        name: str,
+        space: AddressSpace,
+        issue_interval: float,
+        **metadata,
+    ) -> Trace:
+        """Finalize into a :class:`Trace`."""
+        streams = [s for s in self.streams if s]
+        if not streams:
+            raise ValueError(f"workload {name!r} produced an empty trace")
+        return Trace(
+            name=name,
+            per_cu=streams,
+            address_space=space,
+            issue_interval=issue_interval,
+            metadata=dict(metadata),
+        )
+
+
+def warp_chunks(
+    n_items: int,
+    n_cus: int,
+    lanes: int = LANES,
+    sample: int = 1,
+) -> Iterator[Tuple[int, int, int]]:
+    """Block-cyclic warp scheduling: yield ``(cu, start, count)`` chunks.
+
+    Work item ranges of ``lanes`` elements are dealt to CUs round-robin.
+    With ``sample > 1`` only every ``sample``-th warp is emitted (trace
+    sampling; see the module docstring).
+    """
+    if n_items <= 0:
+        return
+    if sample <= 0:
+        raise ValueError("sample must be positive")
+    warp = 0
+    emitted = 0
+    for start in range(0, n_items, lanes):
+        if warp % sample == 0:
+            count = min(lanes, n_items - start)
+            # Deal by *emitted* warp so sampling never starves CUs.
+            yield emitted % n_cus, start, count
+            emitted += 1
+        warp += 1
+
+
+def strided_lane_addresses(
+    array: DeviceArray, start_index: int, count: int, stride: int = 1
+) -> List[int]:
+    """Lane addresses for ``array[start + k*stride]``, k in [0, count)."""
+    base = array.base_va + start_index * array.element_size
+    step = stride * array.element_size
+    return [base + k * step for k in range(count)]
+
+
+def clamp_indices(indices: np.ndarray, n: int) -> np.ndarray:
+    """Clip gather indices into [0, n) (guard for synthetic data)."""
+    return np.clip(indices, 0, n - 1)

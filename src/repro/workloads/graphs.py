@@ -1,0 +1,217 @@
+"""Graph substrate for the Pannotia-like workloads.
+
+Pannotia's inputs are real-world scale-free graphs; their skewed degree
+distributions are why the graph workloads show both poor page locality
+(neighbor gathers touch many pages) *and* meaningful cache hit rates
+(hub vertices are hot).  We generate power-law graphs with a fast
+preferential-attachment process and store them in CSR form, the layout
+the GPU kernels index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CSRGraph:
+    """Compressed-sparse-row adjacency."""
+
+    n_vertices: int
+    row_ptr: np.ndarray  # int64, length n_vertices + 1
+    col_idx: np.ndarray  # int32, length n_edges
+
+    def __post_init__(self) -> None:
+        if len(self.row_ptr) != self.n_vertices + 1:
+            raise ValueError("row_ptr length must be n_vertices + 1")
+        if self.row_ptr[0] != 0 or self.row_ptr[-1] != len(self.col_idx):
+            raise ValueError("row_ptr must start at 0 and end at n_edges")
+        if np.any(np.diff(self.row_ptr) < 0):
+            raise ValueError("row_ptr must be nondecreasing")
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.col_idx)
+
+    def degree(self, v: int) -> int:
+        return int(self.row_ptr[v + 1] - self.row_ptr[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.col_idx[self.row_ptr[v]:self.row_ptr[v + 1]]
+
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self.row_ptr)
+
+
+def powerlaw_graph(n_vertices: int, mean_degree: int = 8, seed: int = 0) -> CSRGraph:
+    """A scale-free graph via preferential attachment (vectorized).
+
+    Each new vertex attaches ``mean_degree`` edges to targets sampled
+    with probability proportional to (current degree + 1), realized
+    cheaply by sampling uniformly from the running edge-endpoint list —
+    the standard repeated-nodes trick for Barabási–Albert graphs.
+    """
+    if n_vertices < 2:
+        raise ValueError("need at least two vertices")
+    if mean_degree < 1:
+        raise ValueError("mean degree must be at least 1")
+    rng = np.random.default_rng(seed)
+    m = mean_degree
+    # Endpoint pool: sampling uniformly from it = degree-proportional.
+    pool = np.zeros(2 * m * n_vertices, dtype=np.int64)
+    pool_len = 0
+    sources = np.empty(m * n_vertices, dtype=np.int64)
+    targets = np.empty(m * n_vertices, dtype=np.int64)
+    n_edges = 0
+
+    seed_count = min(m + 1, n_vertices)
+    for v in range(1, seed_count):  # small seed clique path
+        sources[n_edges] = v
+        targets[n_edges] = v - 1
+        pool[pool_len] = v
+        pool[pool_len + 1] = v - 1
+        pool_len += 2
+        n_edges += 1
+
+    for v in range(seed_count, n_vertices):
+        picks = pool[rng.integers(0, pool_len, size=m)]
+        for t in picks:
+            sources[n_edges] = v
+            targets[n_edges] = t
+            n_edges += 1
+        pool[pool_len:pool_len + m] = picks
+        pool[pool_len + m:pool_len + 2 * m] = v
+        pool_len += 2 * m
+
+    src = np.concatenate([sources[:n_edges], targets[:n_edges]])
+    dst = np.concatenate([targets[:n_edges], sources[:n_edges]])
+    return _csr_from_edges(n_vertices, src, dst)
+
+
+def uniform_random_graph(n_vertices: int, mean_degree: int = 8, seed: int = 0) -> CSRGraph:
+    """An Erdős–Rényi-style graph (no hubs — the hard case for caches)."""
+    if n_vertices < 2:
+        raise ValueError("need at least two vertices")
+    rng = np.random.default_rng(seed)
+    n_edges = n_vertices * mean_degree // 2
+    src = rng.integers(0, n_vertices, size=n_edges)
+    dst = rng.integers(0, n_vertices, size=n_edges)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    return _csr_from_edges(n_vertices, np.concatenate([src, dst]),
+                           np.concatenate([dst, src]))
+
+
+def grid_graph(side: int) -> CSRGraph:
+    """A 2-D grid (4-neighborhood) — the regular extreme."""
+    if side < 2:
+        raise ValueError("grid side must be at least 2")
+    n = side * side
+    src_list = []
+    dst_list = []
+    idx = np.arange(n).reshape(side, side)
+    right = np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()])
+    down = np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()])
+    src = np.concatenate([right[0], down[0]])
+    dst = np.concatenate([right[1], down[1]])
+    return _csr_from_edges(n, np.concatenate([src, dst]), np.concatenate([dst, src]))
+
+
+def zipf_graph(
+    n_vertices: int,
+    mean_degree: int = 8,
+    exponent: float = 1.1,
+    seed: int = 0,
+    symmetric: bool = False,
+) -> CSRGraph:
+    """A directed graph whose edge *targets* follow a Zipf popularity law.
+
+    Real scale-free inputs (road/web/social graphs in Pannotia) have
+    heavy-tailed in-degree: a small set of hub vertices receives a large
+    share of all edges.  This generator gives direct control over that
+    skew — ``exponent`` ≈ 1.0–1.3 matches common web/social graphs —
+    and then *scatters* the hubs across the ID space with a random
+    permutation, as real vertex labelings do.  The scatter matters: hub
+    *lines* stay hot in the caches while hub *pages* are too many and
+    too spread out for a small TLB to cover, which is precisely the
+    behaviour (cache hit, TLB miss) that makes virtual caches filter
+    translations.
+    """
+    if n_vertices < 2:
+        raise ValueError("need at least two vertices")
+    if exponent <= 0:
+        raise ValueError("Zipf exponent must be positive")
+    rng = np.random.default_rng(seed)
+    out_degree = rng.poisson(mean_degree, size=n_vertices).astype(np.int64)
+    out_degree = np.maximum(out_degree, 1)
+    n_edges = int(out_degree.sum())
+    # Zipf-distributed target ranks via inverse-CDF sampling.
+    ranks = np.arange(1, n_vertices + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    target_ranks = np.searchsorted(cdf, rng.random(n_edges))
+    # Scatter hubs: rank r lives at a random vertex ID.
+    perm = rng.permutation(n_vertices)
+    dst = perm[target_ranks]
+    src = np.repeat(np.arange(n_vertices, dtype=np.int64), out_degree)
+    if symmetric:
+        # Undirected view (traversal workloads need full reachability).
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    return _csr_from_edges(n_vertices, src, dst)
+
+
+def edge_positions(graph: CSRGraph, vertices: np.ndarray) -> np.ndarray:
+    """Positions in ``col_idx`` of all edges of ``vertices`` (vectorized)."""
+    verts = np.asarray(vertices, dtype=np.int64)
+    if len(verts) == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = graph.row_ptr[verts]
+    lens = (graph.row_ptr[verts + 1] - starts).astype(np.int64)
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # repeat each start, then add 0..len-1 within each segment
+    seg_ids = np.repeat(np.arange(len(verts)), lens)
+    offsets = np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
+    return starts[seg_ids] + offsets
+
+
+def segment_max(graph: CSRGraph, values: np.ndarray,
+                fill: float = -np.inf) -> np.ndarray:
+    """Per-vertex max of ``values`` over each vertex's neighbors."""
+    vals = values[graph.col_idx]
+    out = np.full(graph.n_vertices, fill, dtype=np.float64)
+    nonempty = graph.row_ptr[:-1] < graph.row_ptr[1:]
+    if vals.size:
+        seg = np.maximum.reduceat(vals, graph.row_ptr[:-1].clip(max=len(vals) - 1))
+        out[nonempty] = seg[nonempty]
+    return out
+
+
+def segment_min(graph: CSRGraph, values: np.ndarray,
+                fill: float = np.inf) -> np.ndarray:
+    """Per-vertex min of ``values`` over each vertex's neighbors."""
+    vals = values[graph.col_idx]
+    out = np.full(graph.n_vertices, fill, dtype=np.float64)
+    nonempty = graph.row_ptr[:-1] < graph.row_ptr[1:]
+    if vals.size:
+        seg = np.minimum.reduceat(vals, graph.row_ptr[:-1].clip(max=len(vals) - 1))
+        out[nonempty] = seg[nonempty]
+    return out
+
+
+def _csr_from_edges(n_vertices: int, src: np.ndarray, dst: np.ndarray) -> CSRGraph:
+    order = np.argsort(src, kind="stable")
+    src_sorted = src[order]
+    dst_sorted = dst[order]
+    counts = np.bincount(src_sorted, minlength=n_vertices)
+    row_ptr = np.zeros(n_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_ptr[1:])
+    return CSRGraph(
+        n_vertices=n_vertices,
+        row_ptr=row_ptr,
+        col_idx=dst_sorted.astype(np.int32),
+    )

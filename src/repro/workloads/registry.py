@@ -1,0 +1,103 @@
+"""Workload registry: the 15 simulated benchmarks.
+
+The paper's two suites, with the same names and the same
+high/low-translation-bandwidth grouping it uses in §5.2 (Figures 9 and
+10 show the high-bandwidth group; the low-bandwidth five see little
+change from any MMU design).
+
+``REPRO_SCALE`` (environment variable, default 1.0) scales every
+workload's problem size / iteration count — useful for quick test runs
+(< 1) or longer, closer-to-paper runs (> 1).  Traces are memoized per
+``(name, scale, seed)`` because generation (running the algorithms) can
+cost as much as simulating them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.workloads import pannotia, rodinia
+from repro.workloads.trace import Trace
+
+WorkloadFactory = Callable[..., Trace]
+
+PANNOTIA: Dict[str, WorkloadFactory] = {
+    "bc": pannotia.bc,
+    "color_maxmin": pannotia.color_maxmin,
+    "color_max": pannotia.color_max,
+    "fw": pannotia.fw,
+    "fw_block": pannotia.fw_block,
+    "mis": pannotia.mis,
+    "pagerank": pannotia.pagerank,
+    "pagerank_spmv": pannotia.pagerank_spmv,
+}
+
+RODINIA: Dict[str, WorkloadFactory] = {
+    "kmeans": rodinia.kmeans,
+    "backprop": rodinia.backprop,
+    "bfs": rodinia.bfs,
+    "hotspot": rodinia.hotspot,
+    "lud": rodinia.lud,
+    "nw": rodinia.nw,
+    "pathfinder": rodinia.pathfinder,
+}
+
+WORKLOADS: Dict[str, WorkloadFactory] = {**PANNOTIA, **RODINIA}
+
+# §5.2's grouping: all Pannotia kernels plus bfs and lud demand high
+# translation bandwidth; the other five Rodinia kernels do not.
+HIGH_BANDWIDTH: Tuple[str, ...] = (
+    "bc", "color_maxmin", "color_max", "fw", "fw_block", "mis",
+    "pagerank", "pagerank_spmv", "bfs", "lud",
+)
+LOW_BANDWIDTH: Tuple[str, ...] = (
+    "kmeans", "backprop", "hotspot", "nw", "pathfinder",
+)
+
+_cache: Dict[Tuple[str, float, Optional[int]], Trace] = {}
+
+
+def default_scale() -> float:
+    """The REPRO_SCALE environment override (default 1.0)."""
+    try:
+        scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError as exc:
+        raise ValueError("REPRO_SCALE must be a number") from exc
+    if scale <= 0:
+        raise ValueError("REPRO_SCALE must be positive")
+    return scale
+
+
+def load(name: str, scale: Optional[float] = None, seed: Optional[int] = None) -> Trace:
+    """Build (or fetch the memoized) trace for workload ``name``."""
+    if name not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
+        )
+    if scale is None:
+        scale = default_scale()
+    key = (name, scale, seed)
+    if key not in _cache:
+        kwargs = {"scale": scale}
+        if seed is not None:
+            kwargs["seed"] = seed
+        _cache[key] = WORKLOADS[name](**kwargs)
+    return _cache[key]
+
+
+def load_many(names, scale: Optional[float] = None) -> List[Trace]:
+    """Traces for several workloads (memoized)."""
+    return [load(name, scale=scale) for name in names]
+
+
+def clear_cache() -> None:
+    """Drop memoized traces (tests use this to control memory)."""
+    _cache.clear()
+
+
+def is_high_bandwidth(name: str) -> bool:
+    """Whether the paper groups this workload as high translation bandwidth."""
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}")
+    return name in HIGH_BANDWIDTH

@@ -1,0 +1,137 @@
+"""Trace serialization.
+
+Generating a trace means running the workload's algorithm; for large
+scales that costs as much as simulating it.  Traces can therefore be
+saved to a compact ``.npz`` container and reloaded later (or shipped to
+another machine) without regeneration.
+
+The address space is *reconstructed*, not pickled: the file stores the
+mappings (base VA, page count, permissions, large flag, and for synonym
+mappings the index of the source), and loading replays them through a
+fresh :class:`AddressSpace`.  Frame allocation is deterministic, so the
+reload reproduces the exact virtual→physical layout.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.memsys.address_space import AddressSpace
+from repro.memsys.permissions import Permissions
+from repro.workloads.trace import MemoryInstruction, Trace
+
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` (.npz).  Returns the resolved path."""
+    path = Path(path)
+    if trace.address_space is None:
+        raise ValueError("only traces with an address space can be saved")
+    space = trace.address_space
+
+    # Flatten instructions: per-instruction (cu, n_lanes, is_write,
+    # scratchpad) plus one concatenated lane-address array.
+    cu_ids: List[int] = []
+    lane_counts: List[int] = []
+    flags: List[int] = []
+    lanes: List[int] = []
+    for cu, stream in enumerate(trace.per_cu):
+        for inst in stream:
+            cu_ids.append(cu)
+            lane_counts.append(inst.n_lanes)
+            flags.append(int(inst.is_write) | (int(inst.scratchpad) << 1))
+            lanes.extend(inst.addresses)
+
+    # Mappings, with synonym sources identified by physical equality.
+    mapping_rows = []
+    for m in space.mappings:
+        source = -1
+        pa = space.translate(m.base_va)
+        for j, other in enumerate(space.mappings):
+            if other is m:
+                break
+            if space.translate(other.base_va) == pa:
+                source = j
+                break
+        mapping_rows.append({
+            "base_va": m.base_va,
+            "n_pages": m.n_pages,
+            "permissions": int(m.permissions),
+            "large": m.large,
+            "synonym_of": source,
+        })
+
+    meta = {
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "n_cus": trace.n_cus,
+        "issue_interval": trace.issue_interval,
+        "asid": space.asid,
+        "metadata": trace.metadata,
+        "mappings": mapping_rows,
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        cu_ids=np.asarray(cu_ids, dtype=np.int32),
+        lane_counts=np.asarray(lane_counts, dtype=np.int32),
+        flags=np.asarray(flags, dtype=np.int8),
+        lanes=np.asarray(lanes, dtype=np.int64),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Reload a trace saved by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        if meta["version"] != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {meta['version']}"
+            )
+        cu_ids = data["cu_ids"]
+        lane_counts = data["lane_counts"]
+        flags = data["flags"]
+        lanes = data["lanes"]
+
+    # Rebuild the address space by replaying the allocations.
+    space = AddressSpace(asid=meta["asid"])
+    rebuilt = []
+    for row in meta["mappings"]:
+        if row["synonym_of"] >= 0:
+            m = space.map_synonym(rebuilt[row["synonym_of"]],
+                                  permissions=Permissions(row["permissions"]))
+        else:
+            m = space.mmap(row["n_pages"],
+                           permissions=Permissions(row["permissions"]),
+                           large_pages=row["large"])
+        if m.base_va != row["base_va"]:
+            raise ValueError(
+                f"address-space replay diverged: expected base "
+                f"{row['base_va']:#x}, got {m.base_va:#x}"
+            )
+        rebuilt.append(m)
+
+    per_cu: List[List[MemoryInstruction]] = [[] for _ in range(meta["n_cus"])]
+    cursor = 0
+    for cu, count, flag in zip(cu_ids, lane_counts, flags):
+        addresses = tuple(int(a) for a in lanes[cursor:cursor + count])
+        cursor += count
+        per_cu[int(cu)].append(MemoryInstruction(
+            addresses=addresses,
+            is_write=bool(flag & 1),
+            scratchpad=bool(flag & 2),
+        ))
+    per_cu = [s for s in per_cu if s]
+    return Trace(
+        name=meta["name"],
+        per_cu=per_cu,
+        address_space=space,
+        issue_interval=meta["issue_interval"],
+        metadata=meta["metadata"],
+    )

@@ -1,0 +1,57 @@
+"""Shared fixtures: small SoC configurations and simple traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsys.address_space import AddressSpace
+from repro.memsys.cache import CacheConfig
+from repro.memsys.iommu import IOMMUConfig
+from repro.system.config import SoCConfig
+from repro.workloads.trace import MemoryInstruction, Trace
+
+
+@pytest.fixture
+def small_config() -> SoCConfig:
+    """A scaled-down SoC: 4 CUs, 4 KB L1s, 64 KB L2, tiny TLBs.
+
+    Small enough that tests can exercise evictions and conflicts with a
+    handful of accesses.
+    """
+    return SoCConfig(
+        n_cus=4,
+        l1=CacheConfig(size_bytes=4 * 1024, line_size=128, associativity=4,
+                       write_back=False, write_allocate=False),
+        l2=CacheConfig(size_bytes=64 * 1024, line_size=128, associativity=8,
+                       n_banks=4, write_back=True, write_allocate=True),
+        per_cu_tlb_entries=8,
+        iommu=IOMMUConfig(shared_tlb_entries=32),
+        fbt_entries=256,
+        fbt_associativity=4,
+        cu_window=16,
+    )
+
+
+@pytest.fixture
+def address_space() -> AddressSpace:
+    return AddressSpace(asid=0)
+
+
+def make_trace(
+    space: AddressSpace,
+    lane_addresses,
+    n_cus: int = 1,
+    issue_interval: float = 4.0,
+    name: str = "test",
+    is_write=None,
+) -> Trace:
+    """Build a single-CU trace from a list of per-instruction lane lists."""
+    writes = is_write if is_write is not None else [False] * len(lane_addresses)
+    stream = [
+        MemoryInstruction(addresses=tuple(addrs), is_write=w)
+        for addrs, w in zip(lane_addresses, writes)
+    ]
+    per_cu = [stream] + [[] for _ in range(n_cus - 1)]
+    per_cu = [s for s in per_cu if s] or [stream]
+    return Trace(name=name, per_cu=per_cu, address_space=space,
+                 issue_interval=issue_interval)

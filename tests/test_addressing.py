@@ -1,0 +1,93 @@
+"""Tests for address arithmetic helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memsys.addressing import (
+    PAGE_SIZE,
+    compose_address,
+    is_power_of_two,
+    line_address,
+    line_base,
+    line_index_in_page,
+    lines_per_page,
+    log2_int,
+    page_number,
+    page_offset,
+    translate_line_address,
+)
+
+
+class TestBasics:
+    def test_powers_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(4096) == 12
+        with pytest.raises(ValueError):
+            log2_int(6)
+
+    def test_page_math(self):
+        assert page_number(0) == 0
+        assert page_number(4095) == 0
+        assert page_number(4096) == 1
+        assert page_offset(4097) == 1
+
+    def test_line_math(self):
+        assert line_address(0) == 0
+        assert line_address(127) == 0
+        assert line_address(128) == 1
+        assert line_base(200) == 128
+
+    def test_lines_per_page(self):
+        assert lines_per_page(128, 4096) == 32
+        assert lines_per_page(64, 4096) == 64
+        with pytest.raises(ValueError):
+            lines_per_page(100, 4096)
+
+    def test_line_index_in_page(self):
+        assert line_index_in_page(0) == 0
+        assert line_index_in_page(4095) == 31
+        assert line_index_in_page(4096 + 129) == 1
+
+    def test_compose_address(self):
+        assert compose_address(3, 100) == 3 * PAGE_SIZE + 100
+        with pytest.raises(ValueError):
+            compose_address(1, PAGE_SIZE)
+
+
+class TestTranslateLineAddress:
+    def test_rehoming_preserves_offset(self):
+        vline = 10 * 32 + 7  # line 7 of virtual page 10
+        pline = translate_line_address(vline, from_page=10, to_page=99)
+        assert pline == 99 * 32 + 7
+
+    def test_wrong_page_rejected(self):
+        with pytest.raises(ValueError):
+            translate_line_address(5, from_page=10, to_page=1)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 48))
+def test_page_decomposition_roundtrip(addr):
+    assert compose_address(page_number(addr), page_offset(addr)) == addr
+
+
+@given(st.integers(min_value=0, max_value=2 ** 48))
+def test_line_and_page_consistent(addr):
+    # A byte's line index within its page is its line's index too.
+    assert line_address(addr) == page_number(addr) * 32 + line_index_in_page(addr)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 30),
+       st.integers(min_value=0, max_value=2 ** 20),
+       st.integers(min_value=0, max_value=31))
+def test_translate_line_roundtrip(page_a, page_b, index):
+    line = page_a * 32 + index
+    there = translate_line_address(line, page_a, page_b)
+    back = translate_line_address(there, page_b, page_a)
+    assert back == line

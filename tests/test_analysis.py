@@ -1,0 +1,110 @@
+"""Tests for metric aggregation and report rendering."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    average_across_workloads,
+    fbt_hit_fraction,
+    geomean,
+    mean,
+    relative_performance,
+    translation_filter_rate,
+)
+from repro.analysis.report import bar, bar_chart, format_table, section, stacked_bar
+from repro.system.run import SimulationResult
+
+
+def result(cycles, counters=None):
+    return SimulationResult(workload="w", design="d", cycles=cycles,
+                            instructions=0, requests=0,
+                            counters=counters or {})
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestRelativePerformance:
+    def test_relative_to_ideal(self):
+        results = {"ideal": result(100.0), "base": result(200.0),
+                   "vc": result(105.0)}
+        rel = relative_performance(results, "ideal")
+        assert rel["ideal"] == 1.0
+        assert rel["base"] == 0.5
+        assert rel["vc"] == pytest.approx(100 / 105)
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            relative_performance({"a": result(1.0)}, "nope")
+
+    def test_average_across_workloads(self):
+        table = {"w1": {"a": 1.0, "b": 2.0}, "w2": {"a": 3.0, "b": 4.0}}
+        avg = average_across_workloads(table)
+        assert avg == {"a": 2.0, "b": 3.0}
+        subset = average_across_workloads(table, workloads=["w1"])
+        assert subset == {"a": 1.0, "b": 2.0}
+        assert average_across_workloads({}, workloads=[]) == {}
+
+
+class TestFilterMetrics:
+    def test_translation_filter_rate(self):
+        base = result(1.0, {"iommu.accesses": 1000})
+        vc = result(1.0, {"iommu.accesses": 300})
+        assert translation_filter_rate(base, vc) == pytest.approx(0.7)
+        empty = result(1.0, {})
+        assert translation_filter_rate(empty, vc) == 0.0
+
+    def test_fbt_hit_fraction(self):
+        r = result(1.0, {"iommu.tlb_misses": 100, "iommu.fbt_hits": 74})
+        assert fbt_hit_fraction(r) == pytest.approx(0.74)
+        assert fbt_hit_fraction(result(1.0, {})) == 0.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "x"], [["abc", 1.5], ["de", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in text and "22" in text
+        assert len(set(len(l) for l in lines if l)) <= 2  # aligned
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_bar_scaling(self):
+        assert bar(0.5, scale=1.0, width=10) == "#####"
+        assert bar(2.0, scale=1.0, width=10) == "#" * 10  # clamped
+        assert bar(-1.0, scale=1.0, width=10) == ""
+        with pytest.raises(ValueError):
+            bar(1.0, scale=0.0)
+
+    def test_bar_chart(self):
+        text = bar_chart(["alpha", "b"], [1.0, 0.5])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 40  # max value fills the width
+        assert lines[1].count("#") == 20
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        assert bar_chart([], []) == "(no data)"
+
+    def test_stacked_bar(self):
+        text = stacked_bar([0.5, 0.25, 0.25], width=8)
+        assert text == "####xxoo"
+        with pytest.raises(ValueError):
+            stacked_bar([0.1] * 10, chars="ab")
+
+    def test_section(self):
+        text = section("Title", "body")
+        assert "Title" in text and "body" in text and "-----" in text

@@ -1,0 +1,161 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memsys.cache import Cache, CacheConfig
+from repro.memsys.permissions import Permissions
+
+
+def small_cache(assoc=2, sets=4, line=128, **kw) -> Cache:
+    return Cache(CacheConfig(size_bytes=assoc * sets * line,
+                             line_size=line, associativity=assoc, **kw))
+
+
+class TestCacheConfig:
+    def test_table1_l1_geometry(self):
+        cfg = CacheConfig(size_bytes=32 * 1024, line_size=128, associativity=8)
+        assert cfg.n_lines == 256
+        assert cfg.n_sets == 32
+
+    def test_table1_l2_geometry(self):
+        cfg = CacheConfig(size_bytes=2 * 1024 * 1024, line_size=128,
+                          associativity=16, n_banks=8)
+        assert cfg.n_lines == 16384
+
+    def test_uneven_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_size=128, associativity=2)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=3 * 128 * 2, line_size=128, associativity=2)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert c.lookup(42) is None
+        c.insert(42)
+        assert c.lookup(42) is not None
+        assert c.hits == 1
+        assert c.misses == 1
+
+    def test_lru_eviction_within_set(self):
+        c = small_cache(assoc=2, sets=4)
+        # Three lines in the same set (stride = n_sets).
+        c.insert(0)
+        c.insert(4)
+        victim = c.insert(8)
+        assert victim is not None
+        assert victim.line_addr == 0
+
+    def test_lookup_refreshes_lru(self):
+        c = small_cache(assoc=2, sets=4)
+        c.insert(0)
+        c.insert(4)
+        c.lookup(0)          # 0 becomes MRU
+        victim = c.insert(8)
+        assert victim.line_addr == 4
+
+    def test_reinsert_refreshes_and_merges_dirty(self):
+        c = small_cache(assoc=2, sets=4)
+        c.insert(0, dirty=True)
+        assert c.insert(0, dirty=False) is None
+        assert c.peek(0).dirty is True  # dirtiness survives a refill
+
+    def test_different_sets_do_not_conflict(self):
+        c = small_cache(assoc=1, sets=4)
+        for line in range(4):
+            assert c.insert(line) is None
+        assert len(c) == 4
+
+    def test_contains_and_peek_do_not_count(self):
+        c = small_cache()
+        c.insert(7)
+        c.contains(7)
+        c.peek(7)
+        c.contains(8)
+        assert c.hits == 0 and c.misses == 0
+
+    def test_mark_dirty(self):
+        c = small_cache()
+        c.insert(3)
+        assert c.mark_dirty(3) is True
+        assert c.peek(3).dirty
+        assert c.mark_dirty(99) is False
+
+    def test_permissions_stored_per_line(self):
+        c = small_cache()
+        c.insert(5, permissions=Permissions.READ_ONLY)
+        assert c.peek(5).permissions == Permissions.READ_ONLY
+
+
+class TestInvalidation:
+    def test_invalidate_line_returns_it(self):
+        c = small_cache()
+        c.insert(9, dirty=True)
+        line = c.invalidate_line(9)
+        assert line.dirty
+        assert not c.contains(9)
+        assert c.invalidate_line(9) is None
+
+    def test_invalidate_page_drops_only_that_page(self):
+        c = small_cache(assoc=4, sets=8)
+        c.insert(0, page=100)
+        c.insert(1, page=100)
+        c.insert(2, page=200)
+        dropped = c.invalidate_page(100)
+        assert {l.line_addr for l in dropped} == {0, 1}
+        assert c.contains(2)
+        assert c.lines_of_page_resident(100) == 0
+
+    def test_invalidate_missing_page_is_empty(self):
+        c = small_cache()
+        assert c.invalidate_page(12345) == []
+
+    def test_invalidate_all(self):
+        c = small_cache(assoc=4, sets=8)
+        for i in range(10):
+            c.insert(i, page=i // 4)
+        dropped = c.invalidate_all()
+        assert len(dropped) == 10
+        assert len(c) == 0
+        assert c.resident_pages() == {}
+
+
+class TestPageTracking:
+    def test_page_line_counts_follow_residency(self):
+        c = small_cache(assoc=4, sets=8)
+        c.insert(0, page=7)
+        c.insert(8, page=7)
+        assert c.lines_of_page_resident(7) == 2
+        c.invalidate_line(0)
+        assert c.lines_of_page_resident(7) == 1
+
+    def test_eviction_decrements_page_count(self):
+        c = small_cache(assoc=1, sets=1)
+        c.insert(0, page=1)
+        c.insert(1, page=2)  # evicts line 0
+        assert c.lines_of_page_resident(1) == 0
+        assert c.lines_of_page_resident(2) == 1
+
+    def test_untracked_lines_have_no_page(self):
+        c = small_cache()
+        c.insert(0)
+        assert c.resident_pages() == {}
+
+    def test_max_lines_per_page(self):
+        c = small_cache(line=128)
+        assert c.max_lines_per_page() == 32
+
+
+class TestStats:
+    def test_hit_ratio(self):
+        c = small_cache()
+        c.insert(1)
+        c.lookup(1)
+        c.lookup(2)
+        assert c.hit_ratio() == 0.5
+
+    def test_hit_ratio_empty(self):
+        assert small_cache().hit_ratio() == 0.0

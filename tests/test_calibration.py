@@ -1,0 +1,89 @@
+"""Tests for the calibration harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.calibration import (
+    OperatingPoint,
+    calibration_report,
+    measure,
+    recommend_interval,
+)
+from repro.workloads.synthetic import gather_kernel
+
+
+def point(**overrides) -> OperatingPoint:
+    base = dict(
+        workload="w", issue_interval=10.0, instructions=1000,
+        requests=5000, tlb_misses=3000, vc_translations=900,
+        ideal_cycles=2000.0, baseline_cycles=3500.0,
+    )
+    base.update(overrides)
+    return OperatingPoint(**base)
+
+
+class TestOperatingPoint:
+    def test_derived_metrics(self):
+        p = point()
+        assert p.demand == pytest.approx(1.5)
+        assert p.vc_demand == pytest.approx(0.45)
+        assert p.baseline_slowdown == pytest.approx(1.75)
+        assert p.filter_rate == pytest.approx(0.7)
+
+    def test_zero_cycles_safe(self):
+        p = point(ideal_cycles=0.0, tlb_misses=0)
+        assert p.demand == 0.0
+        assert p.filter_rate == 0.0
+
+
+class TestRecommendInterval:
+    def test_lower_target_means_longer_interval(self):
+        p = point()
+        relaxed = recommend_interval(p, target_demand=0.5, max_vc_demand=None)
+        aggressive = recommend_interval(p, target_demand=2.0, max_vc_demand=None)
+        assert relaxed > aggressive
+
+    def test_inversion_is_consistent(self):
+        # Applying the recommended interval reproduces the target λ
+        # under the same linear issue model.
+        p = point()
+        target = 1.2
+        interval = recommend_interval(p, target, n_cus=16, max_vc_demand=None)
+        ideal = (p.instructions * interval + (p.requests - p.instructions)) / 16
+        assert p.tlb_misses / ideal == pytest.approx(target, rel=0.01)
+
+    def test_vc_demand_cap_stretches_interval(self):
+        p = point(vc_translations=100_000)
+        capped = recommend_interval(p, target_demand=2.0, max_vc_demand=0.45)
+        uncapped = recommend_interval(p, target_demand=2.0, max_vc_demand=None)
+        assert capped > uncapped
+
+    def test_minimum_floor(self):
+        p = point(tlb_misses=1, vc_translations=0)
+        assert recommend_interval(p, target_demand=10.0,
+                                  max_vc_demand=None) == 4.0
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            recommend_interval(point(), target_demand=0.0)
+
+
+class TestMeasure:
+    def test_measure_gather_kernel(self, small_config):
+        cfg = dataclasses.replace(small_config, n_cus=4)
+        trace = gather_kernel(n_pages=48, n_instructions=600, n_cus=4,
+                              issue_interval=12.0, seed=3)
+        p = measure(trace, cfg)
+        assert p.workload == "gather_kernel"
+        assert p.instructions == 600
+        assert p.tlb_misses > 0
+        assert p.ideal_cycles > 0
+        assert p.baseline_slowdown >= 0.99
+
+    def test_report_renders(self, small_config):
+        cfg = dataclasses.replace(small_config, n_cus=4)
+        trace = gather_kernel(n_pages=24, n_instructions=200, n_cus=4, seed=4)
+        text = calibration_report({"gather": measure(trace, cfg)})
+        assert "λ baseline" in text
+        assert "gather_kernel" in text

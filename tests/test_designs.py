@@ -1,0 +1,119 @@
+"""Tests for SoC configuration and the Table 2 design presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.l1_only import L1OnlyVirtualHierarchy
+from repro.core.virtual_hierarchy import VirtualCacheHierarchy
+from repro.memsys.address_space import AddressSpace
+from repro.system.config import SoCConfig
+from repro.system.designs import (
+    BASELINE_16K,
+    BASELINE_512,
+    BASELINE_LARGE_PER_CU,
+    IDEAL_MMU,
+    L1_ONLY_VC_128,
+    L1_ONLY_VC_32,
+    MMUDesign,
+    TABLE2_DESIGNS,
+    VC_WITHOUT_OPT,
+    VC_WITH_OPT,
+    baseline_unlimited_bandwidth,
+    baseline_with_bandwidth,
+)
+from repro.system.physical_hierarchy import PhysicalHierarchy
+
+
+class TestSoCConfig:
+    def test_table1_defaults(self):
+        cfg = SoCConfig()
+        assert cfg.n_cus == 16
+        assert cfg.l1.size_bytes == 32 * 1024
+        assert cfg.l2.size_bytes == 2 * 1024 * 1024
+        assert cfg.l2.n_banks == 8
+        assert cfg.line_size == 128
+        assert cfg.per_cu_tlb_entries == 32
+        assert cfg.fbt_entries == 16384
+
+    def test_with_per_cu_tlb(self):
+        cfg = SoCConfig().with_per_cu_tlb(128)
+        assert cfg.per_cu_tlb_entries == 128
+        assert SoCConfig().per_cu_tlb_entries == 32  # original untouched
+
+    def test_with_iommu(self):
+        cfg = SoCConfig().with_iommu(entries=16384, bandwidth=2.0)
+        assert cfg.iommu.shared_tlb_entries == 16384
+        assert cfg.iommu.bandwidth == 2.0
+        partial = SoCConfig().with_iommu(bandwidth=3.0)
+        assert partial.iommu.shared_tlb_entries == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoCConfig(n_cus=0)
+        with pytest.raises(ValueError):
+            SoCConfig(lanes_per_cu=0)
+        bad_l2 = dataclasses.replace(
+            SoCConfig().l2, line_size=64, associativity=16)
+        with pytest.raises(ValueError):
+            SoCConfig(l2=bad_l2)  # mismatched line sizes
+
+
+class TestDesignPresets:
+    def test_table2_matches_paper(self):
+        by_name = {d.name: d for d in TABLE2_DESIGNS}
+        assert by_name["IDEAL MMU"].ideal
+        assert by_name["Baseline 512"].per_cu_tlb_entries == 32
+        assert by_name["Baseline 16K"].iommu_entries == 16384
+        assert by_name["VC W/O OPT"].per_cu_tlb_entries is None
+        assert not by_name["VC W/O OPT"].fbt_as_second_level_tlb
+        assert by_name["VC With OPT"].fbt_as_second_level_tlb
+
+    def test_figure_specific_presets(self):
+        assert BASELINE_LARGE_PER_CU.per_cu_tlb_entries == 128
+        assert L1_ONLY_VC_32.per_cu_tlb_entries == 32
+        assert L1_ONLY_VC_128.per_cu_tlb_entries == 128
+        bw2 = baseline_with_bandwidth(2.0)
+        assert bw2.iommu_bandwidth == 2.0 and bw2.iommu_entries == 16384
+        unlimited = baseline_unlimited_bandwidth()
+        assert unlimited.iommu_bandwidth == float("inf")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MMUDesign(name="bad", kind="quantum")
+
+    def test_soc_config_override(self, small_config):
+        cfg = BASELINE_16K.soc_config(small_config)
+        assert cfg.iommu.shared_tlb_entries == 16384
+        assert cfg.per_cu_tlb_entries == 32
+        assert cfg.n_cus == small_config.n_cus  # everything else kept
+
+
+class TestBuilders:
+    def _tables(self):
+        space = AddressSpace(asid=0)
+        return {0: space.page_table}
+
+    def test_physical_kinds(self, small_config):
+        h = BASELINE_512.build(small_config, self._tables())
+        assert isinstance(h, PhysicalHierarchy)
+        assert not h.ideal
+        ideal = IDEAL_MMU.build(small_config, self._tables())
+        assert ideal.ideal
+
+    def test_vc_kinds(self, small_config):
+        h = VC_WITH_OPT.build(small_config, self._tables())
+        assert isinstance(h, VirtualCacheHierarchy)
+        assert h.fbt_as_second_level_tlb
+        h2 = VC_WITHOUT_OPT.build(small_config, self._tables())
+        assert not h2.fbt_as_second_level_tlb
+        assert h2.iommu.second_level is None
+
+    def test_l1_only_kind(self, small_config):
+        h = L1_ONLY_VC_32.build(small_config, self._tables())
+        assert isinstance(h, L1OnlyVirtualHierarchy)
+        assert h.per_cu_tlbs[0].capacity == 32
+
+    def test_built_hierarchies_use_overridden_config(self, small_config):
+        h = BASELINE_16K.build(small_config, self._tables())
+        assert h.iommu.shared_tlb.capacity == 16384

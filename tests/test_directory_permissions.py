@@ -1,0 +1,87 @@
+"""Tests for the coherence directory stub and the permissions model."""
+
+import pytest
+
+from repro.memsys.directory import CoherenceProbe, Directory
+from repro.memsys.permissions import (
+    PageFault,
+    PermissionFault,
+    Permissions,
+    ReadWriteSynonymFault,
+)
+
+
+class TestPermissions:
+    def test_read_write_allows_both(self):
+        assert Permissions.READ_WRITE.allows(is_write=False)
+        assert Permissions.READ_WRITE.allows(is_write=True)
+
+    def test_read_only_rejects_writes(self):
+        assert Permissions.READ_ONLY.allows(is_write=False)
+        assert not Permissions.READ_ONLY.allows(is_write=True)
+
+    def test_none_rejects_everything(self):
+        assert not Permissions.NONE.allows(is_write=False)
+        assert not Permissions.NONE.allows(is_write=True)
+
+    def test_flags_compose(self):
+        rwx = Permissions.READ | Permissions.WRITE | Permissions.EXECUTE
+        assert rwx.allows(is_write=True)
+        assert Permissions.EXECUTE in rwx
+
+    def test_flag_values_roundtrip_through_int(self):
+        # Serialization relies on IntFlag round-tripping.
+        for p in (Permissions.READ_ONLY, Permissions.READ_WRITE,
+                  Permissions.NONE):
+            assert Permissions(int(p)) == p
+
+
+class TestFaultTypes:
+    def test_permission_fault_message(self):
+        fault = PermissionFault(vpn=0x123, is_write=True,
+                                permissions=Permissions.READ_ONLY)
+        assert "write" in str(fault)
+        assert "0x123" in str(fault)
+        assert fault.vpn == 0x123
+
+    def test_page_fault_message(self):
+        fault = PageFault(vpn=0x77, asid=3)
+        assert "0x77" in str(fault)
+        assert fault.asid == 3
+
+    def test_rw_synonym_fault_fields(self):
+        fault = ReadWriteSynonymFault(ppn=9, leading_vpn=100, vpn=200)
+        assert fault.ppn == 9
+        assert fault.leading_vpn == 100
+        assert fault.vpn == 200
+        assert "synonym" in str(fault)
+
+
+class TestDirectory:
+    def test_fill_and_writeback_tracking(self):
+        d = Directory()
+        d.record_gpu_fill(42)
+        assert d.gpu_may_hold(42)
+        d.record_gpu_writeback(42)
+        assert not d.gpu_may_hold(42)
+
+    def test_writeback_of_untracked_line_is_noop(self):
+        d = Directory()
+        d.record_gpu_writeback(7)  # must not raise
+        assert not d.gpu_may_hold(7)
+
+    def test_probe_construction_counts(self):
+        d = Directory()
+        probe = d.make_probe(99)
+        assert isinstance(probe, CoherenceProbe)
+        assert probe.physical_line == 99
+        assert probe.filtered is None  # not yet serviced
+        assert d.counters["directory.probes"] == 1
+
+    def test_counters(self):
+        d = Directory()
+        d.record_gpu_fill(1)
+        d.record_gpu_fill(2)
+        d.record_gpu_writeback(1)
+        assert d.counters["directory.fills"] == 2
+        assert d.counters["directory.writebacks"] == 1

@@ -1,0 +1,111 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.engine.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert len(q) == 0
+        assert q.peek_time() is None
+
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(5.0, order.append, "b")
+        q.push(1.0, order.append, "a")
+        q.push(9.0, order.append, "c")
+        while len(q):
+            _, cb, args = q.pop()
+            cb(*args)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        q = EventQueue()
+        order = []
+        for tag in ("first", "second", "third"):
+            q.push(3.0, order.append, tag)
+        while len(q):
+            _, cb, args = q.pop()
+            cb(*args)
+        assert order == ["first", "second", "third"]
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(-1.0, lambda: None)
+
+    def test_peek_returns_earliest(self):
+        q = EventQueue()
+        q.push(7.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.peek_time() == 2.0
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, "x")
+        sim.schedule(5.0, fired.append, "y")
+        n = sim.run()
+        assert n == 2
+        assert fired == ["y", "x"]
+        assert sim.now == 10.0
+
+    def test_run_until_stops_at_limit(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, 1)
+        sim.schedule(50.0, fired.append, 2)
+        sim.run(until=20.0)
+        assert fired == [1]
+        assert sim.pending_events() == 1
+        assert sim.now == 20.0
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_fire_due_events_advances_clock(self):
+        sim = Simulator()
+        sim.schedule(4.0, lambda: None)
+        fired = sim.fire_due_events(10.0)
+        assert fired == 1
+        assert sim.now == 10.0
+
+    def test_advance_to_never_goes_backwards(self):
+        sim = Simulator()
+        sim.advance_to(8.0)
+        sim.advance_to(3.0)
+        assert sim.now == 8.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_cycle_ns_conversion_roundtrip(self):
+        sim = Simulator(frequency_ghz=0.7)
+        assert sim.cycles_to_ns(700) == pytest.approx(1000.0)
+        assert sim.ns_to_cycles(sim.cycles_to_ns(123.0)) == pytest.approx(123.0)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(frequency_ghz=0.0)

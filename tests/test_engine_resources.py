@@ -1,0 +1,222 @@
+"""Tests for the shared-resource queueing models."""
+
+import pytest
+
+from repro.engine.resources import (
+    BandwidthLink,
+    BankedServer,
+    ThreadPool,
+    ThroughputServer,
+    WindowedServer,
+)
+
+
+class TestThroughputServer:
+    def test_idle_server_serves_immediately(self):
+        s = ThroughputServer(rate=1.0)
+        assert s.request(10.0) == 10.0
+
+    def test_back_to_back_requests_serialize(self):
+        s = ThroughputServer(rate=1.0)
+        assert s.request(0.0) == 0.0
+        assert s.request(0.0) == 1.0
+        assert s.request(0.0) == 2.0
+
+    def test_rate_scales_service_interval(self):
+        s = ThroughputServer(rate=2.0)
+        assert s.request(0.0) == 0.0
+        assert s.request(0.0) == 0.5
+        assert s.request(0.0) == 1.0
+
+    def test_gap_drains_queue(self):
+        s = ThroughputServer(rate=1.0)
+        s.request(0.0)
+        s.request(0.0)
+        # Arriving after the backlog clears: served immediately.
+        assert s.request(100.0) == 100.0
+
+    def test_queue_delay_accounting(self):
+        s = ThroughputServer(rate=1.0)
+        for _ in range(4):
+            s.request(0.0)
+        assert s.total_requests == 4
+        assert s.total_queue_delay == 0 + 1 + 2 + 3
+
+    def test_queue_delay_probe(self):
+        s = ThroughputServer(rate=1.0)
+        s.request(0.0)
+        s.request(0.0)
+        assert s.queue_delay(0.0) == pytest.approx(2.0)
+        assert s.queue_delay(50.0) == 0.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputServer(rate=0.0)
+
+    def test_reset(self):
+        s = ThroughputServer()
+        s.request(0.0)
+        s.request(0.0)
+        s.reset()
+        assert s.request(0.0) == 0.0
+        assert s.total_requests == 1
+
+
+class TestWindowedServer:
+    def test_under_capacity_serves_immediately(self):
+        s = WindowedServer(rate=1.0)
+        for i in range(int(WindowedServer.WINDOW_CYCLES)):
+            assert s.request(float(i)) == float(i)
+
+    def test_overflow_queues(self):
+        s = WindowedServer(rate=1.0)
+        window = int(WindowedServer.WINDOW_CYCLES)
+        for _ in range(window):
+            s.request(0.0)
+        # The window's capacity is spent: the next request queues.
+        assert s.request(0.0) == pytest.approx(1.0)
+        assert s.request(0.0) == pytest.approx(2.0)
+
+    def test_out_of_order_arrivals_do_not_block(self):
+        # The regression this class exists for: a future-stamped request
+        # (synonym replay) must not delay an earlier-stamped one.
+        s = WindowedServer(rate=1.0)
+        s.request(500.0)
+        assert s.request(600.0) == 600.0
+
+    def test_new_window_resets(self):
+        s = WindowedServer(rate=1.0)
+        for _ in range(1000):
+            s.request(0.0)
+        w = WindowedServer.WINDOW_CYCLES
+        assert s.request(w * 5) == w * 5
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            WindowedServer(rate=0.0)
+
+    def test_reset(self):
+        s = WindowedServer(rate=1.0)
+        for _ in range(1000):
+            s.request(0.0)
+        s.reset()
+        assert s.request(0.0) == 0.0
+        assert s.total_requests == 1
+
+
+class TestBankedServer:
+    def test_different_banks_do_not_conflict(self):
+        b = BankedServer(n_banks=4)
+        assert b.request(0.0, 0) == 0.0
+        assert b.request(0.0, 1) == 0.0
+        assert b.request(0.0, 2) == 0.0
+
+    def test_same_bank_conflicts_once_window_capacity_spent(self):
+        b = BankedServer(n_banks=4)
+        window = int(WindowedServer.WINDOW_CYCLES)
+        for _ in range(window):
+            b.request(0.0, 2)
+        assert b.request(0.0, 2) == pytest.approx(1.0)
+        # The other banks are unaffected.
+        assert b.request(0.0, 3) == 0.0
+
+    def test_bank_index_wraps(self):
+        b = BankedServer(n_banks=4)
+        window = int(WindowedServer.WINDOW_CYCLES)
+        for _ in range(window + 1):
+            b.request(0.0, 1)
+        # Bank 5 maps onto bank 1 and sees its backlog.
+        assert b.request(0.0, 5) > 0.0
+
+    def test_totals_aggregate_across_banks(self):
+        b = BankedServer(n_banks=2)
+        b.request(0.0, 0)
+        b.request(0.0, 1)
+        assert b.total_requests == 2
+
+    def test_needs_at_least_one_bank(self):
+        with pytest.raises(ValueError):
+            BankedServer(n_banks=0)
+
+
+class TestThreadPool:
+    def test_parallel_up_to_thread_count(self):
+        p = ThreadPool(n_threads=2)
+        assert p.request(0.0, 10.0) == 10.0
+        assert p.request(0.0, 10.0) == 10.0
+        # Third job waits for a thread.
+        assert p.request(0.0, 10.0) == 20.0
+
+    def test_earliest_thread_wins(self):
+        p = ThreadPool(n_threads=2)
+        p.request(0.0, 5.0)
+        p.request(0.0, 50.0)
+        # Next job starts when the 5-cycle job's thread frees up.
+        assert p.request(0.0, 1.0) == 6.0
+
+    def test_queue_delay_tracked(self):
+        p = ThreadPool(n_threads=1)
+        p.request(0.0, 10.0)
+        p.request(0.0, 10.0)
+        assert p.total_queue_delay == 10.0
+
+    def test_negative_service_rejected(self):
+        p = ThreadPool(n_threads=1)
+        with pytest.raises(ValueError):
+            p.request(0.0, -1.0)
+
+    def test_sixteen_concurrent_walks(self):
+        # The Table 1 PTW: 16 concurrent walks absorb a burst.
+        p = ThreadPool(n_threads=16)
+        finishes = [p.request(0.0, 100.0) for _ in range(16)]
+        assert all(f == 100.0 for f in finishes)
+        assert p.request(0.0, 100.0) == 200.0
+
+
+class TestBandwidthLink:
+    def test_latency_only_when_under_capacity(self):
+        link = BandwidthLink(latency=100.0, bytes_per_cycle=256.0)
+        assert link.request(0.0, 128) == pytest.approx(100.0 + 128 / 256.0)
+
+    def test_unlimited_bandwidth_is_pure_latency(self):
+        link = BandwidthLink(latency=7.0)
+        assert link.request(3.0, 10**9) == 10.0
+
+    def test_window_overflow_delays(self):
+        link = BandwidthLink(latency=0.0, bytes_per_cycle=1.0)
+        window = BandwidthLink.WINDOW_CYCLES
+        # Fill the window's whole capacity in one request...
+        link.request(0.0, int(window))
+        # ...the next request in the same window queues behind it.
+        t = link.request(0.0, 100)
+        assert t == pytest.approx(100 + 100 / 1.0)
+
+    def test_new_window_resets_accounting(self):
+        link = BandwidthLink(latency=0.0, bytes_per_cycle=1.0)
+        window = BandwidthLink.WINDOW_CYCLES
+        link.request(0.0, int(window * 4))  # badly oversubscribed
+        # A request in a later window starts fresh.
+        t = link.request(window * 10, 1)
+        assert t == pytest.approx(window * 10 + 1)
+
+    def test_future_stamped_request_does_not_chain_latency(self):
+        # The regression this design exists for: a write-back stamped in
+        # the future must not delay unrelated same-window requests by a
+        # full memory latency.
+        link = BandwidthLink(latency=160.0, bytes_per_cycle=256.0)
+        link.request(500.0, 128)   # future-stamped write-back
+        t = link.request(10.0, 128)
+        assert t < 200.0  # ≈ latency, not 660+
+
+    def test_byte_accounting(self):
+        link = BandwidthLink(latency=1.0, bytes_per_cycle=10.0)
+        link.request(0.0, 100)
+        link.request(0.0, 50)
+        assert link.total_bytes == 150
+        assert link.total_requests == 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthLink(latency=-1.0)
+        with pytest.raises(ValueError):
+            BandwidthLink(latency=0.0, bytes_per_cycle=0.0)

@@ -1,0 +1,180 @@
+"""Tests for counters, interval samplers, and lifetime trackers."""
+
+import math
+
+import pytest
+
+from repro.engine.stats import (
+    Counters,
+    IntervalSampler,
+    LifetimeTracker,
+    cdf,
+    fraction_at_or_below,
+)
+
+
+class TestCounters:
+    def test_missing_counter_reads_zero(self):
+        c = Counters()
+        assert c["nothing"] == 0
+        assert "nothing" not in c
+
+    def test_add_and_read(self):
+        c = Counters()
+        c.add("hits")
+        c.add("hits", 4)
+        assert c["hits"] == 5
+        assert "hits" in c
+
+    def test_ratio(self):
+        c = Counters()
+        c.add("misses", 3)
+        c.add("accesses", 12)
+        assert c.ratio("misses", "accesses") == 0.25
+
+    def test_ratio_with_zero_denominator(self):
+        c = Counters()
+        assert c.ratio("a", "b") == 0.0
+
+    def test_as_dict_is_a_snapshot(self):
+        c = Counters()
+        c.add("x")
+        snapshot = c.as_dict()
+        c.add("x")
+        assert snapshot["x"] == 1
+
+    def test_reset(self):
+        c = Counters()
+        c.add("x", 10)
+        c.reset()
+        assert c["x"] == 0
+
+
+class TestIntervalSampler:
+    def test_all_events_in_one_window(self):
+        s = IntervalSampler(interval_cycles=100.0)
+        for t in (1.0, 50.0, 99.0):
+            s.record(t)
+        stats = s.rate_stats()
+        assert stats.n_samples == 1
+        assert stats.mean == pytest.approx(0.03)
+        assert stats.maximum == pytest.approx(0.03)
+        assert stats.std == 0.0
+
+    def test_empty_windows_between_bursts_count(self):
+        s = IntervalSampler(interval_cycles=10.0)
+        s.record(5.0)       # window 0
+        s.record(35.0)      # window 3; windows 1-2 empty
+        stats = s.rate_stats()
+        assert stats.n_samples == 4
+        assert stats.mean == pytest.approx(2 / 40)
+
+    def test_maximum_captures_burst(self):
+        s = IntervalSampler(interval_cycles=10.0)
+        for _ in range(20):
+            s.record(3.0)   # 2 events/cycle burst in window 0
+        s.record(95.0)
+        stats = s.rate_stats()
+        assert stats.maximum == pytest.approx(2.0)
+        assert stats.mean < 0.5
+
+    def test_fraction_above_threshold(self):
+        s = IntervalSampler(interval_cycles=10.0)
+        for _ in range(15):
+            s.record(1.0)   # window 0: 1.5/cycle
+        s.record(11.0)      # window 1: 0.1/cycle
+        stats = s.rate_stats()
+        assert stats.fraction_above(1.0) == pytest.approx(0.5)
+
+    def test_end_time_extends_denominator(self):
+        s = IntervalSampler(interval_cycles=10.0)
+        s.record(5.0)
+        stats = s.rate_stats(end_time=100.0)
+        assert stats.n_samples == 11
+        assert stats.mean == pytest.approx(1 / 110)
+
+    def test_no_events(self):
+        s = IntervalSampler(interval_cycles=10.0)
+        stats = s.rate_stats()
+        assert stats.n_samples == 0
+        assert stats.mean == 0.0
+        assert stats.fraction_above(0.0) == 0.0
+
+    def test_record_with_count(self):
+        s = IntervalSampler(interval_cycles=10.0)
+        s.record(0.0, count=30)
+        assert s.total_events == 30
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSampler(interval_cycles=0.0)
+
+    def test_negative_time_rejected(self):
+        s = IntervalSampler(interval_cycles=10.0)
+        with pytest.raises(ValueError):
+            s.record(-5.0)
+
+    def test_std_of_two_windows(self):
+        s = IntervalSampler(interval_cycles=10.0)
+        for _ in range(10):
+            s.record(0.0)   # window 0: 1.0/cycle
+        for _ in range(2):
+            s.record(10.0)  # window 1: 0.2/cycle
+        stats = s.rate_stats()
+        assert stats.mean == pytest.approx(0.6)
+        assert stats.std == pytest.approx(0.4)
+
+
+class TestLifetimeTracker:
+    def test_residence_time_is_insert_to_evict(self):
+        t = LifetimeTracker()
+        t.on_insert("page", 100.0)
+        t.on_evict("page", 250.0)
+        assert t.residence_times == [150.0]
+
+    def test_active_lifetime_is_insert_to_last_access(self):
+        t = LifetimeTracker()
+        t.on_insert("line", 0.0)
+        t.on_access("line", 60.0)
+        t.on_access("line", 80.0)
+        t.on_evict("line", 500.0)
+        assert t.active_lifetimes == [80.0]
+        assert t.residence_times == [500.0]
+
+    def test_untracked_access_is_noop(self):
+        t = LifetimeTracker()
+        t.on_access("ghost", 5.0)
+        t.on_evict("ghost", 9.0)
+        assert t.residence_times == []
+
+    def test_flush_evicts_everything(self):
+        t = LifetimeTracker()
+        t.on_insert("a", 0.0)
+        t.on_insert("b", 10.0)
+        t.flush(100.0)
+        assert sorted(t.residence_times) == [90.0, 100.0]
+
+    def test_reinsertion_restarts_span(self):
+        t = LifetimeTracker()
+        t.on_insert("k", 0.0)
+        t.on_evict("k", 10.0)
+        t.on_insert("k", 50.0)
+        t.on_evict("k", 55.0)
+        assert t.residence_times == [10.0, 5.0]
+
+
+class TestCdfHelpers:
+    def test_cdf_points(self):
+        points = cdf([3.0, 1.0, 2.0, 2.0])
+        assert points[0] == (1.0, 0.25)
+        assert points[-1] == (3.0, 1.0)
+
+    def test_cdf_empty(self):
+        assert cdf([]) == []
+
+    def test_fraction_at_or_below(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert fraction_at_or_below(values, 2.5) == 0.5
+        assert fraction_at_or_below(values, 0.0) == 0.0
+        assert fraction_at_or_below(values, 10.0) == 1.0
+        assert fraction_at_or_below([], 1.0) == 0.0

@@ -1,0 +1,116 @@
+"""Tests for the GPU substrate: coalescer, compute unit, scratchpad."""
+
+import pytest
+
+from repro.gpu.coalescer import Coalescer
+from repro.gpu.cu import ComputeUnit
+from repro.gpu.scratchpad import Scratchpad
+
+
+class TestCoalescer:
+    def test_fully_coalesced_warp(self):
+        c = Coalescer(line_size=128)
+        # 32 consecutive 4-byte accesses: one line.
+        reqs = c.coalesce([i * 4 for i in range(32)])
+        assert len(reqs) == 1
+        assert reqs[0].n_lanes == 32
+        assert reqs[0].line_addr == 0
+
+    def test_fully_divergent_warp(self):
+        c = Coalescer(line_size=128)
+        reqs = c.coalesce([i * 4096 for i in range(32)])
+        assert len(reqs) == 32
+        assert all(r.n_lanes == 1 for r in reqs)
+
+    def test_partial_coalescing(self):
+        c = Coalescer(line_size=128)
+        reqs = c.coalesce([0, 64, 128, 192, 1000])
+        assert len(reqs) == 3
+        assert [r.line_addr for r in reqs] == [0, 1, 7]
+
+    def test_lane_counts_preserved(self):
+        c = Coalescer(line_size=128)
+        reqs = c.coalesce([0, 0, 0, 128])
+        assert sum(r.n_lanes for r in reqs) == 4
+
+    def test_write_flag_propagates(self):
+        c = Coalescer()
+        reqs = c.coalesce([0], is_write=True)
+        assert reqs[0].is_write
+
+    def test_request_addressing_helpers(self):
+        c = Coalescer(line_size=128)
+        req = c.coalesce([5000])[0]
+        assert req.byte_addr == (5000 // 128) * 128
+        assert req.vpn == 5000 // 4096
+
+    def test_divergence_statistics(self):
+        c = Coalescer(line_size=128)
+        c.coalesce([0])
+        c.coalesce([0, 4096, 8192])
+        assert c.mean_divergence() == 2.0
+
+    def test_invalid_line_size(self):
+        with pytest.raises(ValueError):
+            Coalescer(line_size=0)
+
+
+class TestComputeUnit:
+    def test_issue_advances_by_gap(self):
+        cu = ComputeUnit(0, window=4, issue_interval=10.0)
+        cu.issue(0.0, 100.0, gap=1.0)
+        assert cu.next_issue_time == 1.0
+        cu.issue(1.0, 101.0, gap=10.0)
+        assert cu.next_issue_time == 11.0
+
+    def test_window_stalls_issue(self):
+        cu = ComputeUnit(0, window=2, issue_interval=1.0)
+        cu.issue(0.0, 100.0)
+        cu.issue(1.0, 200.0)
+        # Window full: next issue waits for the oldest completion.
+        assert cu.earliest_issue(2.0) == 100.0
+        assert cu.stall_cycles == 98.0
+
+    def test_completed_requests_retire(self):
+        cu = ComputeUnit(0, window=2, issue_interval=1.0)
+        cu.issue(0.0, 5.0)
+        cu.issue(1.0, 6.0)
+        # Both complete before cycle 10; no stall.
+        cu.issue(10.0, 20.0)
+        assert cu.in_flight() == 1
+
+    def test_drain_time(self):
+        cu = ComputeUnit(0, window=4, issue_interval=1.0)
+        cu.issue(0.0, 50.0)
+        cu.issue(1.0, 30.0)
+        assert cu.drain_time() == 50.0
+
+    def test_drain_time_after_retirement(self):
+        cu = ComputeUnit(0, window=2, issue_interval=1.0)
+        cu.issue(0.0, 5.0)
+        cu.issue(100.0, 110.0)  # first retired at issue
+        assert cu.drain_time() == 110.0
+
+    def test_completion_before_issue_rejected(self):
+        cu = ComputeUnit(0)
+        with pytest.raises(ValueError):
+            cu.issue(10.0, 5.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ComputeUnit(0, window=0)
+        with pytest.raises(ValueError):
+            ComputeUnit(0, issue_interval=0.0)
+
+
+class TestScratchpad:
+    def test_fixed_latency(self):
+        sp = Scratchpad(latency=2.0)
+        assert sp.access(10.0) == 12.0
+        assert sp.accesses == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Scratchpad(size_bytes=0)
+        with pytest.raises(ValueError):
+            Scratchpad(latency=-1.0)

@@ -1,0 +1,138 @@
+"""Tests for the graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graphs import (
+    CSRGraph,
+    edge_positions,
+    grid_graph,
+    powerlaw_graph,
+    segment_max,
+    segment_min,
+    uniform_random_graph,
+    zipf_graph,
+)
+
+
+class TestCSRGraph:
+    def test_valid_construction(self):
+        g = CSRGraph(3, np.array([0, 2, 2, 3]), np.array([1, 2, 0], dtype=np.int32))
+        assert g.n_edges == 3
+        assert g.degree(0) == 2
+        assert g.degree(1) == 0
+        assert list(g.neighbors(0)) == [1, 2]
+
+    def test_bad_row_ptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(2, np.array([0, 1]), np.array([0], dtype=np.int32))
+        with pytest.raises(ValueError):
+            CSRGraph(2, np.array([0, 2, 1]), np.array([0], dtype=np.int32))
+        with pytest.raises(ValueError):
+            CSRGraph(2, np.array([1, 1, 1]), np.array([0], dtype=np.int32))
+
+
+class TestGenerators:
+    def test_powerlaw_graph_is_valid(self):
+        g = powerlaw_graph(2000, mean_degree=4, seed=1)
+        assert g.n_vertices == 2000
+        assert np.all(g.col_idx >= 0) and np.all(g.col_idx < 2000)
+        assert g.row_ptr[-1] == g.n_edges
+
+    def test_powerlaw_has_hubs(self):
+        g = powerlaw_graph(5000, mean_degree=4, seed=2)
+        degrees = np.sort(g.out_degrees())[::-1]
+        # Heavy tail: the top vertex far exceeds the mean.
+        assert degrees[0] > 10 * degrees.mean()
+
+    def test_zipf_graph_target_skew(self):
+        g = zipf_graph(10_000, mean_degree=8, exponent=1.2, seed=3)
+        counts = np.bincount(g.col_idx, minlength=g.n_vertices)
+        top = np.sort(counts)[::-1]
+        # The hottest 1% of vertices receive a large share of edges.
+        assert top[:100].sum() > 0.2 * g.n_edges
+
+    def test_zipf_graph_hubs_are_scattered(self):
+        g = zipf_graph(10_000, mean_degree=8, exponent=1.2, seed=4)
+        counts = np.bincount(g.col_idx, minlength=g.n_vertices)
+        hot = np.argsort(counts)[-50:]
+        # Hubs are spread over the ID space, not clustered at low IDs.
+        assert hot.std() > g.n_vertices / 8
+
+    def test_zipf_symmetric_doubles_edges(self):
+        g1 = zipf_graph(1000, mean_degree=4, seed=5)
+        g2 = zipf_graph(1000, mean_degree=4, seed=5, symmetric=True)
+        assert g2.n_edges == 2 * g1.n_edges
+
+    def test_zipf_deterministic(self):
+        a = zipf_graph(1000, seed=6)
+        b = zipf_graph(1000, seed=6)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_uniform_random_graph(self):
+        g = uniform_random_graph(1000, mean_degree=6, seed=7)
+        assert g.n_vertices == 1000
+        counts = np.bincount(g.col_idx, minlength=1000)
+        assert counts.max() < 20 * max(1.0, counts.mean())  # no hubs
+
+    def test_grid_graph_degrees(self):
+        g = grid_graph(4)
+        degrees = g.out_degrees()
+        assert degrees.max() == 4   # interior
+        assert degrees.min() == 2   # corners
+        assert g.n_edges == 2 * 2 * 4 * 3  # 24 undirected edges, both ways
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            zipf_graph(1)
+        with pytest.raises(ValueError):
+            zipf_graph(100, exponent=0.0)
+        with pytest.raises(ValueError):
+            powerlaw_graph(100, mean_degree=0)
+        with pytest.raises(ValueError):
+            grid_graph(1)
+
+
+class TestVectorizedHelpers:
+    def g(self):
+        return CSRGraph(
+            4,
+            np.array([0, 2, 2, 5, 6]),
+            np.array([1, 2, 0, 1, 3, 0], dtype=np.int32),
+        )
+
+    def test_edge_positions_matches_reference(self):
+        g = self.g()
+        got = edge_positions(g, np.array([0, 2]))
+        assert list(got) == [0, 1, 2, 3, 4]
+
+    def test_edge_positions_empty_vertex(self):
+        g = self.g()
+        assert list(edge_positions(g, np.array([1]))) == []
+        assert list(edge_positions(g, np.array([]))) == []
+
+    def test_edge_positions_random_graph_reference(self):
+        g = zipf_graph(500, mean_degree=5, seed=8)
+        verts = np.array([3, 100, 499, 0])
+        expected = []
+        for v in verts:
+            expected.extend(range(int(g.row_ptr[v]), int(g.row_ptr[v + 1])))
+        assert list(edge_positions(g, verts)) == expected
+
+    def test_segment_max_matches_reference(self):
+        g = zipf_graph(300, mean_degree=4, seed=9)
+        values = np.random.default_rng(0).random(300)
+        got = segment_max(g, values)
+        for v in range(300):
+            neigh = g.neighbors(v)
+            expected = values[neigh].max() if len(neigh) else -np.inf
+            assert got[v] == pytest.approx(expected)
+
+    def test_segment_min_matches_reference(self):
+        g = zipf_graph(300, mean_degree=4, seed=10)
+        values = np.random.default_rng(1).random(300)
+        got = segment_min(g, values)
+        for v in range(300):
+            neigh = g.neighbors(v)
+            expected = values[neigh].min() if len(neigh) else np.inf
+            assert got[v] == pytest.approx(expected)

@@ -1,0 +1,58 @@
+"""Tests for the per-L1 invalidation filter."""
+
+from repro.core.invalidation_filter import InvalidationFilter
+
+
+class TestCounting:
+    def test_empty_filter_holds_nothing(self):
+        f = InvalidationFilter()
+        assert f.might_hold(0, 100) is False
+        assert f.filtered == 1
+
+    def test_fill_makes_page_visible(self):
+        f = InvalidationFilter()
+        f.on_fill(0, 100)
+        assert f.might_hold(0, 100) is True
+        assert f.lines_from(0, 100) == 1
+
+    def test_counts_accumulate(self):
+        f = InvalidationFilter()
+        for _ in range(3):
+            f.on_fill(0, 100)
+        f.on_evict(0, 100)
+        assert f.might_hold(0, 100) is True
+        assert f.lines_from(0, 100) == 2
+
+    def test_last_eviction_clears_page(self):
+        f = InvalidationFilter()
+        f.on_fill(0, 100)
+        f.on_evict(0, 100)
+        assert f.might_hold(0, 100) is False
+        assert len(f) == 0
+
+    def test_evict_untracked_is_noop(self):
+        f = InvalidationFilter()
+        f.on_evict(0, 100)
+        assert len(f) == 0
+
+    def test_pages_are_asid_qualified(self):
+        f = InvalidationFilter()
+        f.on_fill(0, 100)
+        assert f.might_hold(1, 100) is False
+
+    def test_clear_after_full_flush(self):
+        f = InvalidationFilter()
+        f.on_fill(0, 1)
+        f.on_fill(0, 2)
+        f.clear()
+        assert len(f) == 0
+        assert f.might_hold(0, 1) is False
+
+    def test_filter_rate_statistics(self):
+        f = InvalidationFilter()
+        f.on_fill(0, 1)
+        f.might_hold(0, 1)   # hit
+        f.might_hold(0, 2)   # filtered
+        f.might_hold(0, 3)   # filtered
+        assert f.checks == 3
+        assert f.filtered == 2

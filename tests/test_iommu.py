@@ -1,0 +1,189 @@
+"""Tests for the page-walk cache, walker, and IOMMU."""
+
+import pytest
+
+from repro.memsys.address_space import AddressSpace, System
+from repro.memsys.addressing import page_number
+from repro.memsys.iommu import IOMMU, IOMMUConfig
+from repro.memsys.page_table import FrameAllocator, PageTable
+from repro.memsys.page_table_walker import PageTableWalker
+from repro.memsys.page_walk_cache import PageWalkCache
+from repro.memsys.permissions import PageFault
+
+
+def mapped_table(n_pages: int = 64):
+    pt = PageTable(FrameAllocator())
+    for vpn in range(n_pages):
+        pt.map(0x1000 + vpn, 0x50 + vpn)
+    return pt
+
+
+class TestPageWalkCache:
+    def test_cold_walk_goes_to_memory(self):
+        pwc = PageWalkCache(hit_latency=2.0, memory_latency=100.0)
+        pt = mapped_table()
+        nodes = pt.walk(0x1000).node_addresses
+        latency, mem = pwc.walk_latency(nodes)
+        assert mem == 4
+        assert latency == 400.0
+
+    def test_warm_walk_hits_directories(self):
+        pwc = PageWalkCache(hit_latency=2.0, memory_latency=100.0)
+        pt = mapped_table()
+        pwc.walk_latency(pt.walk(0x1000).node_addresses)
+        latency, mem = pwc.walk_latency(pt.walk(0x1001).node_addresses)
+        # Three directory hits + leaf PTE from memory.
+        assert mem == 1
+        assert latency == 2.0 * 3 + 100.0
+
+    def test_leaf_caching_optional(self):
+        pwc = PageWalkCache(hit_latency=2.0, memory_latency=100.0,
+                            cache_leaf_level=True)
+        pt = mapped_table()
+        pwc.walk_latency(pt.walk(0x1000).node_addresses)
+        latency, mem = pwc.walk_latency(pt.walk(0x1000).node_addresses)
+        assert mem == 0
+        assert latency == 8.0
+
+
+class TestPageTableWalker:
+    def test_walk_returns_translation(self):
+        ptw = PageTableWalker(mapped_table(), n_threads=16)
+        walk = ptw.walk(0x1000, now=0.0)
+        assert walk.result.ppn == 0x50
+        assert walk.latency > 0
+
+    def test_concurrent_walks_share_threads(self):
+        # Use VPNs so far apart they share no directory entries, giving
+        # each walk the same (cold) service time.
+        pt = PageTable(FrameAllocator())
+        # Root indices 8 apart: different PWC lines even at the root, so
+        # every walk is fully cold (4 memory accesses each).
+        stride = 8 * 512 ** 3
+        for i in range(4):
+            pt.map(i * stride, 10 + i)
+        ptw = PageTableWalker(pt, PageWalkCache(), n_threads=2)
+        finishes = [ptw.walk(i * stride, now=0.0).finish for i in range(4)]
+        # With 2 threads, the 3rd and 4th walks queue behind the first two.
+        assert finishes[0] == finishes[1]
+        assert finishes[2] == pytest.approx(2 * finishes[0])
+        assert finishes[3] == pytest.approx(2 * finishes[1])
+
+    def test_mean_latency_accounting(self):
+        ptw = PageTableWalker(mapped_table(), n_threads=16)
+        ptw.walk(0x1000, now=0.0)
+        ptw.walk(0x1001, now=1000.0)
+        assert ptw.walks == 2
+        assert ptw.mean_latency() > 0
+
+    def test_unmapped_faults(self):
+        ptw = PageTableWalker(mapped_table(), n_threads=1)
+        with pytest.raises(PageFault):
+            ptw.walk(0xBAD, now=0.0)
+
+
+class TestIOMMU:
+    def make(self, entries=8, bandwidth=1.0, second_level=None):
+        return IOMMU(
+            IOMMUConfig(shared_tlb_entries=entries, bandwidth=bandwidth),
+            {0: mapped_table()},
+            second_level=second_level,
+        )
+
+    def test_walk_then_tlb_hit(self):
+        iommu = self.make()
+        first = iommu.translate(0x1000, 0.0)
+        assert first.source == "walk"
+        second = iommu.translate(0x1000, first.finish)
+        assert second.source == "shared_tlb"
+        assert second.latency < first.latency
+        assert second.ppn == first.ppn == 0x50
+
+    def test_bandwidth_serializes_requests(self):
+        iommu = self.make(bandwidth=1.0)
+        iommu.translate(0x1000, 0.0)
+        # Prime the TLB, then hammer it in one cycle.
+        finishes = [iommu.translate(0x1000, 100.0).finish for _ in range(4)]
+        assert finishes[1] - finishes[0] == pytest.approx(1.0)
+        assert finishes[3] - finishes[0] == pytest.approx(3.0)
+
+    def test_unlimited_bandwidth_does_not_queue(self):
+        iommu = self.make(bandwidth=float("inf"))
+        iommu.translate(0x1000, 0.0)
+        finishes = [iommu.translate(0x1000, 100.0).finish for _ in range(4)]
+        assert finishes[0] == finishes[3]
+
+    def test_capacity_evicts_lru(self):
+        iommu = self.make(entries=2)
+        t = 0.0
+        for vpn in (0x1000, 0x1001, 0x1002):
+            t = iommu.translate(vpn, t).finish
+        out = iommu.translate(0x1000, t)
+        assert out.source == "walk"  # evicted by 0x1002
+
+    def test_fbt_as_second_level(self):
+        class FakeFBT:
+            def __init__(self):
+                self.queries = []
+
+            def forward_translate(self, asid, vpn):
+                self.queries.append((asid, vpn))
+                if vpn == 0x1000:
+                    from repro.memsys.permissions import Permissions
+                    return (0x77, Permissions.READ_WRITE)
+                return None
+
+        fbt = FakeFBT()
+        iommu = self.make(entries=4, second_level=fbt)
+        out = iommu.translate(0x1000, 0.0)
+        assert out.source == "fbt"
+        assert out.ppn == 0x77
+        assert fbt.queries == [(0, 0x1000)]
+        # The hit was promoted into the shared TLB.
+        assert iommu.translate(0x1000, out.finish).source == "shared_tlb"
+
+    def test_fbt_miss_falls_through_to_walk(self):
+        class EmptyFBT:
+            def forward_translate(self, asid, vpn):
+                return None
+
+        iommu = self.make(entries=4, second_level=EmptyFBT())
+        assert iommu.translate(0x1000, 0.0).source == "walk"
+        assert iommu.counters["iommu.fbt_misses"] == 1
+
+    def test_homonyms_are_asid_tagged(self):
+        sys_ = System()
+        a = sys_.create_address_space(asid=0)
+        b = sys_.create_address_space(asid=1)
+        ma = a.mmap(1)
+        mb = b.mmap(1)
+        # Force the same VPN in both spaces.
+        vpn = page_number(ma.base_va)
+        b.page_table.map(vpn, b.page_table.lookup(page_number(mb.base_va))[0])
+        iommu = IOMMU(IOMMUConfig(shared_tlb_entries=8),
+                      {0: a.page_table, 1: b.page_table})
+        out_a = iommu.translate(vpn, 0.0, asid=0)
+        out_b = iommu.translate(vpn, out_a.finish, asid=1)
+        assert out_a.ppn != out_b.ppn
+        assert out_b.source == "walk"  # no false hit across ASIDs
+
+    def test_shootdown_invalidate(self):
+        iommu = self.make()
+        out = iommu.translate(0x1000, 0.0)
+        assert iommu.invalidate(0x1000) is True
+        assert iommu.translate(0x1000, out.finish).source == "walk"
+
+    def test_access_sampler_records(self):
+        iommu = self.make()
+        iommu.translate(0x1000, 0.0)
+        iommu.translate(0x1001, 10.0)
+        assert iommu.access_sampler.total_events == 2
+
+    def test_page_fault_propagates(self):
+        iommu = self.make()
+        with pytest.raises(PageFault):
+            iommu.translate(0xBAD, 0.0)
+
+    def test_requires_a_page_table(self):
+        with pytest.raises(ValueError):
+            IOMMU(IOMMUConfig(), {})

@@ -1,0 +1,182 @@
+"""Tests for the four-level page table and address spaces."""
+
+import pytest
+
+from repro.memsys.address_space import AddressSpace, System
+from repro.memsys.addressing import PAGE_SIZE, page_number
+from repro.memsys.page_table import (
+    ENTRIES_PER_NODE,
+    FrameAllocator,
+    PageTable,
+    _level_indices,
+)
+from repro.memsys.permissions import PageFault, Permissions
+
+
+class TestFrameAllocator:
+    def test_sequential_frames(self):
+        fa = FrameAllocator(first_frame=5)
+        assert fa.allocate() == 5
+        assert fa.allocate() == 6
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(first_frame=-1)
+
+
+class TestPageTable:
+    def test_map_then_walk(self):
+        pt = PageTable(FrameAllocator())
+        pt.map(0x1234, 0x99, Permissions.READ_WRITE)
+        result = pt.walk(0x1234)
+        assert result.ppn == 0x99
+        assert result.permissions == Permissions.READ_WRITE
+
+    def test_walk_touches_four_levels(self):
+        pt = PageTable(FrameAllocator())
+        pt.map(7, 1)
+        result = pt.walk(7)
+        assert len(result.node_addresses) == 4
+        # PTE addresses live in distinct frames (one per level).
+        frames = {addr // PAGE_SIZE for addr in result.node_addresses}
+        assert len(frames) == 4
+
+    def test_walks_share_directory_entries(self):
+        # Neighboring pages share all three upper levels — the locality
+        # the page-walk cache exploits.
+        pt = PageTable(FrameAllocator())
+        pt.map(100, 1)
+        pt.map(101, 2)
+        a = pt.walk(100).node_addresses
+        b = pt.walk(101).node_addresses
+        assert a[:3] == b[:3]
+        assert a[3] != b[3]
+
+    def test_distant_pages_diverge_high_in_the_tree(self):
+        pt = PageTable(FrameAllocator())
+        vpn_far = ENTRIES_PER_NODE ** 3  # differs in the root index
+        pt.map(0, 1)
+        pt.map(vpn_far, 2)
+        a = pt.walk(0).node_addresses
+        b = pt.walk(vpn_far).node_addresses
+        assert a[0] != b[0]
+
+    def test_unmapped_page_faults(self):
+        pt = PageTable(FrameAllocator())
+        with pytest.raises(PageFault):
+            pt.walk(0x5555)
+
+    def test_unmap(self):
+        pt = PageTable(FrameAllocator())
+        pt.map(9, 1)
+        assert pt.unmap(9) is True
+        assert pt.unmap(9) is False
+        with pytest.raises(PageFault):
+            pt.walk(9)
+
+    def test_remap_replaces(self):
+        pt = PageTable(FrameAllocator())
+        pt.map(9, 1)
+        pt.map(9, 2)
+        assert pt.walk(9).ppn == 2
+        assert pt.n_mappings == 1
+
+    def test_set_permissions(self):
+        pt = PageTable(FrameAllocator())
+        pt.map(9, 1, Permissions.READ_WRITE)
+        pt.set_permissions(9, Permissions.READ_ONLY)
+        assert pt.walk(9).permissions == Permissions.READ_ONLY
+
+    def test_set_permissions_on_unmapped_faults(self):
+        pt = PageTable(FrameAllocator())
+        with pytest.raises(PageFault):
+            pt.set_permissions(1, Permissions.READ_ONLY)
+
+    def test_lookup_matches_walk(self):
+        pt = PageTable(FrameAllocator())
+        pt.map(42, 7)
+        assert pt.lookup(42) == (7, Permissions.READ_WRITE)
+        assert pt.lookup(43) is None
+
+    def test_level_indices_reconstruct_vpn(self):
+        vpn = 0x1_2345_6789
+        idx = _level_indices(vpn)
+        rebuilt = 0
+        for i in idx:
+            rebuilt = (rebuilt << 9) | i
+        assert rebuilt == vpn
+
+    def test_negative_pages_rejected(self):
+        pt = PageTable(FrameAllocator())
+        with pytest.raises(ValueError):
+            pt.map(-1, 0)
+
+
+class TestAddressSpace:
+    def test_mmap_backs_pages(self):
+        space = AddressSpace(asid=0)
+        m = space.mmap(4)
+        vpn = page_number(m.base_va)
+        for i in range(4):
+            assert space.page_table.lookup(vpn + i) is not None
+
+    def test_mmap_allocations_do_not_overlap(self):
+        space = AddressSpace(asid=0)
+        a = space.mmap(3)
+        b = space.mmap(3)
+        assert a.end_va <= b.base_va
+
+    def test_alloc_array_rounds_up(self):
+        space = AddressSpace(asid=0)
+        m = space.alloc_array(n_elements=1025, element_size=4)
+        assert m.n_pages == 2
+
+    def test_translate(self):
+        space = AddressSpace(asid=0)
+        m = space.mmap(1)
+        pa = space.translate(m.base_va + 123)
+        assert pa is not None
+        assert pa % PAGE_SIZE == 123
+        assert space.translate(0xDEAD_0000_0000) is None
+
+    def test_synonym_shares_frames(self):
+        space = AddressSpace(asid=0)
+        a = space.mmap(2)
+        b = space.map_synonym(a)
+        assert b.base_va != a.base_va
+        assert space.translate(a.base_va) == space.translate(b.base_va)
+        assert space.translate(a.base_va + PAGE_SIZE) == \
+            space.translate(b.base_va + PAGE_SIZE)
+
+    def test_footprint(self):
+        space = AddressSpace(asid=0)
+        space.mmap(2)
+        space.mmap(3)
+        assert space.footprint_pages() == 5
+
+    def test_invalid_mmap_rejected(self):
+        space = AddressSpace(asid=0)
+        with pytest.raises(ValueError):
+            space.mmap(0)
+
+
+class TestSystem:
+    def test_spaces_share_physical_memory(self):
+        sys_ = System()
+        a = sys_.create_address_space()
+        b = sys_.create_address_space()
+        assert a.frames is b.frames
+
+    def test_cross_space_sharing(self):
+        sys_ = System()
+        a = sys_.create_address_space()
+        b = sys_.create_address_space()
+        m = a.mmap(2)
+        shared = a.share_into(b, m)
+        assert a.translate(m.base_va) == b.translate(shared.base_va)
+
+    def test_duplicate_asid_rejected(self):
+        sys_ = System()
+        sys_.create_address_space(asid=3)
+        with pytest.raises(ValueError):
+            sys_.create_address_space(asid=3)

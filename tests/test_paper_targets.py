@@ -1,0 +1,56 @@
+"""Tests for the paper-target comparison machinery."""
+
+import pytest
+
+from repro.analysis.paper_targets import (
+    TARGETS,
+    Comparison,
+    Target,
+    compare_all,
+    render_report,
+)
+
+
+class TestTarget:
+    def test_check_bands(self):
+        t = Target(key="k", figure="F", description="d",
+                   paper_value=1.0, low=0.8, high=1.2)
+        assert t.check(1.0)
+        assert t.check(0.8) and t.check(1.2)
+        assert not t.check(0.79)
+        assert t.verdict(2.0) == "OUT-OF-BAND"
+
+    def test_registry_is_consistent(self):
+        assert len(TARGETS) >= 15
+        for key, target in TARGETS.items():
+            assert target.key == key
+            assert target.low <= target.high
+            # The paper's own value always sits inside its band.
+            assert target.check(target.paper_value), key
+
+    def test_every_evaluated_figure_has_targets(self):
+        figures = {t.figure for t in TARGETS.values()}
+        for fig in ("Figure 2", "Figure 3", "Figure 4", "Figure 5",
+                    "Figure 8", "Figure 9", "Figure 10", "Figure 11",
+                    "Figure 12"):
+            assert fig in figures
+
+
+class TestComparison:
+    def test_compare_all(self):
+        comparisons = compare_all({"fig2.avg_miss_ratio_32": 0.5})
+        assert len(comparisons) == 1
+        assert comparisons[0].ok
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            compare_all({"made.up": 1.0})
+
+    def test_render_report(self):
+        text = render_report({
+            "fig2.avg_miss_ratio_32": 0.5,
+            "fig9.vc_opt_high_bw": 0.2,  # deliberately out of band
+        })
+        assert "OK" in text
+        assert "OUT-OF-BAND" in text
+        assert "1/2 claims reproduced" in text

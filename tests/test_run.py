@@ -1,0 +1,147 @@
+"""Tests for the top-level simulation driver."""
+
+import pytest
+
+from repro.memsys.address_space import AddressSpace
+from repro.system.designs import BASELINE_512, IDEAL_MMU, VC_WITH_OPT
+from repro.system.run import simulate
+from repro.workloads.trace import MemoryInstruction, Trace
+
+from tests.conftest import make_trace
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(asid=0)
+
+
+def sequential_trace(space, n_pages=8, accesses=64, n_cus=2, interval=4.0):
+    m = space.mmap(n_pages)
+    per_cu = []
+    for cu in range(n_cus):
+        stream = []
+        for i in range(accesses):
+            va = m.base_va + ((cu * 7919 + i * 128) % m.size_bytes)
+            stream.append(MemoryInstruction(addresses=(va,)))
+        per_cu.append(stream)
+    return Trace(name="seq", per_cu=per_cu, address_space=space,
+                 issue_interval=interval)
+
+
+class TestSimulate:
+    def test_all_requests_processed(self, small_config, space):
+        trace = sequential_trace(space)
+        h = IDEAL_MMU.build(small_config, {0: space.page_table})
+        result = simulate(trace, h, small_config, design="IDEAL MMU")
+        assert result.instructions == trace.n_instructions
+        assert result.requests == 128
+        assert result.cycles > 0
+
+    def test_deterministic(self, small_config):
+        results = []
+        for _ in range(2):
+            space = AddressSpace(asid=0)
+            trace = sequential_trace(space)
+            h = BASELINE_512.build(small_config, {0: space.page_table})
+            results.append(simulate(trace, h, small_config).cycles)
+        assert results[0] == results[1]
+
+    def test_baseline_slower_than_ideal(self, small_config, space):
+        trace = sequential_trace(space, n_pages=24, accesses=200)
+        ideal = simulate(trace, IDEAL_MMU.build(small_config, {0: space.page_table}),
+                         small_config)
+        base = simulate(trace, BASELINE_512.build(small_config, {0: space.page_table}),
+                        small_config)
+        assert base.cycles > ideal.cycles
+        assert base.relative_time(ideal) > 1.0
+        assert base.speedup_over(ideal) < 1.0
+
+    def test_scratchpad_instructions_do_not_touch_memory(self, small_config, space):
+        space.mmap(1)
+        stream = [MemoryInstruction(addresses=(0,), scratchpad=True)] * 50
+        trace = Trace(name="scratch", per_cu=[stream], address_space=space,
+                      issue_interval=4.0)
+        h = BASELINE_512.build(small_config, {0: space.page_table})
+        result = simulate(trace, h, small_config)
+        assert result.requests == 0
+        assert result.counters.get("tlb.accesses", 0) == 0
+        assert result.cycles >= 49 * 4.0
+
+    def test_issue_interval_paces_execution(self, small_config, space):
+        fast = sequential_trace(space, interval=2.0)
+        space2 = AddressSpace(asid=0)
+        slow = sequential_trace(space2, interval=40.0)
+        r_fast = simulate(fast, IDEAL_MMU.build(small_config, {0: space.page_table}),
+                          small_config)
+        r_slow = simulate(slow, IDEAL_MMU.build(small_config, {0: space2.page_table}),
+                          small_config)
+        assert r_slow.cycles > 2 * r_fast.cycles
+
+    def test_max_instructions_per_cu(self, small_config, space):
+        trace = sequential_trace(space, accesses=64)
+        h = IDEAL_MMU.build(small_config, {0: space.page_table})
+        result = simulate(trace, h, small_config, max_instructions_per_cu=10)
+        assert result.instructions == 20  # 2 CUs × 10
+
+    def test_counters_merged_from_components(self, small_config, space):
+        trace = sequential_trace(space)
+        h = BASELINE_512.build(small_config, {0: space.page_table})
+        result = simulate(trace, h, small_config)
+        assert "tlb.accesses" in result.counters
+        assert "l1.hits" in result.counters
+        assert "iommu.accesses" in result.counters
+        assert result.iommu_rate is not None
+
+    def test_divergent_instruction_issues_one_request_per_cycle(
+            self, small_config, space):
+        m = space.mmap(8)
+        lanes = tuple(m.base_va + i * 4096 for i in range(8))
+        trace = make_trace(space, [lanes], issue_interval=4.0)
+        h = IDEAL_MMU.build(small_config, {0: space.page_table})
+        result = simulate(trace, h, small_config)
+        assert result.requests == 8
+        # Eight requests at one per cycle: at least 7 cycles of issue.
+        assert result.cycles >= 7.0
+
+
+class TestSimulationResultMetrics:
+    def test_tlb_miss_breakdown_fractions(self, small_config, space):
+        trace = sequential_trace(space, n_pages=24, accesses=300)
+        h = BASELINE_512.build(small_config, {0: space.page_table})
+        result = simulate(trace, h, small_config)
+        bd = result.tlb_miss_breakdown()
+        assert bd["l1_hit"] + bd["l2_hit"] + bd["l2_miss"] == pytest.approx(1.0)
+
+    def test_vc_filters_translations(self, small_config, space):
+        # Page-level thrash (12 pages vs 8 TLB entries) with line-level
+        # reuse (384 lines fit the 512-line L2): the regime where the
+        # virtual hierarchy filters translations the TLB cannot.
+        import random
+        rng = random.Random(0)
+        m = space.mmap(12)
+        per_cu = []
+        for _cu in range(2):
+            per_cu.append([
+                MemoryInstruction(addresses=(m.base_va + rng.randrange(384) * 128,))
+                for _ in range(1000)
+            ])
+        trace = Trace(name="rand", per_cu=per_cu, address_space=space,
+                      issue_interval=4.0)
+        from repro.system.designs import MMUDesign
+        tiny_tlb_baseline = MMUDesign(name="Baseline tiny TLBs",
+                                      per_cu_tlb_entries=4, iommu_entries=512)
+        base = simulate(trace,
+                        tiny_tlb_baseline.build(small_config, {0: space.page_table}),
+                        small_config)
+        vc = simulate(trace, VC_WITH_OPT.build(small_config, {0: space.page_table}),
+                      small_config)
+        assert vc.counters["iommu.accesses"] < base.counters["tlb.misses"]
+
+    def test_relative_time_validation(self, small_config, space):
+        trace = sequential_trace(space)
+        h = IDEAL_MMU.build(small_config, {0: space.page_table})
+        r = simulate(trace, h, small_config)
+        zero = type(r)(workload="x", design="y", cycles=0.0, instructions=0,
+                       requests=0, counters={})
+        with pytest.raises(ValueError):
+            r.relative_time(zero)

@@ -1,0 +1,87 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svgfig import cdf_chart, grouped_bar_chart
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestGroupedBarChart:
+    def test_valid_svg(self):
+        svg = grouped_bar_chart("t", ["a", "b"], {"s1": [1.0, 2.0]})
+        root = parse(svg)
+        assert root.tag.endswith("svg")
+
+    def test_bars_present_per_series_and_category(self):
+        svg = grouped_bar_chart("t", ["a", "b", "c"],
+                                {"s1": [1, 2, 3], "s2": [3, 2, 1]})
+        root = parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        rects = root.findall(f"{ns}rect")
+        # background + 6 bars + 2 legend swatches
+        assert len(rects) >= 9
+
+    def test_tooltips_carry_values(self):
+        svg = grouped_bar_chart("t", ["cat"], {"s": [0.123]})
+        assert "0.123" in svg
+
+    def test_bar_heights_scale_with_values(self):
+        svg = grouped_bar_chart("t", ["a", "b"], {"s": [1.0, 2.0]})
+        root = parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        bars = [r for r in root.findall(f"{ns}rect")
+                if r.find(f"{ns}title") is not None]
+        heights = sorted(float(b.get("height")) for b in bars)
+        assert heights[1] == pytest.approx(2 * heights[0], rel=0.01)
+
+    def test_reference_line_drawn(self):
+        svg = grouped_bar_chart("t", ["a"], {"s": [2.0]}, reference_line=1.0)
+        assert "stroke-dasharray" in svg
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart("t", [], {})
+        with pytest.raises(ValueError):
+            grouped_bar_chart("t", ["a"], {"s": [1.0, 2.0]})
+
+    def test_labels_escaped(self):
+        svg = grouped_bar_chart("a<b>&c", ["x<y"], {"s&t": [1.0]})
+        parse(svg)  # must stay well-formed
+        assert "a&lt;b&gt;&amp;c" in svg
+
+
+class TestCdfChart:
+    def test_valid_svg_with_polylines(self):
+        svg = cdf_chart("t", {"s": [(0.0, 0.1), (10.0, 0.5), (20.0, 1.0)]})
+        root = parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        assert root.findall(f"{ns}polyline")
+
+    def test_x_max_clips(self):
+        svg = cdf_chart("t", {"s": [(0.0, 0.5), (1e9, 1.0)]}, x_max=100.0)
+        parse(svg)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_chart("t", {})
+
+
+class TestFigureRenderers:
+    def test_all_figures_render(self, tmp_path):
+        from repro.experiments.common import ResultCache
+        from repro.experiments import figures_svg
+
+        cache = ResultCache(scale=0.05)
+        # Monkeypatch the drivers to a two-workload subset for speed by
+        # rendering directly from the runners with restricted workloads.
+        svg = figures_svg.fig4_svg.__wrapped__ if hasattr(
+            figures_svg.fig4_svg, "__wrapped__") else None
+        paths = figures_svg.save_all(tmp_path, cache)
+        assert len(paths) == 7
+        for path in paths:
+            parse(path.read_text())

@@ -1,0 +1,160 @@
+"""Tests for memory-trace containers and the trace builder toolkit."""
+
+import pytest
+
+from repro.memsys.address_space import AddressSpace
+from repro.workloads.device import (
+    DeviceArray,
+    TraceBuilder,
+    strided_lane_addresses,
+    warp_chunks,
+)
+from repro.workloads.trace import MemoryInstruction, Trace, round_robin_requests
+
+
+class TestMemoryInstruction:
+    def test_lines_deduplicate(self):
+        inst = MemoryInstruction(addresses=(0, 64, 127, 128))
+        assert inst.lines(128) == (0, 1)
+
+    def test_lines_preserve_first_appearance_order(self):
+        inst = MemoryInstruction(addresses=(4096, 0, 8192))
+        assert inst.lines(128) == (32, 0, 64)
+
+    def test_pages(self):
+        inst = MemoryInstruction(addresses=(0, 4095, 4096, 12288))
+        assert inst.pages() == (0, 1, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryInstruction(addresses=())
+
+
+class TestTrace:
+    def trace(self):
+        per_cu = [
+            [MemoryInstruction(addresses=(0, 4096)),
+             MemoryInstruction(addresses=(0,), scratchpad=True)],
+            [MemoryInstruction(addresses=(8192,), is_write=True)],
+        ]
+        return Trace(name="t", per_cu=per_cu, issue_interval=4.0)
+
+    def test_counts(self):
+        t = self.trace()
+        assert t.n_cus == 2
+        assert t.n_instructions == 3
+        assert t.global_memory_instructions() == 2
+
+    def test_scratchpad_fraction(self):
+        assert self.trace().scratchpad_fraction() == pytest.approx(1 / 3)
+
+    def test_mean_divergence_ignores_scratchpad(self):
+        assert self.trace().mean_divergence() == pytest.approx(1.5)
+
+    def test_footprint_pages(self):
+        assert self.trace().footprint_pages() == 3
+
+    def test_truncated(self):
+        t = self.trace().truncated(1)
+        assert t.n_instructions == 2
+
+    def test_round_robin_interleaves(self):
+        order = [cu for cu, _inst, _lines in round_robin_requests(self.trace())]
+        assert order == [0, 1, 0]
+
+    def test_round_robin_scratchpad_has_no_lines(self):
+        rows = list(round_robin_requests(self.trace()))
+        scratch = [r for r in rows if r[1].scratchpad]
+        assert scratch and scratch[0][2] == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trace(name="x", per_cu=[], issue_interval=1.0)
+        with pytest.raises(ValueError):
+            Trace(name="x", per_cu=[[MemoryInstruction(addresses=(0,))]],
+                  issue_interval=0.0)
+
+
+class TestDeviceArray:
+    def test_addressing(self):
+        space = AddressSpace(asid=0)
+        arr = DeviceArray(space, 100, 8, "a")
+        assert arr.addr(0) == arr.base_va
+        assert arr.addr(5) == arr.base_va + 40
+        assert arr.addrs([1, 3]) == [arr.base_va + 8, arr.base_va + 24]
+
+    def test_bounds_checked(self):
+        space = AddressSpace(asid=0)
+        arr = DeviceArray(space, 10, 4)
+        with pytest.raises(IndexError):
+            arr.addr(10)
+
+    def test_row_major_2d(self):
+        space = AddressSpace(asid=0)
+        arr = DeviceArray(space, 64, 4)
+        assert arr.row_addr(2, 3, n_cols=8) == arr.addr(19)
+
+    def test_arrays_are_backed(self):
+        space = AddressSpace(asid=0)
+        arr = DeviceArray(space, 5000, 4)
+        assert space.translate(arr.addr(4999)) is not None
+
+
+class TestTraceBuilder:
+    def test_emit_and_build(self):
+        space = AddressSpace(asid=0)
+        tb = TraceBuilder(n_cus=4)
+        tb.emit(0, [0, 128])
+        tb.emit(1, [4096], is_write=True)
+        tb.emit_scratch(0)
+        trace = tb.build("demo", space, issue_interval=5.0, suite="test")
+        assert trace.n_instructions == 3
+        assert trace.issue_interval == 5.0
+        assert trace.metadata["suite"] == "test"
+
+    def test_empty_build_rejected(self):
+        tb = TraceBuilder(n_cus=2)
+        with pytest.raises(ValueError):
+            tb.build("empty", AddressSpace(asid=0), issue_interval=4.0)
+
+    def test_cu_wraps(self):
+        tb = TraceBuilder(n_cus=2)
+        tb.emit(5, [0])  # CU 5 → CU 1
+        assert len(tb.streams[1]) == 1
+
+
+class TestWarpChunks:
+    def test_covers_all_items(self):
+        chunks = list(warp_chunks(100, n_cus=4, lanes=32))
+        covered = sum(count for _cu, _start, count in chunks)
+        assert covered == 100
+        assert chunks[-1][2] == 4  # tail warp
+
+    def test_sampling_still_rotates_cus(self):
+        # The regression warp_chunks fixed: with sample=4 and 16 CUs,
+        # emitted warps must still spread over all CUs.
+        cus = {cu for cu, _s, _c in warp_chunks(32 * 64, n_cus=16, sample=4)}
+        assert len(cus) == 16
+
+    def test_sampling_reduces_volume(self):
+        full = list(warp_chunks(3200, n_cus=4))
+        sampled = list(warp_chunks(3200, n_cus=4, sample=4))
+        assert len(sampled) == (len(full) + 3) // 4
+
+    def test_invalid_sample(self):
+        with pytest.raises(ValueError):
+            list(warp_chunks(100, 4, sample=0))
+
+
+class TestStridedAddresses:
+    def test_unit_stride(self):
+        space = AddressSpace(asid=0)
+        arr = DeviceArray(space, 100, 4)
+        addrs = strided_lane_addresses(arr, 10, 4)
+        assert addrs == [arr.addr(10 + k) for k in range(4)]
+
+    def test_page_stride(self):
+        space = AddressSpace(asid=0)
+        arr = DeviceArray(space, 10_000, 4)
+        addrs = strided_lane_addresses(arr, 0, 3, stride=1024)
+        assert addrs[1] - addrs[0] == 4096
