@@ -14,7 +14,7 @@ measured values against these targets; the benchmark suite asserts the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ lines instead and invalidation walks the cache.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.memsys.addressing import is_power_of_two

@@ -123,9 +123,12 @@ class L1OnlyVirtualHierarchy:
         config: SoCConfig,
         page_tables: Dict[int, PageTable],
         fault_on_rw_synonym: bool = True,
+        obs=None,
     ) -> None:
         self.config = config
         self.counters = Counters()
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else None
         self._lpp = lines_per_page(config.line_size)
         self.l1s: List[Cache] = [
             Cache(config.l1, name=f"cu{i}-vl1") for i in range(config.n_cus)
@@ -143,8 +146,11 @@ class L1OnlyVirtualHierarchy:
             line_size=config.line_size,
         )
         self.iommu = IOMMU(config.iommu, page_tables,
-                           frequency_ghz=config.frequency_ghz)
+                           frequency_ghz=config.frequency_ghz, obs=obs)
         self.asdt = ASDT(fault_on_rw_synonym=fault_on_rw_synonym)
+        if obs is not None:
+            self.l2_banks.attach_delay_histogram(
+                obs.metrics.histogram("l2.bank_queue_delay"))
 
     # -- translation (per-CU TLB → IOMMU) ----------------------------------
     def _translate(self, cu_id: int, vpn: int, now: float, asid: int):
@@ -153,9 +159,15 @@ class L1OnlyVirtualHierarchy:
         key = (asid << 52) | vpn
         entry = tlb.lookup(key, now)
         t = now + self.config.per_cu_tlb_latency
+        tracer = self._tracer
+        tracing = tracer is not None and tracer.enabled
         if entry is not None:
+            if tracing:
+                tracer.emit("tlb.hit", t, cu=cu_id, vpn=vpn)
             return t, entry.ppn, entry.permissions
         self.counters.add("tlb.misses")
+        if tracing:
+            tracer.emit("tlb.miss", t, cu=cu_id, vpn=vpn)
         request_at = t + self.config.interconnect.gpu_to_iommu
         outcome = self.iommu.translate(vpn, request_at, asid=asid)
         ready = outcome.finish + self.config.interconnect.iommu_to_gpu
@@ -174,12 +186,16 @@ class L1OnlyVirtualHierarchy:
         l1 = self.l1s[cu_id]
         self.counters.add("vc.accesses")
 
+        tracer = self._tracer
+        tracing = tracer is not None and tracer.enabled
         key = line_key(asid, vline)
         line = l1.lookup(key)
         if line is not None and not request.is_write:
             if not line.permissions.allows(False):
                 raise PermissionFault(vpn, False, line.permissions)
             self.counters.add("vc.l1_hits")
+            if tracing:
+                tracer.emit("vc.l1_hit", now, cu=cu_id, vpn=vpn)
             return now + cfg.l1_latency
 
         # Everything else needs a physical address: L1 read misses and

@@ -65,9 +65,12 @@ class VirtualCacheHierarchy:
         large_page_policy: str = "subpage",
         enable_synonym_remapping: bool = False,
         srt_entries: int = 32,
+        obs=None,
     ) -> None:
         self.config = config
         self.counters = Counters()
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else None
         self._lpp = lines_per_page(config.line_size)
         # Ablation knob: without the per-L1 filters (§4.2), every page
         # invalidation must conservatively flush every L1.
@@ -100,7 +103,11 @@ class VirtualCacheHierarchy:
             page_tables,
             frequency_ghz=config.frequency_ghz,
             second_level=self.fbt if fbt_as_second_level_tlb else None,
+            obs=obs,
         )
+        if obs is not None:
+            self.l2_banks.attach_delay_histogram(
+                obs.metrics.histogram("l2.bank_queue_delay"))
         # Dynamic synonym remapping (§4.3): optional per-CU tables that
         # redirect known synonym pages to their leading address before
         # the L1 lookup.
@@ -136,12 +143,16 @@ class VirtualCacheHierarchy:
                 asid, vpn = remap
                 vline = vpn * self._lpp + line_index
                 self.counters.add("vc.srt_remaps")
+        tracer = self._tracer
+        tracing = tracer is not None and tracer.enabled
         key = line_key(asid, vline)
         line = l1.lookup(key)
         if line is not None:
             if not line.permissions.allows(request.is_write):
                 raise PermissionFault(vpn, request.is_write, line.permissions)
             self.counters.add("vc.l1_hits")
+            if tracing:
+                tracer.emit("vc.l1_hit", now, cu=cu_id, vpn=vpn)
             if request.is_write:
                 # Write-through: the write still flows to the L2 and the
                 # store occupies the CU window until it lands there.
@@ -158,6 +169,8 @@ class VirtualCacheHierarchy:
             if not l2_line.permissions.allows(request.is_write):
                 raise PermissionFault(vpn, request.is_write, l2_line.permissions)
             self.counters.add("vc.l2_hits")
+            if tracing:
+                tracer.emit("vc.l2_hit", t_hit, cu=cu_id, vpn=vpn)
             if request.is_write:
                 self.l2.mark_dirty(key)
                 self.fbt.note_write(asid, vpn)
@@ -167,6 +180,8 @@ class VirtualCacheHierarchy:
 
         # Whole-hierarchy miss → translation is finally needed.
         self.counters.add("vc.l2_misses")
+        if tracing:
+            tracer.emit("vc.miss", t_hit, cu=cu_id, vpn=vpn)
         return self._miss_path(
             cu_id, asid, vpn, vline, line_index, request.is_write, t_hit
         )

@@ -30,6 +30,9 @@ class ThroughputServer:
         self._next_free = 0.0
         self.total_requests = 0
         self.total_queue_delay = 0.0
+        # Optional observability hook: a LatencyHistogram-like object
+        # recording each request's queueing delay (None = no overhead).
+        self.delay_histogram = None
 
     def request(self, now: float) -> float:
         """Enqueue a request arriving at ``now``; return service start time."""
@@ -37,6 +40,8 @@ class ThroughputServer:
         self._next_free = start + 1.0 / self.rate
         self.total_requests += 1
         self.total_queue_delay += start - now
+        if self.delay_histogram is not None:
+            self.delay_histogram.record(start - now)
         return start
 
     def queue_delay(self, now: float) -> float:
@@ -72,6 +77,7 @@ class WindowedServer:
         self._window_count = 0.0
         self.total_requests = 0
         self.total_queue_delay = 0.0
+        self.delay_histogram = None
 
     def request(self, now: float) -> float:
         """Register a request arriving at ``now``; return service start."""
@@ -84,6 +90,8 @@ class WindowedServer:
         overflow = self._window_count - self.WINDOW_CYCLES * self.rate
         delay = overflow / self.rate if overflow > 0 else 0.0
         self.total_queue_delay += delay
+        if self.delay_histogram is not None:
+            self.delay_histogram.record(delay)
         return now + delay
 
     def reset(self) -> None:
@@ -112,6 +120,11 @@ class BankedServer:
     def request(self, now: float, bank: int) -> float:
         """Enqueue at ``bank`` (taken modulo the bank count)."""
         return self._banks[bank % self.n_banks].request(now)
+
+    def attach_delay_histogram(self, histogram) -> None:
+        """Record every bank's queueing delays into one shared histogram."""
+        for b in self._banks:
+            b.delay_histogram = histogram
 
     @property
     def total_requests(self) -> int:
@@ -143,6 +156,7 @@ class ThreadPool:
         heapq.heapify(self._free_times)
         self.total_requests = 0
         self.total_queue_delay = 0.0
+        self.delay_histogram = None
 
     def request(self, now: float, service_time: float) -> float:
         """Run a job of ``service_time`` arriving at ``now``; return finish time."""
@@ -154,6 +168,8 @@ class ThreadPool:
         heapq.heappush(self._free_times, finish)
         self.total_requests += 1
         self.total_queue_delay += start - now
+        if self.delay_histogram is not None:
+            self.delay_histogram.record(start - now)
         return finish
 
     def reset(self) -> None:

@@ -34,8 +34,18 @@ class Counters:
         return name in self._counts
 
     def as_dict(self) -> Dict[str, int]:
-        """A snapshot copy of all counters."""
-        return dict(self._counts)
+        """A snapshot copy of all counters, keys sorted.
+
+        The ordering guarantee keeps exported metrics JSON byte-stable
+        across runs regardless of counter-first-touch order.
+        """
+        return dict(sorted(self._counts.items()))
+
+    def merge(self, other: "Counters | Dict[str, int]") -> None:
+        """Add every count from ``other`` (a Counters or plain mapping)."""
+        items = other.as_dict() if isinstance(other, Counters) else other
+        for name, amount in items.items():
+            self.add(name, amount)
 
     def ratio(self, numerator: str, denominator: str) -> float:
         """``counts[numerator] / counts[denominator]`` (0.0 when empty)."""

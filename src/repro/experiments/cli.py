@@ -2,9 +2,20 @@
 
 Usage::
 
-    repro-experiment fig9               # one figure
-    repro-experiment all                # everything
-    repro-experiment fig2 --scale 0.25  # quick, scaled-down run
+    repro-experiment fig9                     # one figure
+    repro-experiment all                      # everything
+    repro-experiment fig2 --scale 0.25        # quick, scaled-down run
+    repro-experiment --list                   # valid experiment names
+    repro-experiment fig3 --scale 0.25 \\
+        --trace-out trace.jsonl \\
+        --metrics-out manifest.json --profile # fully observed run
+
+``--trace-out`` streams every simulated request's path (CU issue, TLB
+and virtual-cache hits/misses, IOMMU queue enter/exit, page walks,
+completion) as JSON lines; ``--metrics-out`` writes a run manifest with
+the config, git SHA, wall-clock, and every metric including latency
+histograms (IOMMU queueing delay p50/p95/p99); ``--profile`` prints a
+wall-clock breakdown of the experiment pipeline.
 """
 
 from __future__ import annotations
@@ -12,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Dict
 
 from repro.experiments import (
@@ -59,6 +71,21 @@ def _validate() -> str:
     return render_report(collect_measurements(GLOBAL_CACHE))
 
 
+def _experiment_listing() -> str:
+    return "\n".join(sorted(EXPERIMENTS) + ["all"])
+
+
+def _build_observability(args):
+    """One Observability bundle for --trace-out/--metrics-out/--profile."""
+    if not (args.trace_out or args.metrics_out or args.profile):
+        return None
+    from repro.obs import JsonLinesTracer, Observability, Profiler
+
+    tracer = JsonLinesTracer(args.trace_out) if args.trace_out else None
+    profiler = Profiler() if args.profile else None
+    return Observability(tracer=tracer, profiler=profiler)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
@@ -66,9 +93,12 @@ def main(argv=None) -> int:
                     "Bandwidth with Virtual Caching' (ASPLOS 2018)",
     )
     parser.add_argument(
-        "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which artefact to regenerate",
+        "experiment", nargs="?", metavar="EXPERIMENT",
+        help="which artefact to regenerate (see --list), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print the valid experiment names and exit",
     )
     parser.add_argument(
         "--scale", type=float, default=None,
@@ -78,15 +108,64 @@ def main(argv=None) -> int:
         "--svg", metavar="DIR", default=None,
         help="additionally render the data figures as SVG files into DIR",
     )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a JSON-lines trace of every simulated request to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a JSON run manifest (config, git SHA, all metrics "
+             "including latency histograms) to PATH",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a wall-clock profile of the experiment pipeline",
+    )
     args = parser.parse_args(argv)
+
+    if args.list:
+        print(_experiment_listing())
+        return 0
+    if args.experiment is None:
+        parser.print_usage(sys.stderr)
+        print("repro-experiment: error: no experiment given "
+              "(use --list to see the choices)", file=sys.stderr)
+        return 2
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+        print(f"repro-experiment: error: unknown experiment "
+              f"{args.experiment!r}; valid choices are:", file=sys.stderr)
+        print(_experiment_listing(), file=sys.stderr)
+        return 2
 
     if args.scale is not None:
         GLOBAL_CACHE.scale = args.scale
+    if args.metrics_out is not None:
+        # Fail before the run, not after: the manifest is written last.
+        parent = Path(args.metrics_out).resolve().parent
+        if not parent.is_dir():
+            print(f"repro-experiment: error: --metrics-out directory "
+                  f"{str(parent)!r} does not exist", file=sys.stderr)
+            return 2
+    try:
+        obs = _build_observability(args)
+    except OSError as exc:
+        print(f"repro-experiment: error: cannot open --trace-out "
+              f"{args.trace_out!r}: {exc}", file=sys.stderr)
+        return 2
+    if obs is not None:
+        GLOBAL_CACHE.obs = obs
 
+    wall_start = time.time()
     chosen = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    profiler = obs.profiler if obs is not None else None
     for name in chosen:
         start = time.time()
-        print(EXPERIMENTS[name]())
+        if profiler is not None:
+            with profiler.span(f"experiment:{name}"):
+                rendered = EXPERIMENTS[name]()
+        else:
+            rendered = EXPERIMENTS[name]()
+        print(rendered)
         print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
 
     if args.svg is not None:
@@ -94,6 +173,29 @@ def main(argv=None) -> int:
 
         for path in save_all(args.svg, GLOBAL_CACHE):
             print(f"wrote {path}")
+
+    if obs is not None:
+        obs.close()  # flush the JSON-lines trace before reporting
+        if args.metrics_out:
+            from repro.obs.manifest import build_manifest, write_manifest
+
+            manifest = build_manifest(
+                config=GLOBAL_CACHE.config,
+                metrics=obs.metrics,
+                extra={
+                    "experiments": chosen,
+                    "scale": GLOBAL_CACHE.effective_scale(),
+                    "trace_out": args.trace_out,
+                    "wall_clock_seconds": time.time() - wall_start,
+                },
+            )
+            path = write_manifest(args.metrics_out, manifest)
+            print(f"wrote {path}")
+        if args.trace_out:
+            print(f"wrote {args.trace_out} "
+                  f"({obs.tracer.events_emitted} events)")
+        if profiler is not None:
+            print(profiler.report())
     return 0
 
 

@@ -10,6 +10,7 @@ from :mod:`repro.workloads.registry`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -22,10 +23,17 @@ from repro.workloads.trace import Trace
 
 @dataclass
 class ResultCache:
-    """Memoizes simulation results keyed by (workload, scale, design)."""
+    """Memoizes simulation results keyed by (workload, scale, design).
+
+    An :class:`~repro.obs.Observability` bundle attached as ``obs`` is
+    threaded through every hierarchy built and every ``simulate()``
+    call; when its profiler is set, trace synthesis and each simulation
+    get their own wall-clock spans.
+    """
 
     config: SoCConfig = field(default_factory=SoCConfig)
     scale: Optional[float] = None
+    obs: object = None
     _results: Dict[Tuple[str, float, str, bool], SimulationResult] = \
         field(default_factory=dict)
 
@@ -33,7 +41,12 @@ class ResultCache:
         return self.scale if self.scale is not None else registry.default_scale()
 
     def trace(self, workload: str) -> Trace:
-        return registry.load(workload, scale=self.effective_scale())
+        with self._span(f"load:{workload}"):
+            return registry.load(workload, scale=self.effective_scale())
+
+    def _span(self, name: str):
+        profiler = getattr(self.obs, "profiler", None)
+        return profiler.span(name) if profiler is not None else nullcontext()
 
     def run(
         self,
@@ -47,11 +60,13 @@ class ResultCache:
             trace = self.trace(workload)
             page_tables = {0: trace.address_space.page_table}
             hierarchy = design.build(self.config, page_tables,
-                                     track_lifetimes=track_lifetimes)
-            self._results[key] = simulate(
-                trace, hierarchy, design.soc_config(self.config),
-                design=design.name,
-            )
+                                     track_lifetimes=track_lifetimes,
+                                     obs=self.obs)
+            with self._span(f"sim:{workload}:{design.name}"):
+                self._results[key] = simulate(
+                    trace, hierarchy, design.soc_config(self.config),
+                    design=design.name, obs=self.obs,
+                )
         return self._results[key]
 
     def run_designs(

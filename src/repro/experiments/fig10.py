@@ -13,7 +13,7 @@ lud) are roughly at parity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.analysis.metrics import mean
 from repro.analysis.report import bar_chart, section

@@ -15,12 +15,11 @@ why extending virtual caching to the L2 filters more.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.analysis.report import format_table, section
 from repro.engine.stats import fraction_at_or_below
 from repro.experiments.common import GLOBAL_CACHE, ResultCache
-from repro.system.config import SoCConfig
 from repro.system.designs import BASELINE_512
 
 CHECKPOINTS_NS = (1000.0, 2000.0, 5000.0, 10_000.0, 20_000.0, 40_000.0)

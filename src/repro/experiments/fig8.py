@@ -12,8 +12,8 @@ but are rare (<0.5% of sample periods).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.analysis.metrics import mean
 from repro.analysis.report import format_table, section

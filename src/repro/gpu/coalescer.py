@@ -11,7 +11,7 @@ scatter/gather instructions produce tens of requests to different lines
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.memsys.addressing import DEFAULT_LINE_SIZE, PAGE_SIZE
 

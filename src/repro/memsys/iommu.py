@@ -12,7 +12,7 @@ page walks (§4.1 reports ≈74% of shared TLB misses hit in the FBT).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Protocol
 
 from repro.engine.resources import BankedServer, ThroughputServer
@@ -90,6 +90,7 @@ class IOMMU:
         page_tables: Dict[int, PageTable],
         frequency_ghz: float = 0.7,
         second_level: Optional[SecondLevelTLB] = None,
+        obs=None,
     ) -> None:
         if not page_tables:
             raise ValueError("IOMMU needs at least one page table")
@@ -114,6 +115,22 @@ class IOMMU:
         interval_cycles = self.SAMPLE_INTERVAL_US * 1000.0 * frequency_ghz
         self.access_sampler = IntervalSampler(interval_cycles)
         self.counters = Counters()
+
+        # Observability (repro.obs): latency histograms + request tracing.
+        # All hot-path instrumentation is guarded so obs=None costs one
+        # attribute check per translation.
+        self._tracer = obs.tracer if obs is not None else None
+        self._queue_hist = None
+        self._walk_hist = None
+        self._translate_hist = None
+        if obs is not None:
+            metrics = obs.metrics
+            self._queue_hist = metrics.histogram("iommu.queue_delay")
+            self._walk_hist = metrics.histogram("iommu.walk_latency")
+            self._translate_hist = metrics.histogram("iommu.translate_latency")
+            ptw_hist = metrics.histogram("iommu.ptw_queue_delay")
+            for walker in self._walkers.values():
+                walker.threads.delay_histogram = ptw_hist
 
     # -- helpers ----------------------------------------------------------
     def _tlb_key(self, asid: int, vpn: int) -> int:
@@ -148,12 +165,24 @@ class IOMMU:
         else:
             service_start = self.port.request(now)
         self.counters.add("iommu.queue_cycles", int(service_start - now))
+        if self._queue_hist is not None:
+            self._queue_hist.record(service_start - now)
+        tracer = self._tracer
+        tracing = tracer is not None and tracer.enabled
+        if tracing:
+            tracer.emit("iommu.enter", now, vpn=vpn, asid=asid)
+            tracer.emit("iommu.dequeue", service_start, vpn=vpn,
+                        wait=service_start - now)
         t = service_start + self.config.tlb_latency
 
         key = self._tlb_key(asid, vpn)
         entry = self.shared_tlb.lookup(key, t)
         if entry is not None:
             self.counters.add("iommu.tlb_hits")
+            if self._translate_hist is not None:
+                self._translate_hist.record(t - now)
+            if tracing:
+                tracer.emit("iommu.tlb_hit", t, vpn=vpn)
             return TranslationOutcome(
                 vpn=vpn, ppn=entry.ppn, permissions=entry.permissions,
                 source="shared_tlb", arrival=now, finish=t,
@@ -170,6 +199,10 @@ class IOMMU:
             if hit is not None:
                 ppn, permissions = hit
                 self.counters.add("iommu.fbt_hits")
+                if self._translate_hist is not None:
+                    self._translate_hist.record(t - now)
+                if tracing:
+                    tracer.emit("iommu.fbt_hit", t, vpn=vpn)
                 self.shared_tlb.insert(key, ppn, permissions, t)
                 return TranslationOutcome(
                     vpn=vpn, ppn=ppn, permissions=permissions,
@@ -177,8 +210,17 @@ class IOMMU:
                 )
             self.counters.add("iommu.fbt_misses")
 
+        if tracing:
+            tracer.emit("walk.start", t, vpn=vpn, asid=asid)
         walk = self._walkers[asid].walk(vpn, t)
         self.counters.add("iommu.walks")
+        if self._walk_hist is not None:
+            self._walk_hist.record(walk.finish - t)
+        if self._translate_hist is not None:
+            self._translate_hist.record(walk.finish - now)
+        if tracing:
+            tracer.emit("walk.finish", walk.finish, vpn=vpn,
+                        latency=walk.finish - t)
         self.shared_tlb.insert(
             key, walk.result.ppn, walk.result.permissions, walk.finish,
             is_large=walk.result.is_large,

@@ -9,7 +9,6 @@ cache; a walk occupies one walker thread for its whole latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.engine.resources import ThreadPool
 from repro.memsys.page_table import PageTable, WalkResult

@@ -1,0 +1,93 @@
+"""Observability: tracing, metrics, run manifests, and profiling.
+
+This package is the simulator's measurement layer.  The paper's claims
+are about *where time goes* — queueing at the shared IOMMU TLB port,
+not walk latency — and flat end-of-run counters cannot show that.  The
+four pieces here can:
+
+* :mod:`repro.obs.tracer` — structured per-request event tracing
+  (JSON-lines), zero-overhead when disabled;
+* :mod:`repro.obs.metrics` — a hierarchical registry of counters,
+  gauges, and log-scale latency histograms (p50/p95/p99);
+* :mod:`repro.obs.manifest` — JSON run artifacts (config, workload,
+  design, git SHA, wall-clock, all metrics);
+* :mod:`repro.obs.profiler` — host wall-clock spans around pipeline
+  stages.
+
+:class:`Observability` bundles them so one object threads through the
+hierarchy constructors, the IOMMU, and ``simulate()``:
+
+>>> from repro.obs import Observability, RecordingTracer
+>>> obs = Observability(tracer=RecordingTracer())
+>>> # hierarchy = VC_WITH_OPT.build(config, page_tables, obs=obs)
+>>> # result = simulate(trace, hierarchy, config, obs=obs)
+
+Attaching an ``Observability`` never changes simulated timing: the
+instrumentation only *observes* the timestamps the timing model already
+computes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.manifest import (
+    build_manifest,
+    git_sha,
+    load_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry, MetricsScope
+from repro.obs.profiler import Profiler, Span
+from repro.obs.tracer import (
+    NULL_TRACER,
+    JsonLinesTracer,
+    NullTracer,
+    RecordingTracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "JsonLinesTracer",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "NullTracer",
+    "Observability",
+    "Profiler",
+    "RecordingTracer",
+    "Span",
+    "build_manifest",
+    "git_sha",
+    "load_manifest",
+    "write_manifest",
+]
+
+
+class Observability:
+    """A tracer + metrics registry (+ optional profiler) travelling together.
+
+    Components accept ``obs=None``; when None they skip all
+    instrumentation (the zero-overhead default).  When attached, the
+    tracer may still be :data:`NULL_TRACER` — metrics and manifests
+    work without tracing.
+    """
+
+    def __init__(
+        self,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[Profiler] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = profiler
+
+    @property
+    def tracing(self) -> bool:
+        """True when the attached tracer actually records events."""
+        return self.tracer.enabled
+
+    def close(self) -> None:
+        """Release the tracer's sink (flushes a file-backed trace)."""
+        self.tracer.close()

@@ -1,0 +1,117 @@
+"""Run manifests: a JSON artifact that makes a simulation reproducible.
+
+A manifest records everything needed to re-run and audit one
+``simulate()`` call (or one CLI experiment invocation): the full SoC
+configuration, the workload and MMU design names, the git revision the
+simulator was built from, host wall-clock, and every collected metric —
+counters, gauges, and latency-histogram summaries (p50/p95/p99).  The
+``BENCH_*.json`` trajectories in ``benchmarks/`` become reproducible
+once each point carries one of these.
+
+Manifests are plain dicts serialized with sorted keys, so identical
+runs produce byte-identical artifacts (see the ``Counters.as_dict``
+ordering guarantee in :mod:`repro.engine.stats`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+SCHEMA_VERSION = 1
+
+
+def _coerce(obj: Any) -> Any:
+    """JSON fallback for numpy scalars that leak in via counters/metrics."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"Object of type {type(obj).__name__} is not JSON serializable")
+
+
+def git_sha(repo_root: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The current git commit hash, or None outside a repo / without git."""
+    if repo_root is None:
+        repo_root = Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_root),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def _config_dict(config: Any) -> Any:
+    """Dataclass configs → nested dicts; anything else passes through."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return dataclasses.asdict(config)
+    return config
+
+
+def build_manifest(
+    result: Any = None,
+    config: Any = None,
+    metrics: Any = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a manifest dict for one simulation (or experiment) run.
+
+    ``result`` is a :class:`~repro.system.run.SimulationResult` (or
+    None for experiment-level manifests), ``config`` a
+    :class:`~repro.system.config.SoCConfig`, ``metrics`` a
+    :class:`~repro.obs.metrics.MetricsRegistry`; ``extra`` merges
+    caller-specific keys (scale, experiment names, trace path...).
+    """
+    manifest: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "git_sha": git_sha(),
+    }
+    if config is not None:
+        manifest["config"] = _config_dict(config)
+    if result is not None:
+        manifest["run"] = {
+            "workload": result.workload,
+            "design": result.design,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "requests": result.requests,
+            "wall_clock_seconds": result.wall_clock_seconds,
+        }
+        manifest["counters"] = dict(sorted(result.counters.items()))
+        if result.iommu_rate is not None:
+            manifest["iommu_rate"] = {
+                "mean": result.iommu_rate.mean,
+                "std": result.iommu_rate.std,
+                "max": result.iommu_rate.maximum,
+                "n_samples": result.iommu_rate.n_samples,
+            }
+    if metrics is not None:
+        manifest["metrics"] = metrics.snapshot()
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(path: Union[str, Path], manifest: Dict[str, Any]) -> Path:
+    """Serialize ``manifest`` to ``path`` with sorted keys; return the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True, default=_coerce) + "\n",
+        encoding="utf-8")
+    return path
+
+
+def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a manifest previously written by :func:`write_manifest`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,193 @@
+"""Hierarchical metrics: counters, gauges, and log-scale latency histograms.
+
+The flat :class:`~repro.engine.stats.Counters` bag answers "how many",
+but the paper's argument is about *distributions* — how long requests
+queue at the shared IOMMU TLB port, how long page walks take, how long
+a request lives end to end.  :class:`LatencyHistogram` records those
+distributions in geometrically spaced buckets (bounded relative error,
+O(1) inserts, sparse storage), and :class:`MetricsRegistry` names and
+owns every instrument so one ``snapshot()`` captures a whole run.
+
+Names are dot-namespaced (``iommu.queue_delay``); :meth:`MetricsRegistry.scope`
+returns a prefixed view so a component can register ``queue_delay``
+without knowing where it sits in the hierarchy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from repro.engine.stats import Counters
+
+
+class LatencyHistogram:
+    """A log-scale histogram of nonnegative values.
+
+    Buckets are geometric with ``sub_buckets_per_octave`` buckets per
+    power of two (default 8 → ≈ ±4.4% relative error at the geometric
+    bucket midpoint).  Values ≤ 0 land in a dedicated zero bucket, so
+    "no queueing delay" is represented exactly.  ``count``, ``total``,
+    ``min`` and ``max`` are tracked exactly regardless of bucketing.
+    """
+
+    def __init__(self, sub_buckets_per_octave: int = 8) -> None:
+        if sub_buckets_per_octave < 1:
+            raise ValueError("need at least one bucket per octave")
+        self.sub_buckets_per_octave = sub_buckets_per_octave
+        self._log_growth = math.log(2.0) / sub_buckets_per_octave
+        self._buckets: Dict[int, int] = {}
+        self._zero_count = 0
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Add ``count`` observations of ``value``."""
+        self.count += count
+        self.total += value * count
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self._zero_count += count
+            return
+        index = math.floor(math.log(value) / self._log_growth)
+        self._buckets[index] = self._buckets.get(index, 0) + count
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Value at the ``p``-th percentile (0–100), ±one bucket width.
+
+        Returns the geometric midpoint of the bucket holding the rank,
+        clamped to the exact observed ``[min, max]`` range.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        if p == 100.0:
+            return self.max  # exact: the maximum is tracked outside buckets
+        rank = max(1, math.ceil(p / 100.0 * self.count))
+        cumulative = self._zero_count
+        if rank <= cumulative:
+            return 0.0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= rank:
+                midpoint = math.exp((index + 0.5) * self._log_growth)
+                return min(max(midpoint, self.min), self.max)
+        return self.max  # floating-point slack: rank beyond the last bucket
+
+    def quantiles(self) -> Dict[str, float]:
+        """The p50/p95/p99 summary every latency export carries."""
+        return {
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready summary: count, mean, min/max, p50/p95/p99."""
+        summary: Dict[str, float] = {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+        summary.update(self.quantiles())
+        return summary
+
+    def reset(self) -> None:
+        self._buckets.clear()
+        self._zero_count = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one simulated run.
+
+    Wraps a :class:`~repro.engine.stats.Counters` bag (``registry.counters``
+    keeps the exact ``add``/``as_dict`` interface the rest of the
+    simulator already uses) and adds gauges and latency histograms
+    beside it.  Instruments are created on first use and shared by
+    name, so two components asking for ``iommu.queue_delay`` aggregate
+    into the same histogram.
+    """
+
+    def __init__(self, counters: Optional[Counters] = None) -> None:
+        self.counters = counters if counters is not None else Counters()
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    # -- instruments ------------------------------------------------------
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` (delegates to the wrapped bag)."""
+        self.counters.add(name, amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set point-in-time gauge ``name`` to ``value``."""
+        self._gauges[name] = value
+
+    def histogram(self, name: str, sub_buckets_per_octave: int = 8) -> LatencyHistogram:
+        """Get (or create) the histogram registered under ``name``."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = LatencyHistogram(sub_buckets_per_octave)
+            self._histograms[name] = hist
+        return hist
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        """A view that prepends ``prefix.`` to every instrument name."""
+        return MetricsScope(self, prefix)
+
+    # -- export -----------------------------------------------------------
+    def gauges(self) -> Dict[str, float]:
+        return dict(sorted(self._gauges.items()))
+
+    def histograms(self) -> Dict[str, LatencyHistogram]:
+        return dict(sorted(self._histograms.items()))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-ready dict of everything, with deterministic key order."""
+        return {
+            "counters": self.counters.as_dict(),
+            "gauges": self.gauges(),
+            "histograms": {
+                name: hist.as_dict() for name, hist in self.histograms().items()
+            },
+        }
+
+    def reset(self) -> None:
+        self.counters.reset()
+        self._gauges.clear()
+        for hist in self._histograms.values():
+            hist.reset()
+
+
+class MetricsScope:
+    """A prefixed view onto a :class:`MetricsRegistry`."""
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix.rstrip(".") + "."
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._registry.add(self._prefix + name, amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._registry.set_gauge(self._prefix + name, value)
+
+    def histogram(self, name: str, sub_buckets_per_octave: int = 8) -> LatencyHistogram:
+        return self._registry.histogram(self._prefix + name, sub_buckets_per_octave)
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        return MetricsScope(self._registry, self._prefix + prefix)

@@ -1,0 +1,67 @@
+"""Pipeline profiling: wall-clock spans around experiment stages.
+
+Unlike the tracer and the metrics registry — which observe *simulated*
+time — the profiler measures the simulator itself: how many host
+seconds each stage of an experiment pipeline (trace synthesis, each
+(workload × design) simulation, rendering) actually took.  The CLI's
+``--profile`` flag attaches one :class:`Profiler` to the run and prints
+:meth:`Profiler.report` at the end.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) profiling span."""
+
+    name: str
+    depth: int
+    start: float
+    duration: float = 0.0
+
+
+class Profiler:
+    """Nestable wall-clock spans with a tree-shaped text report."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._depth = 0
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Time the enclosed block; spans nest with ``with`` structure."""
+        entry = Span(name=name, depth=self._depth, start=time.perf_counter())
+        self.spans.append(entry)  # appended on entry: report keeps call order
+        self._depth += 1
+        try:
+            yield entry
+        finally:
+            self._depth -= 1
+            entry.duration = time.perf_counter() - entry.start
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock accounted to top-level spans."""
+        return sum(s.duration for s in self.spans if s.depth == 0)
+
+    def report(self) -> str:
+        """Aligned tree of spans with durations and top-level percentages."""
+        if not self.spans:
+            return "profile: no spans recorded"
+        total = self.total_seconds or 1e-12
+        width = max(2 * s.depth + len(s.name) for s in self.spans)
+        lines = ["profile (wall-clock):"]
+        for s in self.spans:
+            label = "  " * s.depth + s.name
+            line = f"  {label:<{width}}  {s.duration:8.3f}s"
+            if s.depth == 0:
+                line += f"  {100.0 * s.duration / total:5.1f}%"
+            lines.append(line)
+        lines.append(f"  {'total':<{width}}  {self.total_seconds:8.3f}s")
+        return "\n".join(lines)

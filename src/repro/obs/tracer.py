@@ -1,0 +1,110 @@
+"""Structured request tracing.
+
+A tracer is an *event sink*: instrumented components call
+``tracer.emit(event, t, **fields)`` at interesting points of a memory
+request's path (CU issue → L1 hit/miss → virtual-cache hit / IOMMU
+queue enter/exit → page walk → completion).  Three sinks are provided:
+
+* :data:`NULL_TRACER` — the shared disabled tracer.  Every instrumented
+  call site guards with ``if tracer.enabled:`` so a disabled run pays
+  one attribute check per event and nothing else.
+* :class:`JsonLinesTracer` — serializes each event as one JSON object
+  per line (`JSON lines <https://jsonlines.org>`_), the format the CLI's
+  ``--trace-out`` writes.
+* :class:`RecordingTracer` — keeps events in memory, for tests and
+  interactive analysis.
+
+Events are flat dictionaries with two mandatory keys — ``ev`` (the
+event name, dot-namespaced like counter names: ``iommu.dequeue``) and
+``t`` (simulated time in cycles) — plus free-form context fields
+(``cu``, ``vpn``, ``wait``, ...).  Tracing is strictly observational:
+attaching a tracer never changes simulated timing, and
+``tests/test_obs.py`` pins that down with a bit-identical regression
+test.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Union
+
+
+def _coerce(obj: Any) -> Any:
+    """JSON fallback for numpy scalars (trace fields come from numpy-backed
+    workload arrays)."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"Object of type {type(obj).__name__} is not JSON serializable")
+
+
+class NullTracer:
+    """The disabled tracer: ``enabled`` is False and ``emit`` is a no-op."""
+
+    enabled = False
+
+    def emit(self, event: str, t: float, **fields: Any) -> None:
+        """Discard the event."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+#: Shared do-nothing tracer used wherever tracing is switched off.
+NULL_TRACER = NullTracer()
+
+
+class JsonLinesTracer:
+    """Writes one JSON object per event to a file or file-like sink.
+
+    ``sink`` may be a path (opened for writing, closed by
+    :meth:`close`) or any object with a ``write`` method (left open —
+    the caller owns it).  Usable as a context manager.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Union[str, IO[str]]) -> None:
+        if hasattr(sink, "write"):
+            self._fh: IO[str] = sink
+            self._owns_fh = False
+        else:
+            self._fh = open(sink, "w", encoding="utf-8")
+            self._owns_fh = True
+        self.events_emitted = 0
+
+    def emit(self, event: str, t: float, **fields: Any) -> None:
+        record: Dict[str, Any] = {"ev": event, "t": t}
+        record.update(fields)
+        self._fh.write(json.dumps(record, default=_coerce) + "\n")
+        self.events_emitted += 1
+
+    def close(self) -> None:
+        if self._owns_fh and not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonLinesTracer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class RecordingTracer:
+    """Keeps every event in an in-memory list (``.events``)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: str, t: float, **fields: Any) -> None:
+        record: Dict[str, Any] = {"ev": event, "t": t}
+        record.update(fields)
+        self.events.append(record)
+
+    def close(self) -> None:
+        """Nothing to release (events stay available)."""
+
+    def of_type(self, event: str) -> List[Dict[str, Any]]:
+        """All recorded events with name ``event``."""
+        return [e for e in self.events if e["ev"] == event]

@@ -61,19 +61,26 @@ class MMUDesign:
         base: SoCConfig,
         page_tables: Dict[int, PageTable],
         track_lifetimes: bool = False,
+        obs=None,
     ):
-        """Instantiate the memory hierarchy this design describes."""
+        """Instantiate the memory hierarchy this design describes.
+
+        ``obs`` threads an :class:`~repro.obs.Observability` bundle
+        (tracer + metrics) through the hierarchy and its IOMMU.
+        """
         cfg = self.soc_config(base)
         if self.kind == PHYSICAL:
             return PhysicalHierarchy(
-                cfg, page_tables, ideal=self.ideal, track_lifetimes=track_lifetimes
+                cfg, page_tables, ideal=self.ideal,
+                track_lifetimes=track_lifetimes, obs=obs,
             )
         if self.kind == FULL_VC:
             return VirtualCacheHierarchy(
                 cfg, page_tables,
                 fbt_as_second_level_tlb=self.fbt_as_second_level_tlb,
+                obs=obs,
             )
-        return L1OnlyVirtualHierarchy(cfg, page_tables)
+        return L1OnlyVirtualHierarchy(cfg, page_tables, obs=obs)
 
 
 # -- Table 2 presets -----------------------------------------------------

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 
 from repro.engine.stats import Counters, LifetimeTracker
 from repro.gpu.coalescer import CoalescedRequest
-from repro.memsys.addressing import line_index_in_page, lines_per_page
+from repro.memsys.addressing import lines_per_page
 from repro.memsys.cache import Cache
 from repro.memsys.dram import DRAM
 from repro.memsys.iommu import IOMMU
@@ -37,11 +37,14 @@ class PhysicalHierarchy:
         page_tables: Dict[int, PageTable],
         ideal: bool = False,
         track_lifetimes: bool = False,
+        obs=None,
     ) -> None:
         self.config = config
         self.page_tables = dict(page_tables)
         self.ideal = ideal
         self.counters = Counters()
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else None
 
         self.lifetimes: Optional[Dict[str, LifetimeTracker]] = None
         if track_lifetimes:
@@ -68,9 +71,13 @@ class PhysicalHierarchy:
             line_size=config.line_size,
         )
         self.iommu = IOMMU(
-            config.iommu, page_tables, frequency_ghz=config.frequency_ghz
+            config.iommu, page_tables, frequency_ghz=config.frequency_ghz,
+            obs=obs,
         )
         self._lpp = lines_per_page(config.line_size)
+        if obs is not None:
+            self.l2_banks.attach_delay_histogram(
+                obs.metrics.histogram("l2.bank_queue_delay"))
 
     # -- translation -----------------------------------------------------
     def _translate(self, cu_id: int, vpn: int, now: float, asid: int):
@@ -80,12 +87,18 @@ class PhysicalHierarchy:
         key = (asid << 52) | vpn
         entry = tlb.lookup(key, now)
         t = now + self.config.per_cu_tlb_latency
+        tracer = self._tracer
+        tracing = tracer is not None and tracer.enabled
         if entry is not None:
             if self.lifetimes is not None:
                 self.lifetimes["tlb"].on_access((cu_id, key), now)
+            if tracing:
+                tracer.emit("tlb.hit", t, cu=cu_id, vpn=vpn)
             return t, entry.ppn, entry.permissions, True
 
         self.counters.add("tlb.misses")
+        if tracing:
+            tracer.emit("tlb.miss", t, cu=cu_id, vpn=vpn)
         if self.ideal:
             # Instant fill from the page table: translation is free.
             mapping = self.page_tables[asid].lookup(vpn)

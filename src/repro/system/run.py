@@ -15,6 +15,7 @@ of this quantity across MMU designs.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -37,6 +38,8 @@ class SimulationResult:
     requests: int
     counters: Dict[str, int]
     iommu_rate: Optional[RateStats] = None
+    wall_clock_seconds: float = 0.0
+    metrics: object = field(default=None, repr=False)
     hierarchy: object = field(default=None, repr=False)
 
     # -- derived metrics ---------------------------------------------------
@@ -83,6 +86,8 @@ def simulate(
     asid: int = 0,
     max_instructions_per_cu: Optional[int] = None,
     start_time: float = 0.0,
+    obs=None,
+    manifest_out=None,
 ) -> SimulationResult:
     """Run ``trace`` through ``hierarchy`` and collect statistics.
 
@@ -94,9 +99,29 @@ def simulate(
     hierarchy — the time-sharing case (context switches) — so shared
     resource servers never see time run backwards.  The reported
     ``cycles`` are relative to ``start_time``.
+
+    ``obs`` attaches an :class:`~repro.obs.Observability` bundle: the
+    tracer receives ``request.issue`` / ``request.complete`` events per
+    coalesced request and the metrics registry an end-to-end
+    ``request.latency`` histogram.  When None, the hierarchy's own
+    ``obs`` (if it was built with one) is used, so a single bundle
+    passed at construction time covers the whole stack.  Observability
+    never changes simulated timing.
+
+    ``manifest_out``, if given, is a path where a JSON run manifest
+    (config, workload, design, git SHA, wall-clock, all metrics) is
+    written after the run.
     """
     if start_time < 0:
         raise ValueError("start_time must be nonnegative")
+    wall_start = time.perf_counter()
+    if obs is None:
+        obs = getattr(hierarchy, "obs", None)
+    tracer = obs.tracer if obs is not None else None
+    tracing = tracer is not None and tracer.enabled
+    req_hist = obs.metrics.histogram("request.latency") if obs is not None else None
+    if tracing:
+        tracer.emit("run.start", start_time, workload=trace.name, design=design)
     streams = trace.per_cu
     if max_instructions_per_cu is not None:
         streams = [s[:max_instructions_per_cu] for s in streams]
@@ -156,8 +181,16 @@ def simulate(
         else:
             pos = pending_pos[cu_id]
             request = requests[pos]
+            if tracing:
+                tracer.emit("request.issue", issue, cu=cu_id,
+                            line=request.line_addr, write=request.is_write)
             completion = hierarchy.access(cu_id, request, issue, asid=asid)
             total_requests += 1
+            if req_hist is not None:
+                req_hist.record(completion - issue)
+            if tracing:
+                tracer.emit("request.complete", completion, cu=cu_id,
+                            line=request.line_addr, latency=completion - issue)
             last = pos == len(requests) - 1
             cu.issue(issue, completion,
                      gap=trace.issue_interval if last else 1.0)
@@ -182,8 +215,16 @@ def simulate(
         counters.update(iommu.counters.as_dict())
         iommu_rate = iommu.access_sampler.rate_stats(end_time)
     _merge_cache_counters(hierarchy, counters)
+    if obs is not None:
+        # Aggregate this run's counters into the shared registry so an
+        # experiment-level manifest sees totals across all runs.
+        obs.metrics.counters.merge(counters)
 
-    return SimulationResult(
+    if tracing:
+        tracer.emit("run.end", end_time, workload=trace.name, design=design,
+                    cycles=end_time - start_time)
+
+    result = SimulationResult(
         workload=trace.name,
         design=design,
         cycles=end_time - start_time,
@@ -191,8 +232,16 @@ def simulate(
         requests=total_requests,
         counters=counters,
         iommu_rate=iommu_rate,
+        wall_clock_seconds=time.perf_counter() - wall_start,
+        metrics=obs.metrics if obs is not None else None,
         hierarchy=hierarchy,
     )
+    if manifest_out is not None:
+        from repro.obs.manifest import build_manifest, write_manifest
+
+        write_manifest(manifest_out, build_manifest(
+            result=result, config=config, metrics=result.metrics))
+    return result
 
 
 def _merge_cache_counters(hierarchy, counters: Dict[str, int]) -> None:

@@ -16,8 +16,8 @@ import numpy as np
 
 from repro.memsys.address_space import AddressSpace, System
 from repro.memsys.permissions import Permissions
-from repro.workloads.device import DeviceArray, TraceBuilder, warp_chunks
-from repro.workloads.trace import MemoryInstruction, Trace
+from repro.workloads.device import DeviceArray, TraceBuilder
+from repro.workloads.trace import Trace
 
 N_CUS = 16
 LANES = 32

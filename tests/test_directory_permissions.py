@@ -1,6 +1,5 @@
 """Tests for the coherence directory stub and the permissions model."""
 
-import pytest
 
 from repro.memsys.directory import CoherenceProbe, Directory
 from repro.memsys.permissions import (

@@ -1,6 +1,5 @@
 """Tests for counters, interval samplers, and lifetime trackers."""
 
-import math
 
 import pytest
 

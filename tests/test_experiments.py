@@ -172,7 +172,9 @@ class TestCli(object):
         out = capsys.readouterr().out
         assert "Table 2" in out
 
-    def test_cli_rejects_unknown(self):
+    def test_cli_rejects_unknown(self, capsys):
         from repro.experiments.cli import main
-        with pytest.raises(SystemExit):
-            main(["fig99"])
+        assert main(["fig99"]) != 0
+        err = capsys.readouterr().err
+        assert "fig99" in err
+        assert "fig2" in err  # the valid list is printed

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.memsys.address_space import AddressSpace, System
+from repro.memsys.address_space import System
 from repro.memsys.addressing import page_number
 from repro.memsys.iommu import IOMMU, IOMMUConfig
 from repro.memsys.page_table import FrameAllocator, PageTable

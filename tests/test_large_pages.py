@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.fbt import ForwardBackwardTable
-from repro.core.virtual_hierarchy import VirtualCacheHierarchy, line_key
+from repro.core.virtual_hierarchy import VirtualCacheHierarchy
 from repro.gpu.coalescer import CoalescedRequest
 from repro.memsys.address_space import AddressSpace
 from repro.memsys.addressing import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.paper_targets import (
     TARGETS,
-    Comparison,
     Target,
     compare_all,
     render_report,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.gpu.coalescer import CoalescedRequest
 from repro.memsys.address_space import AddressSpace
-from repro.memsys.addressing import line_address, page_number
+from repro.memsys.addressing import line_address
 from repro.memsys.permissions import PageFault, PermissionFault, Permissions
 from repro.system.physical_hierarchy import PhysicalHierarchy
 

@@ -145,3 +145,57 @@ class TestSimulationResultMetrics:
                        requests=0, counters={})
         with pytest.raises(ValueError):
             r.relative_time(zero)
+
+    def test_wall_clock_recorded(self, small_config, space):
+        trace = sequential_trace(space)
+        h = IDEAL_MMU.build(small_config, {0: space.page_table})
+        r = simulate(trace, h, small_config)
+        assert r.wall_clock_seconds > 0.0
+        assert r.metrics is None  # no observability attached
+
+
+class TestSimulationResultEdgeCases:
+    """Derived metrics on degenerate results (empty/zero-cycle runs)."""
+
+    @staticmethod
+    def empty_result(cycles=0.0, counters=None):
+        from repro.system.run import SimulationResult
+
+        return SimulationResult(workload="empty", design="none", cycles=cycles,
+                                instructions=0, requests=0,
+                                counters=counters or {})
+
+    def test_zero_cycles_rate_metrics_are_zero(self):
+        r = self.empty_result()
+        assert r.iommu_accesses_per_cycle() == 0.0
+
+    def test_zero_cycles_speedup_raises(self):
+        r = self.empty_result()
+        nonzero = self.empty_result(cycles=10.0)
+        with pytest.raises(ValueError):
+            r.speedup_over(nonzero)
+        with pytest.raises(ValueError):
+            nonzero.relative_time(r)
+
+    def test_zero_accesses_miss_ratio_is_zero(self):
+        r = self.empty_result(cycles=100.0)
+        assert r.per_cu_tlb_miss_ratio() == 0.0
+        # Misses counted but zero accesses must not divide by zero.
+        r2 = self.empty_result(cycles=100.0, counters={"tlb.misses": 5})
+        assert r2.per_cu_tlb_miss_ratio() == 0.0
+
+    def test_empty_breakdown_sums_to_zero(self):
+        bd = self.empty_result(cycles=100.0).tlb_miss_breakdown()
+        assert bd == {"l1_hit": 0.0, "l2_hit": 0.0, "l2_miss": 0.0}
+
+    def test_breakdown_with_misses_but_no_classification(self):
+        r = self.empty_result(cycles=1.0, counters={"tlb.misses": 4,
+                                                    "tlb.miss_l2_miss": 4})
+        bd = r.tlb_miss_breakdown()
+        assert bd["l2_miss"] == 1.0
+        assert bd["l1_hit"] == bd["l2_hit"] == 0.0
+
+    def test_nonzero_cycles_zero_accesses(self):
+        r = self.empty_result(cycles=42.0)
+        assert r.iommu_accesses_per_cycle() == 0.0
+        assert r.relative_time(self.empty_result(cycles=42.0)) == 1.0
