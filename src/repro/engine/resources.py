@@ -86,6 +86,13 @@ class WindowedServer:
         if window > self._window_index:
             self._window_index = window
             self._window_count = 0.0
+        elif window < self._window_index:
+            # An arrival stamped in an already-closed window is charged
+            # against the *current* window's capacity, so clamp it into
+            # that window: its service cannot start before the window it
+            # is accounted in, and any overflow delay is measured from
+            # the window start rather than the stale timestamp.
+            now = self._window_index * self.WINDOW_CYCLES
         self._window_count += 1.0
         overflow = self._window_count - self.WINDOW_CYCLES * self.rate
         delay = overflow / self.rate if overflow > 0 else 0.0

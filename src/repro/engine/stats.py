@@ -27,6 +27,16 @@ class Counters:
     def add(self, name: str, amount: int = 1) -> None:
         self._counts[name] = self._counts.get(name, 0) + amount
 
+    def set(self, name: str, value: int) -> None:
+        """Overwrite ``name`` with ``value``.
+
+        For counters maintained as a rounded view of a float accumulator
+        (e.g. ``iommu.queue_cycles``): the owner keeps the exact float
+        total and publishes ``round(total)`` here, so the reported value
+        is rounded once instead of truncated per event.
+        """
+        self._counts[name] = value
+
     def __getitem__(self, name: str) -> int:
         return self._counts.get(name, 0)
 

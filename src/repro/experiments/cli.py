@@ -5,6 +5,8 @@ Usage::
     repro-experiment fig9                     # one figure
     repro-experiment all                      # everything
     repro-experiment fig2 --scale 0.25        # quick, scaled-down run
+    repro-experiment all --jobs 4 \\
+        --cache-dir ~/.cache/repro            # parallel + persistent cache
     repro-experiment --list                   # valid experiment names
     repro-experiment fig3 --scale 0.25 \\
         --trace-out trace.jsonl \\
@@ -109,6 +111,19 @@ def main(argv=None) -> int:
         help="additionally render the data figures as SVG files into DIR",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan missing (workload, design) simulations out over N "
+             "worker processes (default: 1, fully serial; results are "
+             "bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist simulation results under DIR and reuse them across "
+             "invocations; entries are keyed by workload, scale, the full "
+             "MMU design, and a content hash of the SoC config, so any "
+             "change to those re-simulates",
+    )
+    parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="write a JSON-lines trace of every simulated request to PATH",
     )
@@ -137,8 +152,14 @@ def main(argv=None) -> int:
         print(_experiment_listing(), file=sys.stderr)
         return 2
 
+    if args.jobs < 1:
+        print("repro-experiment: error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     if args.scale is not None:
         GLOBAL_CACHE.scale = args.scale
+    GLOBAL_CACHE.jobs = args.jobs
+    if args.cache_dir is not None:
+        GLOBAL_CACHE.cache_dir = args.cache_dir
     if args.metrics_out is not None:
         # Fail before the run, not after: the manifest is written last.
         parent = Path(args.metrics_out).resolve().parent

@@ -63,7 +63,9 @@ def run(
 ) -> CoherenceResult:
     """Warm the VC hierarchy with ``workload``, then inject probes."""
     cache = cache if cache is not None else GLOBAL_CACHE
-    result = cache.run(workload, VC_WITH_OPT)
+    # Probes are injected into the warmed hierarchy after the run, so a
+    # live in-process handle is required (slim cached records lack one).
+    result = cache.run(workload, VC_WITH_OPT, need_hierarchy=True)
     hierarchy = result.hierarchy
     space = cache.trace(workload).address_space
     rng = np.random.default_rng(seed)

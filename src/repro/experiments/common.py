@@ -6,36 +6,103 @@ for example), so results are memoized per process in a
 :class:`ResultCache`.  Each run builds a *fresh* hierarchy — simulator
 state never leaks between design points — but reuses the memoized trace
 from :mod:`repro.workloads.registry`.
+
+Two opt-in layers sit on top of the in-process memo:
+
+* **Parallelism** — :meth:`ResultCache.run_many` fans missing design
+  points out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``jobs`` workers).  Each worker builds a fresh trace/hierarchy pair
+  exactly as the serial path does, so results are bit-identical to
+  ``jobs=1``; per-worker metrics registries are merged back into the
+  parent's :class:`~repro.obs.Observability` bundle.
+* **Persistence** — ``cache_dir`` names an on-disk
+  :class:`~repro.experiments.disk_cache.DiskCache` keyed by a complete
+  fingerprint (workload, scale, full design, ``track_lifetimes``, and a
+  content hash of the ``SoCConfig``), so a warm rerun of a figure costs
+  zero simulations.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.experiments.disk_cache import (
+    DiskCache,
+    config_fingerprint,
+    point_fingerprint,
+)
+from repro.obs import Observability
 from repro.system.config import SoCConfig
 from repro.system.designs import MMUDesign
 from repro.system.run import SimulationResult, simulate
 from repro.workloads import registry
 from repro.workloads.trace import Trace
 
+#: Memo key: (workload, scale, design name, track_lifetimes, config hash).
+#: The config hash is load-bearing — without it, mutating
+#: ``cache.config`` between runs would silently serve stale results.
+CacheKey = Tuple[str, float, str, bool, str]
+
+#: A design point: (workload, design) or (workload, design, track_lifetimes).
+Point = Tuple
+
+
+def _simulate_point(
+    config: SoCConfig,
+    scale: float,
+    workload: str,
+    design: MMUDesign,
+    track_lifetimes: bool,
+    collect_metrics: bool,
+) -> Tuple[SimulationResult, Optional[object]]:
+    """Run one design point from scratch (executes inside a pool worker).
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it.  Builds the
+    same fresh trace/hierarchy the serial path builds, so the result is
+    bit-identical to an in-process run.  Returns the slim result plus
+    the worker's metrics registry (for parent-side merging) when the
+    parent had observability attached.
+    """
+    obs = Observability() if collect_metrics else None
+    trace = registry.load(workload, scale=scale)
+    page_tables = {0: trace.address_space.page_table}
+    hierarchy = design.build(config, page_tables,
+                             track_lifetimes=track_lifetimes, obs=obs)
+    result = simulate(trace, hierarchy, design.soc_config(config),
+                      design=design.name, obs=obs)
+    return result, (obs.metrics if obs is not None else None)
+
 
 @dataclass
 class ResultCache:
-    """Memoizes simulation results keyed by (workload, scale, design).
+    """Memoizes simulation results keyed by (workload, scale, design, config).
 
     An :class:`~repro.obs.Observability` bundle attached as ``obs`` is
     threaded through every hierarchy built and every ``simulate()``
     call; when its profiler is set, trace synthesis and each simulation
     get their own wall-clock spans.
+
+    ``jobs`` sets the default process fan-out for :meth:`run_many` /
+    :meth:`run_designs`; ``cache_dir`` (a directory path) persists slim
+    results across processes and invocations.
     """
 
     config: SoCConfig = field(default_factory=SoCConfig)
     scale: Optional[float] = None
     obs: object = None
-    _results: Dict[Tuple[str, float, str, bool], SimulationResult] = \
-        field(default_factory=dict)
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    _results: Dict[CacheKey, SimulationResult] = field(default_factory=dict)
+    # Strong refs to the hierarchies behind memoized results; results
+    # themselves hold only weak refs, so clear() genuinely frees them.
+    _hierarchies: Dict[CacheKey, object] = field(default_factory=dict)
+    _disk: Optional[DiskCache] = field(default=None, repr=False)
+    #: Simulations actually executed (memo/disk hits excluded).
+    simulations_run: int = 0
 
     def effective_scale(self) -> float:
         return self.scale if self.scale is not None else registry.default_scale()
@@ -48,34 +115,180 @@ class ResultCache:
         profiler = getattr(self.obs, "profiler", None)
         return profiler.span(name) if profiler is not None else nullcontext()
 
+    # -- cache keys -------------------------------------------------------
+    def _key(self, workload: str, design: MMUDesign,
+             track_lifetimes: bool) -> CacheKey:
+        return (workload, self.effective_scale(), design.name,
+                track_lifetimes, config_fingerprint(self.config))
+
+    def _fingerprint(self, workload: str, design: MMUDesign,
+                     track_lifetimes: bool) -> str:
+        return point_fingerprint(workload, self.effective_scale(), design,
+                                 track_lifetimes, self.config)
+
+    def _disk_cache(self) -> Optional[DiskCache]:
+        if self.cache_dir is None:
+            return None
+        if self._disk is None or self._disk.root != Path(self.cache_dir):
+            self._disk = DiskCache(self.cache_dir)
+        return self._disk
+
+    # -- running ----------------------------------------------------------
     def run(
         self,
         workload: str,
         design: MMUDesign,
         track_lifetimes: bool = False,
+        need_hierarchy: bool = False,
     ) -> SimulationResult:
-        """Run (or fetch) one simulation."""
-        key = (workload, self.effective_scale(), design.name, track_lifetimes)
-        if key not in self._results:
-            trace = self.trace(workload)
-            page_tables = {0: trace.address_space.page_table}
-            hierarchy = design.build(self.config, page_tables,
-                                     track_lifetimes=track_lifetimes,
-                                     obs=self.obs)
-            with self._span(f"sim:{workload}:{design.name}"):
-                self._results[key] = simulate(
-                    trace, hierarchy, design.soc_config(self.config),
-                    design=design.name, obs=self.obs,
-                )
-        return self._results[key]
+        """Run (or fetch) one simulation.
+
+        ``need_hierarchy=True`` guarantees ``result.hierarchy`` is a
+        live in-process hierarchy (Figure 12 and the coherence probe
+        experiment inspect it) — a slim memo/disk record without one is
+        re-simulated rather than served.
+        """
+        key = self._key(workload, design, track_lifetimes)
+        result = self._results.get(key)
+        if result is not None:
+            if not need_hierarchy or self._hierarchies.get(key) is not None:
+                return result
+        elif not need_hierarchy:
+            disk = self._disk_cache()
+            if disk is not None:
+                cached = disk.load(
+                    self._fingerprint(workload, design, track_lifetimes))
+                if cached is not None:
+                    self._results[key] = cached
+                    return cached
+        return self._simulate_into_cache(key, workload, design, track_lifetimes)
+
+    def _simulate_into_cache(
+        self, key: CacheKey, workload: str, design: MMUDesign,
+        track_lifetimes: bool,
+    ) -> SimulationResult:
+        trace = self.trace(workload)
+        page_tables = {0: trace.address_space.page_table}
+        hierarchy = design.build(self.config, page_tables,
+                                 track_lifetimes=track_lifetimes,
+                                 obs=self.obs)
+        with self._span(f"sim:{workload}:{design.name}"):
+            result = simulate(
+                trace, hierarchy, design.soc_config(self.config),
+                design=design.name, obs=self.obs,
+            )
+        self.simulations_run += 1
+        self._results[key] = result
+        self._hierarchies[key] = hierarchy
+        disk = self._disk_cache()
+        if disk is not None:
+            disk.store(self._fingerprint(workload, design, track_lifetimes),
+                       result)
+        return result
+
+    @staticmethod
+    def _normalize(points: Iterable[Point]) -> List[Tuple[str, MMUDesign, bool]]:
+        normalized = []
+        for point in points:
+            if len(point) == 2:
+                workload, design = point
+                track_lifetimes = False
+            else:
+                workload, design, track_lifetimes = point
+            normalized.append((workload, design, bool(track_lifetimes)))
+        return normalized
+
+    def run_many(
+        self, points: Iterable[Point], jobs: Optional[int] = None,
+    ) -> List[SimulationResult]:
+        """Run (or fetch) many design points, fanning misses out over processes.
+
+        ``points`` is an iterable of ``(workload, design)`` or
+        ``(workload, design, track_lifetimes)`` tuples; the returned
+        list matches their order.  ``jobs`` defaults to ``self.jobs``;
+        with one job (or at most one miss) everything runs serially
+        in-process, exactly as :meth:`run`.  Per-request tracing forces
+        the serial path — a worker process cannot stream events into
+        the parent's trace file.
+        """
+        normalized = self._normalize(points)
+        jobs = self.jobs if jobs is None else jobs
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.obs is not None and getattr(self.obs, "tracing", False):
+            jobs = 1
+
+        # Collect points not already memoized (deduplicated, in order).
+        disk = self._disk_cache()
+        missing: List[Tuple[CacheKey, str, MMUDesign, bool]] = []
+        seen = set()
+        for workload, design, track_lifetimes in normalized:
+            key = self._key(workload, design, track_lifetimes)
+            if key in self._results or key in seen:
+                continue
+            if disk is not None:
+                cached = disk.load(
+                    self._fingerprint(workload, design, track_lifetimes))
+                if cached is not None:
+                    self._results[key] = cached
+                    continue
+            seen.add(key)
+            missing.append((key, workload, design, track_lifetimes))
+
+        if jobs == 1 or len(missing) <= 1:
+            for key, workload, design, track_lifetimes in missing:
+                self._simulate_into_cache(key, workload, design, track_lifetimes)
+        elif missing:
+            self._run_missing_parallel(missing, jobs)
+        return [
+            self._results[self._key(w, d, tl)] for w, d, tl in normalized
+        ]
+
+    def _run_missing_parallel(
+        self, missing: List[Tuple[CacheKey, str, MMUDesign, bool]], jobs: int,
+    ) -> None:
+        # Generate traces in the parent first: forked workers then
+        # inherit the memoized traces instead of regenerating one per
+        # process (and spawn-based platforms still regenerate the same
+        # deterministic trace from (name, scale)).
+        for workload in dict.fromkeys(w for _, w, _, _ in missing):
+            self.trace(workload)
+        collect_metrics = self.obs is not None
+        scale = self.effective_scale()
+        disk = self._disk_cache()
+        workers = min(jobs, len(missing))
+        with self._span(f"run_many:{len(missing)}points:{workers}jobs"):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    (key, workload, design, track_lifetimes,
+                     pool.submit(_simulate_point, self.config, scale, workload,
+                                 design, track_lifetimes, collect_metrics))
+                    for key, workload, design, track_lifetimes in missing
+                ]
+                # Merge in submission order so parent-side aggregation is
+                # deterministic run to run.
+                for key, workload, design, track_lifetimes, future in futures:
+                    result, metrics = future.result()
+                    self.simulations_run += 1
+                    self._results[key] = result
+                    if metrics is not None and self.obs is not None:
+                        self.obs.metrics.merge(metrics)
+                    if disk is not None:
+                        disk.store(
+                            self._fingerprint(workload, design, track_lifetimes),
+                            result)
 
     def run_designs(
         self, workload: str, designs: Iterable[MMUDesign]
     ) -> Dict[str, SimulationResult]:
-        return {d.name: self.run(workload, d) for d in designs}
+        designs = list(designs)
+        results = self.run_many([(workload, d) for d in designs])
+        return {d.name: r for d, r in zip(designs, results)}
 
     def clear(self) -> None:
+        """Drop memoized results *and* release their hierarchies."""
         self._results.clear()
+        self._hierarchies.clear()
 
 
 # A process-wide cache shared by all experiment drivers (and by the

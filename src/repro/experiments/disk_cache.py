@@ -1,0 +1,114 @@
+"""Persistent on-disk cache of slim :class:`SimulationResult` records.
+
+The benchmark/figure suite re-simulates every (workload × MMU design)
+point from scratch each invocation; with ``--cache-dir`` the experiment
+drivers instead persist each point's result keyed by a *complete*
+fingerprint of everything that determines it:
+
+* the workload name and scale (which select the memoized trace),
+* the full :class:`~repro.system.designs.MMUDesign` (``repr`` of the
+  frozen dataclass — name *and* every override field),
+* ``track_lifetimes``,
+* a content hash of the :class:`~repro.system.config.SoCConfig`
+  (``repr`` of the frozen dataclass tree), and
+* a schema version, bumped whenever the stored record's shape changes.
+
+Change any of those and the fingerprint — and therefore the cache file —
+changes, so stale results can never be served.  Entries are written
+atomically (temp file + ``os.replace``), which makes concurrent writers
+(the parallel sweep runner, or two CLI invocations sharing a directory)
+safe: the worst case is the same result being written twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.system.config import SoCConfig
+from repro.system.designs import MMUDesign
+from repro.system.run import SimulationResult
+
+#: Bump when the pickled record's shape changes; old entries then miss.
+SCHEMA_VERSION = 1
+
+
+def config_fingerprint(config: SoCConfig) -> str:
+    """Content hash of a frozen ``SoCConfig`` tree.
+
+    Frozen dataclasses have deterministic, field-complete ``repr``s, so
+    hashing the repr captures every nested sizing/timing parameter.
+    """
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()
+
+
+def point_fingerprint(
+    workload: str,
+    scale: float,
+    design: MMUDesign,
+    track_lifetimes: bool,
+    config: SoCConfig,
+) -> str:
+    """The complete cache key for one (workload × design) design point."""
+    blob = "\x1f".join([
+        f"schema={SCHEMA_VERSION}",
+        f"workload={workload}",
+        f"scale={scale!r}",
+        f"design={design!r}",
+        f"track_lifetimes={track_lifetimes}",
+        f"config={config!r}",
+    ])
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class DiskCache:
+    """A directory of pickled slim results, one file per fingerprint."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.pkl"
+
+    def load(self, fingerprint: str) -> Optional[SimulationResult]:
+        """Fetch a cached result, or ``None`` on miss/corruption."""
+        try:
+            with open(self._path(fingerprint), "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError):
+            # A truncated or stale-format entry is a miss, not an error.
+            self.misses += 1
+            return None
+        if not isinstance(result, SimulationResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, fingerprint: str, result: SimulationResult) -> None:
+        """Persist ``result`` atomically under ``fingerprint``."""
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(fingerprint))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))

@@ -84,6 +84,7 @@ def run(cache: ResultCache = None, workloads=None) -> EnergyResult:
     """Count the energy-relevant events for baseline vs VC."""
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, ALL_WORKLOADS)
+    cache.run_many([(w, d) for w in names for d in (BASELINE_512, VC_WITH_OPT)])
     tlb_b, tlb_v, io_b, io_v = {}, {}, {}, {}
     for w in names:
         base = cache.run(w, BASELINE_512)

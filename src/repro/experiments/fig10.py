@@ -44,6 +44,8 @@ def run(cache: ResultCache = None, workloads=None) -> Fig10Result:
     """Regenerate Figure 10."""
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, HIGH_BANDWIDTH)
+    cache.run_many(
+        [(w, d) for w in names for d in (BASELINE_LARGE_PER_CU, VC_WITH_OPT)])
     speedup = {}
     for w in names:
         base = cache.run(w, BASELINE_LARGE_PER_CU)

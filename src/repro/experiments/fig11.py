@@ -64,6 +64,7 @@ def run(cache: ResultCache = None, workloads=None) -> Fig11Result:
     """Regenerate Figure 11."""
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, HIGH_BANDWIDTH)
+    cache.run_many([(w, d) for w in names for d in (BASELINE_16K,) + SCOPES])
     speedup: Dict[str, Dict[str, float]] = {d.name: {} for d in SCOPES}
     for w in names:
         base = cache.run(w, BASELINE_16K)

@@ -78,7 +78,10 @@ class Fig12Result:
 def run(cache: ResultCache = None, workload: str = "bfs") -> Fig12Result:
     """Regenerate Figure 12."""
     cache = cache if cache is not None else GLOBAL_CACHE
-    result = cache.run(workload, BASELINE_512, track_lifetimes=True)
+    # The lifetime CDFs live on the hierarchy itself, so insist on a
+    # live in-process handle (a slim disk-cached record is not enough).
+    result = cache.run(workload, BASELINE_512, track_lifetimes=True,
+                       need_hierarchy=True)
     hierarchy = result.hierarchy
     freq = cache.config.frequency_ghz
 

@@ -93,6 +93,7 @@ def run(cache: ResultCache = None, workloads=None) -> Fig2Result:
     """Regenerate Figure 2."""
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, ALL_WORKLOADS)
+    cache.run_many([(w, tlb_sweep_design(e)) for w in names for e in TLB_SIZES])
     miss_ratio: Dict[str, Dict[str, float]] = {}
     breakdown: Dict[str, Dict[str, Dict[str, float]]] = {}
     for w in names:

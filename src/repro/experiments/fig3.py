@@ -62,10 +62,8 @@ def run(cache: ResultCache = None, workloads=None) -> Fig3Result:
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, ALL_WORKLOADS)
     design = baseline_unlimited_bandwidth()
-    rates = {}
-    for w in names:
-        result = cache.run(w, design)
-        rates[w] = result.iommu_rate
+    results = cache.run_many([(w, design) for w in names])
+    rates = {w: result.iommu_rate for w, result in zip(names, results)}
     return Fig3Result(rates=rates)
 
 

@@ -53,6 +53,7 @@ def run(cache: ResultCache = None, workloads=None) -> Fig4Result:
     """Regenerate Figure 4."""
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, ALL_WORKLOADS)
+    cache.run_many([(w, d) for w in names for d in DESIGNS])
     relative: Dict[str, Dict[str, float]] = {}
     for w in names:
         ideal = cache.run(w, IDEAL_MMU)

@@ -56,6 +56,10 @@ def run(cache: ResultCache = None, workloads=None) -> Fig5Result:
     """Regenerate Figure 5."""
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, HIGH_BANDWIDTH)
+    cache.run_many(
+        [(w, IDEAL_MMU) for w in names]
+        + [(w, baseline_with_bandwidth(bw)) for w in names for bw in BANDWIDTHS]
+    )
     table: Dict[float, Dict[str, float]] = {bw: {} for bw in BANDWIDTHS}
     for w in names:
         ideal = cache.run(w, IDEAL_MMU)

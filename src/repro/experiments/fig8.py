@@ -75,6 +75,7 @@ def run(cache: ResultCache = None, workloads=None) -> Fig8Result:
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, ALL_WORKLOADS)
     base_design = baseline_unlimited_bandwidth()
+    cache.run_many([(w, d) for w in names for d in (base_design, VC_UNLIMITED)])
     baseline = {}
     virtual = {}
     for w in names:

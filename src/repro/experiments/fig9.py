@@ -82,6 +82,7 @@ def run(cache: ResultCache = None, workloads=None) -> Fig9Result:
     cache = cache if cache is not None else GLOBAL_CACHE
     all_names = resolve_workloads(workloads, ALL_WORKLOADS)
     high = [w for w in all_names if w in HIGH_BANDWIDTH]
+    cache.run_many([(w, d) for w in all_names for d in (IDEAL_MMU,) + COMPARED])
     performance: Dict[str, Dict[str, float]] = {}
     fbt_fraction: Dict[str, float] = {}
     for w in all_names:

@@ -115,6 +115,10 @@ class IOMMU:
         interval_cycles = self.SAMPLE_INTERVAL_US * 1000.0 * frequency_ghz
         self.access_sampler = IntervalSampler(interval_cycles)
         self.counters = Counters()
+        # Exact float total of queueing waits; the ``iommu.queue_cycles``
+        # counter is round(total) so sub-cycle waits are not truncated
+        # away per request.
+        self.queue_cycles = 0.0
 
         # Observability (repro.obs): latency histograms + request tracing.
         # All hot-path instrumentation is guarded so obs=None costs one
@@ -164,7 +168,8 @@ class IOMMU:
             service_start = self.port.request(now, self._bank_of(vpn))
         else:
             service_start = self.port.request(now)
-        self.counters.add("iommu.queue_cycles", int(service_start - now))
+        self.queue_cycles += service_start - now
+        self.counters.set("iommu.queue_cycles", round(self.queue_cycles))
         if self._queue_hist is not None:
             self._queue_hist.record(service_start - now)
         tracer = self._tracer

@@ -103,6 +103,30 @@ class LatencyHistogram:
         summary.update(self.quantiles())
         return summary
 
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Bucket-exact: merging preserves every count, the zero bucket,
+        and the exact min/max, so parent-process aggregation over
+        per-worker histograms matches recording everything in one
+        registry.  Both histograms must share a bucket layout.
+        """
+        if other.sub_buckets_per_octave != self.sub_buckets_per_octave:
+            raise ValueError(
+                "cannot merge histograms with different bucket layouts "
+                f"({self.sub_buckets_per_octave} vs "
+                f"{other.sub_buckets_per_octave} sub-buckets per octave)"
+            )
+        self.count += other.count
+        self.total += other.total
+        self._zero_count += other._zero_count
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
     def reset(self) -> None:
         self._buckets.clear()
         self._zero_count = 0
@@ -148,6 +172,19 @@ class MetricsRegistry:
     def scope(self, prefix: str) -> "MetricsScope":
         """A view that prepends ``prefix.`` to every instrument name."""
         return MetricsScope(self, prefix)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (parallel-run aggregation).
+
+        Counters add, histograms merge bucket-exactly, and gauges take
+        the other registry's value (point-in-time semantics: last write
+        wins, as if the worker had written through this registry).
+        """
+        self.counters.merge(other.counters)
+        for name, value in other.gauges().items():
+            self._gauges[name] = value
+        for name, hist in other.histograms().items():
+            self.histogram(name, hist.sub_buckets_per_octave).merge(hist)
 
     # -- export -----------------------------------------------------------
     def gauges(self) -> Dict[str, float]:

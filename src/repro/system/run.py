@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import heapq
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import weakref
+from typing import Dict, Optional, List
 
 from repro.engine.stats import RateStats
 from repro.gpu.cu import ComputeUnit
@@ -27,20 +27,89 @@ from repro.workloads.trace import Trace
 _TIME_EPS = 1e-9
 
 
-@dataclass
 class SimulationResult:
-    """Outcome of one simulated run."""
+    """Outcome of one simulated run.
 
-    workload: str
-    design: str
-    cycles: float
-    instructions: int
-    requests: int
-    counters: Dict[str, int]
-    iommu_rate: Optional[RateStats] = None
-    wall_clock_seconds: float = 0.0
-    metrics: object = field(default=None, repr=False)
-    hierarchy: object = field(default=None, repr=False)
+    The record itself is *slim* — plain numbers, the counter dict, and
+    the IOMMU rate samples — so it pickles cheaply across process
+    boundaries (the parallel sweep runner) and onto disk (the
+    ``--cache-dir`` result cache).  Two in-process handles ride along
+    outside the serialized state:
+
+    * ``metrics`` — the :class:`~repro.obs.MetricsRegistry` the run
+      recorded into (``None`` when no observability was attached);
+    * ``hierarchy`` — a *weak* reference to the memory hierarchy the
+      run drove.  Whoever built the hierarchy owns it; once they drop
+      it (e.g. :meth:`ResultCache.clear`), ``result.hierarchy`` becomes
+      ``None`` instead of silently pinning every server and counter the
+      run ever touched.
+
+    Both handles are dropped by pickling: an unpickled result carries
+    only the slim record.
+    """
+
+    _SLIM_FIELDS = (
+        "workload", "design", "cycles", "instructions", "requests",
+        "counters", "iommu_rate", "wall_clock_seconds",
+    )
+
+    def __init__(
+        self,
+        workload: str,
+        design: str,
+        cycles: float,
+        instructions: int,
+        requests: int,
+        counters: Dict[str, int],
+        iommu_rate: Optional[RateStats] = None,
+        wall_clock_seconds: float = 0.0,
+        metrics: object = None,
+        hierarchy: object = None,
+    ) -> None:
+        self.workload = workload
+        self.design = design
+        self.cycles = cycles
+        self.instructions = instructions
+        self.requests = requests
+        self.counters = counters
+        self.iommu_rate = iommu_rate
+        self.wall_clock_seconds = wall_clock_seconds
+        self.metrics = metrics
+        self._hierarchy_ref = (
+            weakref.ref(hierarchy) if hierarchy is not None else None
+        )
+
+    @property
+    def hierarchy(self):
+        """The hierarchy this run drove, or ``None`` once released."""
+        ref = self._hierarchy_ref
+        return ref() if ref is not None else None
+
+    # -- serialization: only the slim record crosses process/disk ---------
+    def __getstate__(self) -> Dict[str, object]:
+        return {name: getattr(self, name) for name in self._SLIM_FIELDS}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self.metrics = None
+        self._hierarchy_ref = None
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(workload={self.workload!r}, "
+            f"design={self.design!r}, cycles={self.cycles!r}, "
+            f"instructions={self.instructions!r}, requests={self.requests!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimulationResult):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self._SLIM_FIELDS
+        )
+
+    __hash__ = None  # mutable record, same as the former dataclass
 
     # -- derived metrics ---------------------------------------------------
     def relative_time(self, baseline: "SimulationResult") -> float:

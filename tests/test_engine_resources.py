@@ -84,6 +84,27 @@ class TestWindowedServer:
         s.request(500.0)
         assert s.request(600.0) == 600.0
 
+    def test_old_window_arrival_clamped_into_current_window(self):
+        # Regression: an arrival stamped in an already-closed window is
+        # charged to the current window's capacity, so its service must
+        # be clamped into that window — not stamped back at the stale
+        # arrival time with the newer window's congestion.
+        s = WindowedServer(rate=1.0)
+        w = WindowedServer.WINDOW_CYCLES
+        for _ in range(int(w)):
+            s.request(4 * w)  # spend window 4's whole capacity
+        assert s.request(0.0) == pytest.approx(4 * w + 1.0)
+        assert s.total_queue_delay == pytest.approx(1.0)
+
+    def test_old_window_arrival_under_capacity_serves_at_window_start(self):
+        s = WindowedServer(rate=1.0)
+        w = WindowedServer.WINDOW_CYCLES
+        s.request(4 * w)  # opens window 4
+        # Plenty of capacity left: the stale arrival serves at the
+        # current window's start, never earlier.
+        assert s.request(10.0) == pytest.approx(4 * w)
+        assert s.total_queue_delay == 0.0
+
     def test_new_window_resets(self):
         s = WindowedServer(rate=1.0)
         for _ in range(1000):

@@ -204,6 +204,48 @@ class TestCounters:
         assert a.as_dict() == {"x": 3, "y": 5, "z": 7}
 
 
+class TestMerge:
+    """Parent-side aggregation of per-worker metrics (run_many)."""
+
+    def test_histogram_merge_is_bucket_exact(self):
+        a, b, serial = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        for v in (0.0, 0.5, 3.0, 100.0):
+            a.record(v)
+            serial.record(v)
+        for v in (0.25, 7.0, 7.0, 0.0):
+            b.record(v)
+            serial.record(v)
+        a.merge(b)
+        assert a.count == serial.count
+        assert a.total == pytest.approx(serial.total)
+        assert (a.min, a.max) == (serial.min, serial.max)
+        for p in (50.0, 95.0, 99.0, 100.0):
+            assert a.percentile(p) == serial.percentile(p)
+
+    def test_histogram_merge_into_empty(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        b.record(2.0)
+        a.merge(b)
+        assert (a.count, a.min, a.max) == (1, 2.0, 2.0)
+
+    def test_histogram_merge_rejects_mismatched_layout(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(8).merge(LatencyHistogram(4))
+
+    def test_registry_merge(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.add("runs", 1)
+        parent.histogram("lat").record(1.0)
+        worker.add("runs", 2)
+        worker.histogram("lat").record(4.0)
+        worker.set_gauge("last_scale", 0.5)
+        parent.merge(worker)
+        assert parent.counters.as_dict() == {"runs": 3}
+        assert parent.histogram("lat").count == 2
+        assert parent.histogram("lat").max == 4.0
+        assert parent.gauges() == {"last_scale": 0.5}
+
+
 class TestManifest:
     def test_git_sha_in_this_repo(self):
         sha = git_sha()

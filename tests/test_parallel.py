@@ -1,0 +1,223 @@
+"""Tests for the parallel sweep runner and the persistent result cache.
+
+Covers the ISSUE-2 acceptance criteria: ``run_many(jobs=N)`` is
+counter-for-counter identical to serial execution, a warm ``cache_dir``
+rerun performs zero new simulations, the memo key includes the
+``SoCConfig`` content hash (mutating ``cache.config`` re-simulates),
+and ``clear()`` genuinely releases hierarchies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import pickle
+import weakref
+
+import pytest
+
+from repro.experiments import fig4
+from repro.experiments.common import ResultCache
+from repro.experiments.disk_cache import DiskCache, point_fingerprint
+from repro.obs import Observability
+from repro.system.designs import (
+    BASELINE_512,
+    BASELINE_16K,
+    IDEAL_MMU,
+    VC_WITH_OPT,
+)
+
+TINY = 0.05
+WORKLOADS = ("kmeans", "pagerank")
+DESIGNS = (IDEAL_MMU, BASELINE_512, VC_WITH_OPT)
+POINTS = [(w, d) for w in WORKLOADS for d in DESIGNS]
+
+
+def slim_view(result):
+    return (result.workload, result.design, result.cycles,
+            result.instructions, result.requests, result.counters)
+
+
+class TestMemoKeyIncludesConfig:
+    def test_mutating_config_re_simulates(self):
+        # Regression: the memo key used to omit the config, so mutating
+        # cache.config silently served results for the *old* SoC.
+        cache = ResultCache(scale=TINY)
+        before = cache.run("kmeans", BASELINE_512)
+        cache.config = dataclasses.replace(cache.config, dram_latency=1600.0)
+        after = cache.run("kmeans", BASELINE_512)
+        assert cache.simulations_run == 2
+        assert after is not before
+        assert after.cycles > before.cycles  # 10x DRAM latency must show
+
+    def test_same_config_still_memoizes(self):
+        cache = ResultCache(scale=TINY)
+        a = cache.run("kmeans", BASELINE_512)
+        cache.config = dataclasses.replace(cache.config)  # equal content
+        assert cache.run("kmeans", BASELINE_512) is a
+        assert cache.simulations_run == 1
+
+
+class TestRunManyDeterminism:
+    def test_jobs2_matches_serial_counter_for_counter(self):
+        serial = ResultCache(scale=TINY)
+        serial_results = [serial.run(w, d) for w, d in POINTS]
+
+        parallel = ResultCache(scale=TINY)
+        parallel_results = parallel.run_many(POINTS, jobs=2)
+
+        assert parallel.simulations_run == len(POINTS)
+        for ser, par in zip(serial_results, parallel_results):
+            assert slim_view(ser) == slim_view(par)
+            if ser.iommu_rate is None:
+                assert par.iommu_rate is None
+            else:
+                assert ser.iommu_rate.samples == par.iommu_rate.samples
+
+    def test_run_many_memoizes_and_orders(self):
+        cache = ResultCache(scale=TINY)
+        results = cache.run_many(POINTS, jobs=2)
+        assert [r.workload for r in results] == [w for w, _ in POINTS]
+        assert [r.design for r in results] == [d.name for _, d in POINTS]
+        # Everything is memoized: a rerun simulates nothing new.
+        again = cache.run_many(POINTS, jobs=2)
+        assert cache.simulations_run == len(POINTS)
+        assert [a is b for a, b in zip(results, again)] == [True] * len(POINTS)
+
+    def test_run_many_deduplicates_points(self):
+        cache = ResultCache(scale=TINY)
+        results = cache.run_many(
+            [("kmeans", IDEAL_MMU), ("kmeans", IDEAL_MMU)], jobs=2)
+        assert cache.simulations_run == 1
+        assert results[0] is results[1]
+
+    def test_run_many_serial_path_matches_run(self):
+        cache = ResultCache(scale=TINY)
+        (only,) = cache.run_many([("kmeans", IDEAL_MMU)], jobs=4)
+        assert only is cache.run("kmeans", IDEAL_MMU)
+
+    def test_parallel_metrics_merge_matches_serial(self):
+        serial = ResultCache(scale=TINY, obs=Observability())
+        for w, d in POINTS:
+            serial.run(w, d)
+        parallel = ResultCache(scale=TINY, obs=Observability())
+        parallel.run_many(POINTS, jobs=2)
+        assert (parallel.obs.metrics.counters.as_dict()
+                == serial.obs.metrics.counters.as_dict())
+        ser_hists = serial.obs.metrics.histograms()
+        par_hists = parallel.obs.metrics.histograms()
+        assert set(ser_hists) == set(par_hists)
+        for name, ser_hist in ser_hists.items():
+            par_hist = par_hists[name]
+            assert ser_hist.count == par_hist.count, name
+            assert (ser_hist.min, ser_hist.max) == (par_hist.min, par_hist.max)
+
+    def test_run_designs_funnels_through_run_many(self):
+        cache = ResultCache(scale=TINY, jobs=2)
+        results = cache.run_designs("kmeans", DESIGNS)
+        assert set(results) == {d.name for d in DESIGNS}
+        assert cache.simulations_run == len(DESIGNS)
+        assert results[IDEAL_MMU.name] is cache.run("kmeans", IDEAL_MMU)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(scale=TINY).run_many(POINTS, jobs=0)
+
+
+class TestDiskCache:
+    def test_warm_figure_rerun_simulates_nothing(self, tmp_path):
+        cold = ResultCache(scale=TINY, cache_dir=str(tmp_path))
+        fig4.run(cold, workloads=list(WORKLOADS))
+        assert cold.simulations_run > 0
+
+        warm = ResultCache(scale=TINY, cache_dir=str(tmp_path))
+        result = fig4.run(warm, workloads=list(WORKLOADS))
+        assert warm.simulations_run == 0  # every point served from disk
+        assert result.average("IDEAL MMU") == 1.0
+
+    def test_parallel_runs_populate_the_disk_cache(self, tmp_path):
+        cold = ResultCache(scale=TINY, cache_dir=str(tmp_path), jobs=2)
+        cold.run_many(POINTS)
+        warm = ResultCache(scale=TINY, cache_dir=str(tmp_path), jobs=2)
+        results = warm.run_many(POINTS)
+        assert warm.simulations_run == 0
+        for ser, cached in zip(cold.run_many(POINTS), results):
+            assert slim_view(ser) == slim_view(cached)
+
+    def test_fingerprint_changes_with_every_component(self):
+        base = ResultCache(scale=TINY)
+        fp = point_fingerprint("kmeans", TINY, BASELINE_512, False, base.config)
+        other_config = dataclasses.replace(base.config, dram_latency=999.0)
+        assert fp != point_fingerprint(
+            "pagerank", TINY, BASELINE_512, False, base.config)
+        assert fp != point_fingerprint(
+            "kmeans", 2 * TINY, BASELINE_512, False, base.config)
+        assert fp != point_fingerprint(
+            "kmeans", TINY, BASELINE_16K, False, base.config)
+        assert fp != point_fingerprint(
+            "kmeans", TINY, BASELINE_512, True, base.config)
+        assert fp != point_fingerprint(
+            "kmeans", TINY, BASELINE_512, False, other_config)
+
+    def test_config_mutation_misses_the_disk_cache(self, tmp_path):
+        cache = ResultCache(scale=TINY, cache_dir=str(tmp_path))
+        cache.run("kmeans", BASELINE_512)
+        stale = ResultCache(scale=TINY, cache_dir=str(tmp_path))
+        stale.config = dataclasses.replace(stale.config, dram_latency=1600.0)
+        stale.run("kmeans", BASELINE_512)
+        assert stale.simulations_run == 1  # fingerprint mismatch → re-simulate
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(scale=TINY, cache_dir=str(tmp_path))
+        cache.run("kmeans", IDEAL_MMU)
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(b"not a pickle")
+        rerun = ResultCache(scale=TINY, cache_dir=str(tmp_path))
+        rerun.run("kmeans", IDEAL_MMU)
+        assert rerun.simulations_run == 1
+
+    def test_store_and_load_round_trip(self, tmp_path):
+        cache = ResultCache(scale=TINY)
+        result = cache.run("kmeans", IDEAL_MMU)
+        disk = DiskCache(tmp_path)
+        disk.store("abc123", result)
+        assert len(disk) == 1
+        loaded = disk.load("abc123")
+        assert slim_view(loaded) == slim_view(result)
+        assert loaded.hierarchy is None and loaded.metrics is None
+        assert disk.load("missing") is None
+
+
+class TestSlimResults:
+    def test_pickle_drops_runtime_handles(self):
+        cache = ResultCache(scale=TINY)
+        result = cache.run("kmeans", BASELINE_512)
+        assert result.hierarchy is not None
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.hierarchy is None
+        assert clone.metrics is None
+        assert slim_view(clone) == slim_view(result)
+        assert clone == result
+
+    def test_clear_releases_hierarchies(self):
+        cache = ResultCache(scale=TINY)
+        result = cache.run("kmeans", IDEAL_MMU)
+        ref = weakref.ref(result.hierarchy)
+        cache.clear()
+        gc.collect()
+        # Even though the slim result is still referenced, the hierarchy
+        # (and every server/counter hanging off it) is gone.
+        assert ref() is None
+        assert result.hierarchy is None
+        assert result.cycles > 0  # the slim record itself survives
+
+    def test_need_hierarchy_re_simulates_slim_records(self, tmp_path):
+        cache = ResultCache(scale=TINY, cache_dir=str(tmp_path))
+        cache.run("kmeans", BASELINE_512)
+        warm = ResultCache(scale=TINY, cache_dir=str(tmp_path))
+        slim = warm.run("kmeans", BASELINE_512)
+        assert warm.simulations_run == 0 and slim.hierarchy is None
+        live = warm.run("kmeans", BASELINE_512, need_hierarchy=True)
+        assert warm.simulations_run == 1
+        assert live.hierarchy is not None
+        assert slim_view(live) == slim_view(slim)
