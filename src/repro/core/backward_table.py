@@ -22,27 +22,54 @@ lines instead and invalidation walks the cache.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.memsys.addressing import is_power_of_two
 from repro.memsys.permissions import Permissions
 
 
-@dataclass
 class BTEntry:
-    """One backward-table entry."""
+    """One backward-table entry.
 
-    ppn: int
-    leading_asid: int
-    leading_vpn: int
-    permissions: Permissions
-    # 'bitvector' for base (4 KB) pages, 'counter' for large pages.
-    tracking: str = "bitvector"
-    line_bits: int = 0
-    line_count: int = 0
-    written: bool = False
-    locked: bool = False
+    ``__slots__``: one entry exists per cached page and the inclusion
+    bookkeeping (``mark_line_cached``/``mark_line_evicted``) runs on
+    every L2 fill and eviction.
+    """
+
+    __slots__ = ("ppn", "leading_asid", "leading_vpn", "permissions",
+                 "tracking", "line_bits", "line_count", "written", "locked")
+
+    def __init__(
+        self,
+        ppn: int,
+        leading_asid: int,
+        leading_vpn: int,
+        permissions: Permissions,
+        # 'bitvector' for base (4 KB) pages, 'counter' for large pages.
+        tracking: str = "bitvector",
+        line_bits: int = 0,
+        line_count: int = 0,
+        written: bool = False,
+        locked: bool = False,
+    ) -> None:
+        self.ppn = ppn
+        self.leading_asid = leading_asid
+        self.leading_vpn = leading_vpn
+        self.permissions = permissions
+        self.tracking = tracking
+        self.line_bits = line_bits
+        self.line_count = line_count
+        self.written = written
+        self.locked = locked
+
+    def __repr__(self) -> str:
+        return (
+            f"BTEntry(ppn={self.ppn!r}, leading_asid={self.leading_asid!r}, "
+            f"leading_vpn={self.leading_vpn!r}, "
+            f"permissions={self.permissions!r}, tracking={self.tracking!r}, "
+            f"line_bits={self.line_bits!r}, line_count={self.line_count!r}, "
+            f"written={self.written!r}, locked={self.locked!r})"
+        )
 
     def mark_line_cached(self, line_index: int) -> None:
         """A line of this page was filled into the L2."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.virtual_hierarchy import line_key, page_key, split_page_key
+from repro.core.virtual_hierarchy import _ASID_SHIFT, page_key, split_page_key
 from repro.engine.resources import BankedServer
 from repro.engine.stats import Counters
 from repro.gpu.coalescer import CoalescedRequest
@@ -126,10 +126,20 @@ class L1OnlyVirtualHierarchy:
         obs=None,
     ) -> None:
         self.config = config
-        self.counters = Counters()
+        self._counters = Counters()
         self.obs = obs
         self._tracer = obs.tracer if obs is not None else None
         self._lpp = lines_per_page(config.line_size)
+        # Deferred hot-path event counts (flushed via the ``counters``
+        # property; only nonzero counts materialize, matching the
+        # key-presence semantics of per-event ``Counters.add``).
+        self._n_accesses = 0
+        self._n_l1_hits = 0
+        self._n_synonym_replays = 0
+        self._n_tlb_accesses = 0
+        self._n_tlb_misses = 0
+        self._n_l2_hits = 0
+        self._n_l2_writebacks = 0
         self.l1s: List[Cache] = [
             Cache(config.l1, name=f"cu{i}-vl1") for i in range(config.n_cus)
         ]
@@ -152,20 +162,57 @@ class L1OnlyVirtualHierarchy:
             self.l2_banks.attach_delay_histogram(
                 obs.metrics.histogram("l2.bank_queue_delay"))
 
+    # -- counters ---------------------------------------------------------
+    @property
+    def counters(self) -> Counters:
+        """The hierarchy's counter bag, with pending hot-path deltas flushed."""
+        self._flush_counters()
+        return self._counters
+
+    def _flush_counters(self) -> None:
+        counters = self._counters
+        if self._n_accesses:
+            counters.add("vc.accesses", self._n_accesses)
+            self._n_accesses = 0
+        if self._n_l1_hits:
+            counters.add("vc.l1_hits", self._n_l1_hits)
+            self._n_l1_hits = 0
+        if self._n_synonym_replays:
+            counters.add("vc.synonym_replays", self._n_synonym_replays)
+            self._n_synonym_replays = 0
+        if self._n_tlb_accesses:
+            counters.add("tlb.accesses", self._n_tlb_accesses)
+            self._n_tlb_accesses = 0
+        if self._n_tlb_misses:
+            counters.add("tlb.misses", self._n_tlb_misses)
+            self._n_tlb_misses = 0
+        if self._n_l2_hits:
+            counters.add("l2.hits", self._n_l2_hits)
+            self._n_l2_hits = 0
+        if self._n_l2_writebacks:
+            counters.add("l2.writebacks", self._n_l2_writebacks)
+            self._n_l2_writebacks = 0
+
     # -- translation (per-CU TLB → IOMMU) ----------------------------------
     def _translate(self, cu_id: int, vpn: int, now: float, asid: int):
         tlb = self.per_cu_tlbs[cu_id]
-        self.counters.add("tlb.accesses")
+        self._n_tlb_accesses += 1
         key = (asid << 52) | vpn
-        entry = tlb.lookup(key, now)
+        # Inlined TLB.lookup (no lifetime tracker on per-CU TLBs): dict
+        # probe + LRU refresh + hit count, skipping the method dispatch.
+        entries = tlb._entries
+        entry = entries.get(key)
         t = now + self.config.per_cu_tlb_latency
         tracer = self._tracer
         tracing = tracer is not None and tracer.enabled
         if entry is not None:
+            entries.move_to_end(key)
+            tlb.hits += 1
             if tracing:
                 tracer.emit("tlb.hit", t, cu=cu_id, vpn=vpn)
             return t, entry.ppn, entry.permissions
-        self.counters.add("tlb.misses")
+        tlb.misses += 1
+        self._n_tlb_misses += 1
         if tracing:
             tracer.emit("tlb.miss", t, cu=cu_id, vpn=vpn)
         request_at = t + self.config.interconnect.gpu_to_iommu
@@ -182,45 +229,45 @@ class L1OnlyVirtualHierarchy:
         cfg = self.config
         vline = request.line_addr
         vpn = request.vpn
+        is_write = request.is_write
         line_index = vline % self._lpp
         l1 = self.l1s[cu_id]
-        self.counters.add("vc.accesses")
+        self._n_accesses += 1
 
-        tracer = self._tracer
-        tracing = tracer is not None and tracer.enabled
-        key = line_key(asid, vline)
+        key = (asid << _ASID_SHIFT) | vline
         line = l1.lookup(key)
-        if line is not None and not request.is_write:
-            if not line.permissions.allows(False):
+        if line is not None and not is_write:
+            if not line.permissions._value_ & 1:
                 raise PermissionFault(vpn, False, line.permissions)
-            self.counters.add("vc.l1_hits")
-            if tracing:
+            self._n_l1_hits += 1
+            tracer = self._tracer
+            if tracer is not None and tracer.enabled:
                 tracer.emit("vc.l1_hit", now, cu=cu_id, vpn=vpn)
             return now + cfg.l1_latency
 
         # Everything else needs a physical address: L1 read misses and
         # all writes (write-through to the physical L2).
         ready, ppn, permissions, *_ = self._translate(cu_id, vpn, now, asid)
-        if not permissions.allows(request.is_write):
-            raise PermissionFault(vpn, request.is_write, permissions)
+        if not permissions._value_ & (2 if is_write else 1):
+            raise PermissionFault(vpn, is_write, permissions)
         physical_line = ppn * self._lpp + line_index
 
-        if request.is_write:
+        if is_write:
             if line is not None:
-                self.counters.add("vc.l1_hits")
+                self._n_l1_hits += 1
             self.asdt.note_write(asid, vpn, ppn)
             return self._l2_write(physical_line, ready + cfg.l1_latency)
 
         entry = self.asdt.check(asid, vpn, ppn, False)
-        lead_key = line_key(entry.leading_asid,
-                            entry.leading_vpn * self._lpp + line_index)
+        lead_key = ((entry.leading_asid << _ASID_SHIFT)
+                    | (entry.leading_vpn * self._lpp + line_index))
         if lead_key != key:
             # Synonym: the data, if present, is cached under the leading
             # virtual address; replay there.
-            self.counters.add("vc.synonym_replays")
+            self._n_synonym_replays += 1
             replayed = l1.lookup(lead_key)
             if replayed is not None:
-                self.counters.add("vc.l1_hits")
+                self._n_l1_hits += 1
                 return ready + cfg.l1_latency
             key = lead_key
             asid, vpn = entry.leading_asid, entry.leading_vpn
@@ -232,7 +279,7 @@ class L1OnlyVirtualHierarchy:
     def _l2_write(self, physical_line: int, now: float) -> float:
         cfg = self.config
         t_l2 = now + cfg.interconnect.l1_to_l2
-        start = self.l2_banks.request(t_l2, self.l2.bank_of(physical_line))
+        start = self.l2_banks.banks[self.l2.bank_of(physical_line)].request(t_l2)
         t_done = start + cfg.l2_latency
         if self.l2.lookup(physical_line) is not None:
             self.l2.mark_dirty(physical_line)
@@ -240,22 +287,22 @@ class L1OnlyVirtualHierarchy:
         victim = self.l2.insert(physical_line, dirty=True)
         if victim is not None and victim.dirty:
             self.dram.access_line(start)
-            self.counters.add("l2.writebacks")
+            self._n_l2_writebacks += 1
         return t_done
 
     def _l2_read(self, physical_line: int, now: float) -> float:
         cfg = self.config
         t_l2 = now + cfg.l1_latency + cfg.interconnect.l1_to_l2
-        start = self.l2_banks.request(t_l2, self.l2.bank_of(physical_line))
+        start = self.l2_banks.banks[self.l2.bank_of(physical_line)].request(t_l2)
         t_hit = start + cfg.l2_latency
         if self.l2.lookup(physical_line) is not None:
-            self.counters.add("l2.hits")
+            self._n_l2_hits += 1
             return t_hit + cfg.interconnect.l1_to_l2
         t_mem = self.dram.access_line(t_hit)
         victim = self.l2.insert(physical_line)
         if victim is not None and victim.dirty:
             self.dram.access_line(t_mem)
-            self.counters.add("l2.writebacks")
+            self._n_l2_writebacks += 1
         return t_mem + cfg.interconnect.l1_to_l2
 
     def _fill_l1(
@@ -271,4 +318,5 @@ class L1OnlyVirtualHierarchy:
         self.asdt.on_fill(ppn)
 
     def finish(self, now: float) -> None:
-        """End-of-run hook (parity with the other hierarchies)."""
+        """End-of-run hook: flush deferred counters into the bag."""
+        self._flush_counters()

@@ -11,6 +11,13 @@ synonyms, shootdowns, and physically-addressed coherence — and in the
 Cache keys are ASID-qualified virtual line addresses, which is how the
 design handles homonyms (§4.3: "each cache line needs to track the
 corresponding ASID information", avoiding flushes on context switches).
+
+Hot-path note: :meth:`VirtualCacheHierarchy.access` runs once per
+coalesced request.  Event counts are accumulated in plain integer
+attributes and flushed into the :class:`~repro.engine.stats.Counters`
+bag only when ``counters`` is read (every read flushes, so mid-run
+inspection still sees exact values); the ASID-qualification of line and
+page keys is inlined rather than routed through :func:`line_key`.
 """
 
 from __future__ import annotations
@@ -68,10 +75,22 @@ class VirtualCacheHierarchy:
         obs=None,
     ) -> None:
         self.config = config
-        self.counters = Counters()
+        self._counters = Counters()
         self.obs = obs
         self._tracer = obs.tracer if obs is not None else None
         self._lpp = lines_per_page(config.line_size)
+        # Deferred hot-path event counts (flushed via the ``counters``
+        # property; only nonzero counts materialize, matching the
+        # key-presence semantics of per-event ``Counters.add``).
+        self._n_accesses = 0
+        self._n_srt_remaps = 0
+        self._n_l1_hits = 0
+        self._n_l2_hits = 0
+        self._n_l2_misses = 0
+        self._n_synonym_replays = 0
+        self._n_l2_writebacks = 0
+        self._n_invalidations = 0
+        self._n_l1_flushes = 0
         # Ablation knob: without the per-L1 filters (§4.2), every page
         # invalidation must conservatively flush every L1.
         self.use_invalidation_filters = use_invalidation_filters
@@ -117,6 +136,43 @@ class VirtualCacheHierarchy:
             self.srts = [SynonymRemapTable(srt_entries, name=f"cu{i}-srt")
                          for i in range(config.n_cus)]
 
+    # -- counters ---------------------------------------------------------
+    @property
+    def counters(self) -> Counters:
+        """The hierarchy's counter bag, with pending hot-path deltas flushed."""
+        self._flush_counters()
+        return self._counters
+
+    def _flush_counters(self) -> None:
+        counters = self._counters
+        if self._n_accesses:
+            counters.add("vc.accesses", self._n_accesses)
+            self._n_accesses = 0
+        if self._n_srt_remaps:
+            counters.add("vc.srt_remaps", self._n_srt_remaps)
+            self._n_srt_remaps = 0
+        if self._n_l1_hits:
+            counters.add("vc.l1_hits", self._n_l1_hits)
+            self._n_l1_hits = 0
+        if self._n_l2_hits:
+            counters.add("vc.l2_hits", self._n_l2_hits)
+            self._n_l2_hits = 0
+        if self._n_l2_misses:
+            counters.add("vc.l2_misses", self._n_l2_misses)
+            self._n_l2_misses = 0
+        if self._n_synonym_replays:
+            counters.add("vc.synonym_replays", self._n_synonym_replays)
+            self._n_synonym_replays = 0
+        if self._n_l2_writebacks:
+            counters.add("vc.l2_writebacks", self._n_l2_writebacks)
+            self._n_l2_writebacks = 0
+        if self._n_invalidations:
+            counters.add("vc.invalidations", self._n_invalidations)
+            self._n_invalidations = 0
+        if self._n_l1_flushes:
+            counters.add("vc.l1_flushes", self._n_l1_flushes)
+            self._n_l1_flushes = 0
+
     # -- the access path --------------------------------------------------
     def access(
         self, cu_id: int, request: CoalescedRequest, now: float, asid: int = 0
@@ -129,11 +185,12 @@ class VirtualCacheHierarchy:
         """
         vline = request.line_addr
         vpn = request.vpn
-        line_index = vline % self._lpp
+        lpp = self._lpp
+        line_index = vline % lpp
         cfg = self.config
-        l1 = self.l1s[cu_id]
+        is_write = request.is_write
 
-        self.counters.add("vc.accesses")
+        self._n_accesses += 1
         if self.srts is not None:
             # Dynamic synonym remapping: redirect known synonym pages to
             # their leading address before the L1 lookup (one extra
@@ -141,49 +198,52 @@ class VirtualCacheHierarchy:
             remap = self.srts[cu_id].lookup(asid, vpn)
             if remap is not None:
                 asid, vpn = remap
-                vline = vpn * self._lpp + line_index
-                self.counters.add("vc.srt_remaps")
-        tracer = self._tracer
-        tracing = tracer is not None and tracer.enabled
-        key = line_key(asid, vline)
-        line = l1.lookup(key)
+                vline = vpn * lpp + line_index
+                self._n_srt_remaps += 1
+        key = (asid << _ASID_SHIFT) | vline
+        line = self.l1s[cu_id].lookup(key)
         if line is not None:
-            if not line.permissions.allows(request.is_write):
-                raise PermissionFault(vpn, request.is_write, line.permissions)
-            self.counters.add("vc.l1_hits")
-            if tracing:
+            if not line.permissions._value_ & (2 if is_write else 1):
+                raise PermissionFault(vpn, is_write, line.permissions)
+            self._n_l1_hits += 1
+            tracer = self._tracer
+            if tracer is not None and tracer.enabled:
                 tracer.emit("vc.l1_hit", now, cu=cu_id, vpn=vpn)
-            if request.is_write:
+            if is_write:
                 # Write-through: the write still flows to the L2 and the
                 # store occupies the CU window until it lands there.
                 return self._l2_write(cu_id, asid, vpn, vline, line_index,
                                       now + cfg.l1_latency)
             return now + cfg.l1_latency
 
-        # L1 miss → virtual L2.
+        # L1 miss → virtual L2.  (bank_of returns an in-range index, so
+        # the bank's server is addressed directly.)
         t_l2 = now + cfg.l1_latency + cfg.interconnect.l1_to_l2
-        start = self.l2_banks.request(t_l2, self.l2.bank_of(key))
+        l2 = self.l2
+        start = self.l2_banks.banks[l2.bank_of(key)].request(t_l2)
         t_hit = start + cfg.l2_latency
-        l2_line = self.l2.lookup(key)
+        l2_line = l2.lookup(key)
         if l2_line is not None:
-            if not l2_line.permissions.allows(request.is_write):
-                raise PermissionFault(vpn, request.is_write, l2_line.permissions)
-            self.counters.add("vc.l2_hits")
-            if tracing:
+            if not l2_line.permissions._value_ & (2 if is_write else 1):
+                raise PermissionFault(vpn, is_write, l2_line.permissions)
+            self._n_l2_hits += 1
+            tracer = self._tracer
+            if tracer is not None and tracer.enabled:
                 tracer.emit("vc.l2_hit", t_hit, cu=cu_id, vpn=vpn)
-            if request.is_write:
-                self.l2.mark_dirty(key)
+            if is_write:
+                l2.mark_dirty(key)
                 self.fbt.note_write(asid, vpn)
                 return t_hit
             self._fill_l1(cu_id, asid, vpn, key, l2_line.permissions)
             return t_hit + cfg.interconnect.l1_to_l2
 
         # Whole-hierarchy miss → translation is finally needed.
-        self.counters.add("vc.l2_misses")
-        if tracing:
+        self._n_l2_misses += 1
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
             tracer.emit("vc.miss", t_hit, cu=cu_id, vpn=vpn)
         return self._miss_path(
-            cu_id, asid, vpn, vline, line_index, request.is_write, t_hit
+            cu_id, asid, vpn, vline, line_index, is_write, t_hit
         )
 
     def _l2_write(
@@ -197,9 +257,9 @@ class VirtualCacheHierarchy:
     ) -> float:
         """Write-through from an L1 write hit: update/allocate in the L2."""
         cfg = self.config
-        key = line_key(asid, vline)
+        key = (asid << _ASID_SHIFT) | vline
         t_l2 = now + cfg.interconnect.l1_to_l2
-        start = self.l2_banks.request(t_l2, self.l2.bank_of(key))
+        start = self.l2_banks.banks[self.l2.bank_of(key)].request(t_l2)
         if self.l2.lookup(key) is not None:
             self.l2.mark_dirty(key)
             self.fbt.note_write(asid, vpn)
@@ -225,7 +285,7 @@ class VirtualCacheHierarchy:
         cfg = self.config
         t_iommu = now + cfg.interconnect.gpu_to_iommu
         outcome = self.iommu.translate(vpn, t_iommu, asid=asid)
-        if not outcome.permissions.allows(is_write):
+        if not outcome.permissions._value_ & (2 if is_write else 1):
             raise PermissionFault(vpn, is_write, outcome.permissions)
 
         t_fbt = outcome.finish + cfg.interconnect.l2_to_fbt + cfg.interconnect.fbt_lookup
@@ -255,7 +315,8 @@ class VirtualCacheHierarchy:
         t_mem = self.dram.access_line(t_fbt)
         self._fill_l2(asid, vpn, line_index, outcome.ppn, False, outcome.permissions, t_mem)
         if fill_l1:
-            self._fill_l1(cu_id, asid, vpn, line_key(asid, vline), outcome.permissions)
+            self._fill_l1(cu_id, asid, vpn, (asid << _ASID_SHIFT) | vline,
+                          outcome.permissions)
         return t_mem + cfg.interconnect.l1_to_l2
 
     def _synonym_replay(
@@ -272,18 +333,18 @@ class VirtualCacheHierarchy:
     ) -> float:
         """Replay a synonym access with the page's leading virtual address."""
         cfg = self.config
-        self.counters.add("vc.synonym_replays")
+        self._n_synonym_replays += 1
         if self.srts is not None:
             # Learn the remapping so this CU's future accesses through
             # the synonym page hit the caches directly.
             self.srts[cu_id].insert(asid, vpn, check.leading_asid,
                                     check.leading_vpn)
         lead_vline = check.leading_vpn * self._lpp + line_index
-        lead_key = line_key(check.leading_asid, lead_vline)
+        lead_key = (check.leading_asid << _ASID_SHIFT) | lead_vline
         t_replay = now + cfg.interconnect.l2_to_fbt  # back to the L2
 
         if check.replay_hits_l2:
-            start = self.l2_banks.request(t_replay, self.l2.bank_of(lead_key))
+            start = self.l2_banks.banks[self.l2.bank_of(lead_key)].request(t_replay)
             t_hit = start + cfg.l2_latency
             line = self.l2.lookup(lead_key)
             if line is None:
@@ -323,11 +384,12 @@ class VirtualCacheHierarchy:
         self, cu_id: int, asid: int, vpn: int, key: int, permissions: Permissions
     ) -> None:
         victim = self.l1s[cu_id].insert(key, permissions=permissions,
-                                        page=page_key(asid, vpn))
+                                        page=(asid << _ASID_SHIFT) | vpn)
         fltr = self.filters[cu_id]
         if victim is not None and victim.page is not None:
-            v_asid, v_vpn = split_page_key(victim.page)
-            fltr.on_evict(v_asid, v_vpn)
+            victim_page = victim.page
+            fltr.on_evict(victim_page >> _ASID_SHIFT,
+                          victim_page & ((1 << _ASID_SHIFT) - 1))
         fltr.on_fill(asid, vpn)
 
     def _fill_l2(
@@ -340,13 +402,13 @@ class VirtualCacheHierarchy:
         permissions: Permissions,
         now: float,
     ) -> None:
-        key = line_key(asid, vpn * self._lpp + line_index)
+        key = (asid << _ASID_SHIFT) | (vpn * self._lpp + line_index)
         victim = self.l2.insert(key, dirty=dirty, permissions=permissions,
-                                page=page_key(asid, vpn))
+                                page=(asid << _ASID_SHIFT) | vpn)
         if victim is not None:
             if victim.dirty:
                 self.dram.access_line(now)
-                self.counters.add("vc.l2_writebacks")
+                self._n_l2_writebacks += 1
             if victim.page is not None:
                 v_asid, v_vpn = split_page_key(victim.page)
                 self.fbt.note_l2_eviction(v_asid, v_vpn, victim.line_addr % self._lpp)
@@ -371,8 +433,8 @@ class VirtualCacheHierarchy:
         for line in dropped:
             if line.dirty:
                 self.dram.access_line(now)
-                self.counters.add("vc.l2_writebacks")
-        self.counters.add("vc.invalidations")
+                self._n_l2_writebacks += 1
+        self._n_invalidations += 1
 
         # Non-inclusive L1s: consult each CU's invalidation filter; a hit
         # conservatively flushes that whole (clean, write-through) L1.
@@ -386,7 +448,7 @@ class VirtualCacheHierarchy:
             if flush:
                 self.l1s[cu_id].invalidate_all()
                 fltr.clear()
-                self.counters.add("vc.l1_flushes")
+                self._n_l1_flushes += 1
         if self.srts is not None:
             # Stale remappings to the dead leading page must go too.
             for srt in self.srts:
@@ -440,8 +502,9 @@ class VirtualCacheHierarchy:
             if fltr.might_hold(asid, vpn):
                 self.l1s[cu_id].invalidate_all()
                 fltr.clear()
-                self.counters.add("vc.l1_flushes")
+                self._n_l1_flushes += 1
         return probe
 
     def finish(self, now: float) -> None:
-        """End-of-run hook (parity with the physical hierarchy)."""
+        """End-of-run hook: flush deferred counters into the bag."""
+        self._flush_counters()

@@ -122,7 +122,11 @@ class BankedServer:
         if n_banks <= 0:
             raise ValueError("need at least one bank")
         self.n_banks = n_banks
-        self._banks = [WindowedServer(rate_per_bank) for _ in range(n_banks)]
+        # Public: hot paths that already computed an in-range bank index
+        # may call ``banks[i].request(now)`` directly, skipping the
+        # modulo-and-delegate hop below.
+        self.banks = [WindowedServer(rate_per_bank) for _ in range(n_banks)]
+        self._banks = self.banks
 
     def request(self, now: float, bank: int) -> float:
         """Enqueue at ``bank`` (taken modulo the bank count)."""

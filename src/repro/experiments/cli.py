@@ -74,7 +74,7 @@ def _validate() -> str:
 
 
 def _experiment_listing() -> str:
-    return "\n".join(sorted(EXPERIMENTS) + ["all"])
+    return "\n".join(sorted(EXPERIMENTS) + ["all", "bench"])
 
 
 def _build_observability(args):
@@ -136,6 +136,32 @@ def main(argv=None) -> int:
         "--profile", action="store_true",
         help="print a wall-clock profile of the experiment pipeline",
     )
+    bench_group = parser.add_argument_group(
+        "bench options (only with the 'bench' experiment)")
+    bench_group.add_argument(
+        "--bench-out", metavar="PATH", default=None,
+        help="write the benchmark report JSON to PATH (default: BENCH_PR3.json "
+             "in the current directory)",
+    )
+    bench_group.add_argument(
+        "--bench-repeats", type=int, default=3, metavar="N",
+        help="repeats per point; the best run is reported (default: 3)",
+    )
+    bench_group.add_argument(
+        "--bench-baseline", metavar="PATH", default=None,
+        help="embed the recorded report at PATH as the baseline and report "
+             "speedups against it",
+    )
+    bench_group.add_argument(
+        "--bench-compare", metavar="PATH", default=None,
+        help="fail (exit 1) if total requests/sec regresses more than "
+             "--bench-tolerance below the report recorded at PATH",
+    )
+    bench_group.add_argument(
+        "--bench-tolerance", type=float, default=0.30, metavar="FRAC",
+        help="allowed fractional throughput regression for --bench-compare "
+             "(default: 0.30)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -146,6 +172,21 @@ def main(argv=None) -> int:
         print("repro-experiment: error: no experiment given "
               "(use --list to see the choices)", file=sys.stderr)
         return 2
+    if args.experiment == "bench":
+        from repro.experiments import bench
+
+        if args.bench_repeats < 1:
+            print("repro-experiment: error: --bench-repeats must be >= 1",
+                  file=sys.stderr)
+            return 2
+        return bench.main(
+            scale=args.scale if args.scale is not None else 0.1,
+            repeats=args.bench_repeats,
+            out=args.bench_out if args.bench_out is not None else "BENCH_PR3.json",
+            baseline_path=args.bench_baseline,
+            compare_path=args.bench_compare,
+            tolerance=args.bench_tolerance,
+        )
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(f"repro-experiment: error: unknown experiment "
               f"{args.experiment!r}; valid choices are:", file=sys.stderr)

@@ -10,27 +10,51 @@ scatter/gather instructions produce tens of requests to different lines
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.memsys.addressing import DEFAULT_LINE_SIZE, PAGE_SIZE
 
+_LINES_PER_PAGE = PAGE_SIZE // DEFAULT_LINE_SIZE
 
-@dataclass(frozen=True)
+
 class CoalescedRequest:
-    """One line-sized request produced by coalescing a warp access."""
+    """One line-sized request produced by coalescing a warp access.
 
-    line_addr: int  # virtual line address
-    is_write: bool
-    n_lanes: int  # how many lanes this request serves
+    Immutable by convention and shared freely: the per-trace coalescing
+    cache replays the same request objects under every MMU design.
+    ``vpn`` is precomputed at construction — the hierarchies read it on
+    every access, and deriving it there cost a division per request.
+    """
+
+    __slots__ = ("line_addr", "is_write", "n_lanes", "vpn")
+
+    def __init__(self, line_addr: int, is_write: bool, n_lanes: int) -> None:
+        self.line_addr = line_addr  # virtual line address
+        self.is_write = is_write
+        self.n_lanes = n_lanes  # how many lanes this request serves
+        self.vpn = line_addr // _LINES_PER_PAGE
 
     @property
     def byte_addr(self) -> int:
         return self.line_addr * DEFAULT_LINE_SIZE
 
-    @property
-    def vpn(self) -> int:
-        return self.byte_addr // PAGE_SIZE
+    def __repr__(self) -> str:
+        return (
+            f"CoalescedRequest(line_addr={self.line_addr!r}, "
+            f"is_write={self.is_write!r}, n_lanes={self.n_lanes!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoalescedRequest):
+            return NotImplemented
+        return (
+            self.line_addr == other.line_addr
+            and self.is_write == other.is_write
+            and self.n_lanes == other.n_lanes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line_addr, self.is_write, self.n_lanes))
 
 
 class Coalescer:

@@ -11,6 +11,14 @@ page, which is what the extra "virtual tag" bits in §4.3 pay for).
 Replacement is LRU within a set.  Eviction returns the victim so the
 hierarchy can write back dirty data and keep the backward table's
 inclusion bit vectors up to date.
+
+This module is the innermost ring of the simulation hot path — every
+coalesced request performs one to three cache lookups — so the access
+methods are deliberately flat: set selection is a bitmask (the
+power-of-two set count makes ``%`` a bit slice, as in hardware), the
+resident-line count is maintained incrementally instead of summed on
+demand, and :class:`CacheLine` uses ``__slots__`` to keep per-line
+records small and attribute access cheap.
 """
 
 from __future__ import annotations
@@ -56,14 +64,38 @@ class CacheConfig:
         return self.n_lines // self.associativity
 
 
-@dataclass
 class CacheLine:
     """Metadata stored with each resident line."""
 
-    line_addr: int
-    dirty: bool = False
-    permissions: Permissions = Permissions.READ_WRITE
-    page: Optional[int] = None  # owning page number (virtual for VCs)
+    __slots__ = ("line_addr", "dirty", "permissions", "page")
+
+    def __init__(
+        self,
+        line_addr: int,
+        dirty: bool = False,
+        permissions: Permissions = Permissions.READ_WRITE,
+        page: Optional[int] = None,  # owning page number (virtual for VCs)
+    ) -> None:
+        self.line_addr = line_addr
+        self.dirty = dirty
+        self.permissions = permissions
+        self.page = page
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheLine(line_addr={self.line_addr!r}, dirty={self.dirty!r}, "
+            f"permissions={self.permissions!r}, page={self.page!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheLine):
+            return NotImplemented
+        return (
+            self.line_addr == other.line_addr
+            and self.dirty == other.dirty
+            and self.permissions == other.permissions
+            and self.page == other.page
+        )
 
 
 class Cache:
@@ -75,6 +107,14 @@ class Cache:
         self._sets: List[OrderedDict[int, CacheLine]] = [
             OrderedDict() for _ in range(config.n_sets)
         ]
+        # Power-of-two set count (validated by CacheConfig): indexing is
+        # a bitmask, exactly the bit slice hardware uses.
+        self._set_mask = config.n_sets - 1
+        self._bank_mask = (
+            config.n_banks - 1 if is_power_of_two(config.n_banks) else None
+        )
+        self._associativity = config.associativity
+        self._n_resident = 0
         # page number -> count of resident lines, for fast page invalidation
         self._page_lines: Dict[int, int] = {}
         self.hits = 0
@@ -82,23 +122,34 @@ class Cache:
 
     # -- indexing -------------------------------------------------------
     def set_index(self, line_addr: int) -> int:
-        return line_addr % self.config.n_sets
+        return line_addr & self._set_mask
 
     def bank_of(self, line_addr: int) -> int:
-        """Bank selected by low-order line-address bits (above set bits)."""
+        """Bank selected by the low-order line-address bits.
+
+        Low-order interleaving sends consecutive lines to different
+        banks, so streaming accesses spread across the banked L2 instead
+        of serializing on one bank.  (Because the set count is a larger
+        power of two, these are the same bits that *start* the set
+        index — the bank is a slice of the set bits, not bits above
+        them.)
+        """
+        mask = self._bank_mask
+        if mask is not None:
+            return line_addr & mask
         return line_addr % self.config.n_banks
 
     # -- queries --------------------------------------------------------
     def contains(self, line_addr: int) -> bool:
         """Probe without touching LRU state or hit/miss counters."""
-        return line_addr in self._sets[self.set_index(line_addr)]
+        return line_addr in self._sets[line_addr & self._set_mask]
 
     def peek(self, line_addr: int) -> Optional[CacheLine]:
         """Return the resident line's metadata without LRU update."""
-        return self._sets[self.set_index(line_addr)].get(line_addr)
+        return self._sets[line_addr & self._set_mask].get(line_addr)
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return self._n_resident
 
     def resident_lines(self) -> Iterable[CacheLine]:
         """Iterate over every resident line (test/diagnostic helper)."""
@@ -112,7 +163,7 @@ class Cache:
     # -- access path ----------------------------------------------------
     def lookup(self, line_addr: int) -> Optional[CacheLine]:
         """Access a line: on hit, refresh LRU and return it; else None."""
-        cache_set = self._sets[self.set_index(line_addr)]
+        cache_set = self._sets[line_addr & self._set_mask]
         line = cache_set.get(line_addr)
         if line is None:
             self.misses += 1
@@ -134,7 +185,7 @@ class Cache:
         position and merges the dirty bit (a write-back cache must not
         lose dirtiness on a refill).
         """
-        cache_set = self._sets[self.set_index(line_addr)]
+        cache_set = self._sets[line_addr & self._set_mask]
         existing = cache_set.get(line_addr)
         if existing is not None:
             existing.dirty = existing.dirty or dirty
@@ -142,18 +193,21 @@ class Cache:
             cache_set.move_to_end(line_addr)
             return None
         victim = None
-        if len(cache_set) >= self.config.associativity:
+        if len(cache_set) >= self._associativity:
             _, victim = cache_set.popitem(last=False)
-            self._forget_page_line(victim)
-        line = CacheLine(line_addr=line_addr, dirty=dirty, permissions=permissions, page=page)
-        cache_set[line_addr] = line
+            self._n_resident -= 1
+            if victim.page is not None:
+                self._forget_page_line(victim)
+        cache_set[line_addr] = CacheLine(line_addr, dirty, permissions, page)
+        self._n_resident += 1
         if page is not None:
-            self._page_lines[page] = self._page_lines.get(page, 0) + 1
+            page_lines = self._page_lines
+            page_lines[page] = page_lines.get(page, 0) + 1
         return victim
 
     def mark_dirty(self, line_addr: int) -> bool:
         """Set the dirty bit of a resident line; False if not resident."""
-        line = self.peek(line_addr)
+        line = self._sets[line_addr & self._set_mask].get(line_addr)
         if line is None:
             return False
         line.dirty = True
@@ -162,10 +216,12 @@ class Cache:
     # -- invalidation ---------------------------------------------------
     def invalidate_line(self, line_addr: int) -> Optional[CacheLine]:
         """Drop one line; return it (caller handles write-back) or None."""
-        cache_set = self._sets[self.set_index(line_addr)]
+        cache_set = self._sets[line_addr & self._set_mask]
         line = cache_set.pop(line_addr, None)
         if line is not None:
-            self._forget_page_line(line)
+            self._n_resident -= 1
+            if line.page is not None:
+                self._forget_page_line(line)
         return line
 
     def invalidate_page(self, page: int) -> List[CacheLine]:
@@ -180,6 +236,7 @@ class Cache:
         for cache_set in self._sets:
             for line_addr in [a for a, ln in cache_set.items() if ln.page == page]:
                 dropped.append(cache_set.pop(line_addr))
+        self._n_resident -= len(dropped)
         self._page_lines.pop(page, None)
         return dropped
 
@@ -189,12 +246,11 @@ class Cache:
         for cache_set in self._sets:
             dropped.extend(cache_set.values())
             cache_set.clear()
+        self._n_resident = 0
         self._page_lines.clear()
         return dropped
 
     def _forget_page_line(self, line: CacheLine) -> None:
-        if line.page is None:
-            return
         remaining = self._page_lines.get(line.page, 0) - 1
         if remaining > 0:
             self._page_lines[line.page] = remaining

@@ -114,11 +114,23 @@ class IOMMU:
         self.second_level = second_level
         interval_cycles = self.SAMPLE_INTERVAL_US * 1000.0 * frequency_ghz
         self.access_sampler = IntervalSampler(interval_cycles)
-        self.counters = Counters()
+        self._counters = Counters()
         # Exact float total of queueing waits; the ``iommu.queue_cycles``
         # counter is round(total) so sub-cycle waits are not truncated
         # away per request.
         self.queue_cycles = 0.0
+        # Deferred hot-path event counts (flushed via the ``counters``
+        # property; only nonzero counts materialize, matching the
+        # key-presence semantics of per-event ``Counters.add``).
+        self._n_accesses = 0
+        self._n_tlb_hits = 0
+        self._n_tlb_misses = 0
+        self._n_fbt_hits = 0
+        self._n_fbt_misses = 0
+        self._n_walks = 0
+        # ``iommu.queue_cycles`` exists exactly when a translation has
+        # ever been serviced (it may legitimately be zero).
+        self._ever_translated = False
 
         # Observability (repro.obs): latency histograms + request tracing.
         # All hot-path instrumentation is guarded so obs=None costs one
@@ -135,6 +147,36 @@ class IOMMU:
             ptw_hist = metrics.histogram("iommu.ptw_queue_delay")
             for walker in self._walkers.values():
                 walker.threads.delay_histogram = ptw_hist
+
+    # -- counters ---------------------------------------------------------
+    @property
+    def counters(self) -> Counters:
+        """The IOMMU's counter bag, with pending hot-path deltas flushed."""
+        self._flush_counters()
+        return self._counters
+
+    def _flush_counters(self) -> None:
+        counters = self._counters
+        if self._n_accesses:
+            counters.add("iommu.accesses", self._n_accesses)
+            self._n_accesses = 0
+        if self._ever_translated:
+            counters.set("iommu.queue_cycles", round(self.queue_cycles))
+        if self._n_tlb_hits:
+            counters.add("iommu.tlb_hits", self._n_tlb_hits)
+            self._n_tlb_hits = 0
+        if self._n_tlb_misses:
+            counters.add("iommu.tlb_misses", self._n_tlb_misses)
+            self._n_tlb_misses = 0
+        if self._n_fbt_hits:
+            counters.add("iommu.fbt_hits", self._n_fbt_hits)
+            self._n_fbt_hits = 0
+        if self._n_fbt_misses:
+            counters.add("iommu.fbt_misses", self._n_fbt_misses)
+            self._n_fbt_misses = 0
+        if self._n_walks:
+            counters.add("iommu.walks", self._n_walks)
+            self._n_walks = 0
 
     # -- helpers ----------------------------------------------------------
     def _tlb_key(self, asid: int, vpn: int) -> int:
@@ -161,7 +203,8 @@ class IOMMU:
         in the real system).
         """
         self.access_sampler.record(now)
-        self.counters.add("iommu.accesses")
+        self._n_accesses += 1
+        self._ever_translated = True
         if self.unlimited_bandwidth:
             service_start = now
         elif self.config.n_banks > 1:
@@ -169,7 +212,6 @@ class IOMMU:
         else:
             service_start = self.port.request(now)
         self.queue_cycles += service_start - now
-        self.counters.set("iommu.queue_cycles", round(self.queue_cycles))
         if self._queue_hist is not None:
             self._queue_hist.record(service_start - now)
         tracer = self._tracer
@@ -180,10 +222,10 @@ class IOMMU:
                         wait=service_start - now)
         t = service_start + self.config.tlb_latency
 
-        key = self._tlb_key(asid, vpn)
+        key = (asid << 52) | vpn
         entry = self.shared_tlb.lookup(key, t)
         if entry is not None:
-            self.counters.add("iommu.tlb_hits")
+            self._n_tlb_hits += 1
             if self._translate_hist is not None:
                 self._translate_hist.record(t - now)
             if tracing:
@@ -195,7 +237,7 @@ class IOMMU:
                 large_base_vpn=entry.large_base_vpn,
                 large_base_ppn=entry.large_base_ppn,
             )
-        self.counters.add("iommu.tlb_misses")
+        self._n_tlb_misses += 1
 
         if self.second_level is not None:
             # FBT-as-second-level-TLB: one more associative lookup.
@@ -203,7 +245,7 @@ class IOMMU:
             hit = self.second_level.forward_translate(asid, vpn)
             if hit is not None:
                 ppn, permissions = hit
-                self.counters.add("iommu.fbt_hits")
+                self._n_fbt_hits += 1
                 if self._translate_hist is not None:
                     self._translate_hist.record(t - now)
                 if tracing:
@@ -213,12 +255,12 @@ class IOMMU:
                     vpn=vpn, ppn=ppn, permissions=permissions,
                     source="fbt", arrival=now, finish=t,
                 )
-            self.counters.add("iommu.fbt_misses")
+            self._n_fbt_misses += 1
 
         if tracing:
             tracer.emit("walk.start", t, vpn=vpn, asid=asid)
         walk = self._walkers[asid].walk(vpn, t)
-        self.counters.add("iommu.walks")
+        self._n_walks += 1
         if self._walk_hist is not None:
             self._walk_hist.record(walk.finish - t)
         if self._translate_hist is not None:

@@ -23,9 +23,15 @@ class Permissions(enum.IntFlag):
     READ_WRITE = READ | WRITE
 
     def allows(self, is_write: bool) -> bool:
-        """Whether this permission set admits the given access type."""
-        needed = Permissions.WRITE if is_write else Permissions.READ
-        return bool(self & needed)
+        """Whether this permission set admits the given access type.
+
+        Hot path: tests the raw ``_value_`` int against the READ/WRITE
+        bit instead of going through ``IntFlag.__and__``, which
+        constructs a composite enum member per call.  The members are
+        interned singletons, so every cache line and TLB entry shares
+        the same handful of objects and this check is a plain int test.
+        """
+        return bool(self._value_ & (2 if is_write else 1))
 
 
 class PermissionFault(Exception):

@@ -9,25 +9,47 @@ Figure 2 and the IDEAL MMU of Figure 4.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.engine.stats import LifetimeTracker
 from repro.memsys.permissions import Permissions
 
 
-@dataclass
 class TLBEntry:
-    """One cached translation."""
+    """One cached translation.
 
-    vpn: int
-    ppn: int
-    permissions: Permissions = Permissions.READ_WRITE
-    # Large-page provenance (carried so downstream structures — the FBT
-    # above all — can apply their large-page policy on hits too).
-    is_large: bool = False
-    large_base_vpn: int = 0
-    large_base_ppn: int = 0
+    ``__slots__``: TLB entries are allocated on every fill and probed on
+    every translation, so they carry no per-instance ``__dict__``.
+    """
+
+    __slots__ = ("vpn", "ppn", "permissions", "is_large",
+                 "large_base_vpn", "large_base_ppn")
+
+    def __init__(
+        self,
+        vpn: int,
+        ppn: int,
+        permissions: Permissions = Permissions.READ_WRITE,
+        # Large-page provenance (carried so downstream structures — the
+        # FBT above all — can apply their large-page policy on hits too).
+        is_large: bool = False,
+        large_base_vpn: int = 0,
+        large_base_ppn: int = 0,
+    ) -> None:
+        self.vpn = vpn
+        self.ppn = ppn
+        self.permissions = permissions
+        self.is_large = is_large
+        self.large_base_vpn = large_base_vpn
+        self.large_base_ppn = large_base_ppn
+
+    def __repr__(self) -> str:
+        return (
+            f"TLBEntry(vpn={self.vpn!r}, ppn={self.ppn!r}, "
+            f"permissions={self.permissions!r}, is_large={self.is_large!r}, "
+            f"large_base_vpn={self.large_base_vpn!r}, "
+            f"large_base_ppn={self.large_base_ppn!r})"
+        )
 
 
 class TLB:

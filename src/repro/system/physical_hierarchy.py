@@ -42,9 +42,18 @@ class PhysicalHierarchy:
         self.config = config
         self.page_tables = dict(page_tables)
         self.ideal = ideal
-        self.counters = Counters()
+        self._counters = Counters()
         self.obs = obs
         self._tracer = obs.tracer if obs is not None else None
+        # Deferred hot-path event counts (flushed via the ``counters``
+        # property; only nonzero counts materialize, matching the
+        # key-presence semantics of per-event ``Counters.add``).
+        self._n_tlb_accesses = 0
+        self._n_tlb_misses = 0
+        self._n_miss_l1_hit = 0
+        self._n_miss_l2_hit = 0
+        self._n_miss_l2_miss = 0
+        self._n_l2_writebacks = 0
 
         self.lifetimes: Optional[Dict[str, LifetimeTracker]] = None
         if track_lifetimes:
@@ -79,24 +88,63 @@ class PhysicalHierarchy:
             self.l2_banks.attach_delay_histogram(
                 obs.metrics.histogram("l2.bank_queue_delay"))
 
+    # -- counters ---------------------------------------------------------
+    @property
+    def counters(self) -> Counters:
+        """The hierarchy's counter bag, with pending hot-path deltas flushed."""
+        self._flush_counters()
+        return self._counters
+
+    def _flush_counters(self) -> None:
+        counters = self._counters
+        if self._n_tlb_accesses:
+            counters.add("tlb.accesses", self._n_tlb_accesses)
+            self._n_tlb_accesses = 0
+        if self._n_tlb_misses:
+            counters.add("tlb.misses", self._n_tlb_misses)
+            self._n_tlb_misses = 0
+        if self._n_miss_l1_hit:
+            counters.add("tlb.miss_l1_hit", self._n_miss_l1_hit)
+            self._n_miss_l1_hit = 0
+        if self._n_miss_l2_hit:
+            counters.add("tlb.miss_l2_hit", self._n_miss_l2_hit)
+            self._n_miss_l2_hit = 0
+        if self._n_miss_l2_miss:
+            counters.add("tlb.miss_l2_miss", self._n_miss_l2_miss)
+            self._n_miss_l2_miss = 0
+        if self._n_l2_writebacks:
+            counters.add("l2.writebacks", self._n_l2_writebacks)
+            self._n_l2_writebacks = 0
+
     # -- translation -----------------------------------------------------
     def _translate(self, cu_id: int, vpn: int, now: float, asid: int):
-        """Per-CU TLB, then IOMMU on a miss.  Returns (ready_time, ppn, perms, tlb_hit)."""
+        """Per-CU TLB, then IOMMU on a miss.  Returns (ready_time, ppn, perms, tlb_hit).
+
+        The ``tlb.accesses`` event is counted by the caller (``access``),
+        which may satisfy a TLB hit without entering this method at all.
+        """
         tlb = self.per_cu_tlbs[cu_id]
-        self.counters.add("tlb.accesses")
         key = (asid << 52) | vpn
-        entry = tlb.lookup(key, now)
+        # Inlined TLB.lookup: the per-CU TLBs are built without a
+        # lifetime tracker, so a hit is a dict probe, an LRU refresh,
+        # and a hit count — worth skipping the method dispatch for on
+        # the single hottest translation path.
+        entries = tlb._entries
+        entry = entries.get(key)
         t = now + self.config.per_cu_tlb_latency
         tracer = self._tracer
         tracing = tracer is not None and tracer.enabled
         if entry is not None:
+            entries.move_to_end(key)
+            tlb.hits += 1
             if self.lifetimes is not None:
                 self.lifetimes["tlb"].on_access((cu_id, key), now)
             if tracing:
                 tracer.emit("tlb.hit", t, cu=cu_id, vpn=vpn)
             return t, entry.ppn, entry.permissions, True
 
-        self.counters.add("tlb.misses")
+        tlb.misses += 1
+        self._n_tlb_misses += 1
         if tracing:
             tracer.emit("tlb.miss", t, cu=cu_id, vpn=vpn)
         if self.ideal:
@@ -128,42 +176,76 @@ class PhysicalHierarchy:
     ) -> float:
         """Service one coalesced request; return its completion time."""
         vpn = request.vpn
-        line_index = request.line_addr % self._lpp
+        is_write = request.is_write
+        lpp = self._lpp
+        line_index = request.line_addr % lpp
+        self._n_tlb_accesses += 1
+
+        # Fast path: with no lifetime tracking and no tracer, a TLB hit
+        # followed by an L1 read hit is a pair of dict probes — handle
+        # both inline and skip three method dispatches per request.
+        tracer = self._tracer
+        if self.lifetimes is None and (tracer is None or not tracer.enabled):
+            tlb = self.per_cu_tlbs[cu_id]
+            entries = tlb._entries
+            entry = entries.get((asid << 52) | vpn)
+            if entry is not None:
+                entries.move_to_end((asid << 52) | vpn)
+                tlb.hits += 1
+                permissions = entry.permissions
+                if not permissions._value_ & (2 if is_write else 1):
+                    raise PermissionFault(vpn, is_write, permissions)
+                cfg = self.config
+                physical_line = entry.ppn * lpp + line_index
+                ready = now + cfg.per_cu_tlb_latency
+                if not is_write:
+                    l1 = self.l1s[cu_id]
+                    cache_set = l1._sets[physical_line & l1._set_mask]
+                    line = cache_set.get(physical_line)
+                    if line is not None:
+                        cache_set.move_to_end(physical_line)
+                        l1.hits += 1
+                        return ready + cfg.l1_latency
+                    l1.misses += 1
+                    return self._l1_miss_read(cu_id, physical_line, ready)
+                return self._cache_access(cu_id, physical_line, True, ready)
 
         ready, ppn, permissions, tlb_hit = self._translate(cu_id, vpn, now, asid)
-        if not permissions.allows(request.is_write):
-            raise PermissionFault(vpn, request.is_write, permissions)
+        if not permissions._value_ & (2 if is_write else 1):
+            raise PermissionFault(vpn, is_write, permissions)
 
-        physical_line = ppn * self._lpp + line_index
+        physical_line = ppn * lpp + line_index
         if not tlb_hit:
             self._classify_tlb_miss(cu_id, physical_line)
 
-        return self._cache_access(cu_id, physical_line, request.is_write, ready)
+        return self._cache_access(cu_id, physical_line, is_write, ready)
 
     def _classify_tlb_miss(self, cu_id: int, physical_line: int) -> None:
         """Figure 2 breakdown: where would a virtual cache have found the data?"""
         if self.l1s[cu_id].contains(physical_line):
-            self.counters.add("tlb.miss_l1_hit")
+            self._n_miss_l1_hit += 1
         elif self.l2.contains(physical_line):
-            self.counters.add("tlb.miss_l2_hit")
+            self._n_miss_l2_hit += 1
         else:
-            self.counters.add("tlb.miss_l2_miss")
+            self._n_miss_l2_miss += 1
 
     def _cache_access(
         self, cu_id: int, physical_line: int, is_write: bool, now: float
     ) -> float:
         l1 = self.l1s[cu_id]
+        l2 = self.l2
         cfg = self.config
         if is_write:
             # Write-through, no-allocate L1: update on hit; the store
             # occupies the CU window until it lands in the L2.
             l1.lookup(physical_line)
             t_l2 = now + cfg.l1_latency + cfg.interconnect.l1_to_l2
-            start = self.l2_banks.request(t_l2, self.l2.bank_of(physical_line))
+            start = self.l2_banks.banks[l2.bank_of(physical_line)].request(t_l2)
             t_done = start + cfg.l2_latency
-            if self.l2.lookup(physical_line) is not None:
-                self.l2.mark_dirty(physical_line)
-                self._touch_l2(physical_line, start)
+            if l2.lookup(physical_line) is not None:
+                l2.mark_dirty(physical_line)
+                if self.lifetimes is not None:
+                    self._touch_l2(physical_line, start)
             else:
                 # Write-allocate into the write-back L2 (full-line store:
                 # no memory fetch needed).
@@ -172,14 +254,25 @@ class PhysicalHierarchy:
 
         line = l1.lookup(physical_line)
         if line is not None:
-            self._touch_l1(cu_id, physical_line, now)
+            if self.lifetimes is not None:
+                self._touch_l1(cu_id, physical_line, now)
             return now + cfg.l1_latency
+        return self._l1_miss_read(cu_id, physical_line, now)
 
+    def _l1_miss_read(self, cu_id: int, physical_line: int, now: float) -> float:
+        """Read path below the L1: banked L2 lookup, then DRAM on a miss.
+
+        ``now`` is the time of the L1 miss (the L1 lookup itself has
+        already been counted by the caller).
+        """
+        cfg = self.config
+        l2 = self.l2
         t_l2 = now + cfg.l1_latency + cfg.interconnect.l1_to_l2
-        start = self.l2_banks.request(t_l2, self.l2.bank_of(physical_line))
+        start = self.l2_banks.banks[l2.bank_of(physical_line)].request(t_l2)
         t_hit = start + cfg.l2_latency
-        if self.l2.lookup(physical_line) is not None:
-            self._touch_l2(physical_line, t_hit)
+        if l2.lookup(physical_line) is not None:
+            if self.lifetimes is not None:
+                self._touch_l2(physical_line, t_hit)
             self._fill_l1(cu_id, physical_line, t_hit)
             return t_hit + cfg.interconnect.l1_to_l2
 
@@ -200,7 +293,7 @@ class PhysicalHierarchy:
         victim = self.l2.insert(physical_line, dirty=dirty)
         if victim is not None and victim.dirty:
             self.dram.access_line(now)  # write-back traffic
-            self.counters.add("l2.writebacks")
+            self._n_l2_writebacks += 1
         if self.lifetimes is not None:
             if victim is not None:
                 self.lifetimes["l2"].on_evict(victim.line_addr, now)
@@ -221,7 +314,8 @@ class PhysicalHierarchy:
         return misses / accesses if accesses else 0.0
 
     def finish(self, now: float) -> None:
-        """End-of-run accounting: flush lifetime trackers."""
+        """End-of-run accounting: flush counters and lifetime trackers."""
+        self._flush_counters()
         if self.lifetimes is None:
             return
         for tracker in self.lifetimes.values():

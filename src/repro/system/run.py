@@ -20,7 +20,7 @@ import weakref
 from typing import Dict, Optional, List
 
 from repro.engine.stats import RateStats
-from repro.gpu.cu import ComputeUnit
+from repro.gpu.scratchpad import Scratchpad
 from repro.system.config import SoCConfig
 from repro.workloads.trace import Trace
 
@@ -52,6 +52,10 @@ class SimulationResult:
         "workload", "design", "cycles", "instructions", "requests",
         "counters", "iommu_rate", "wall_clock_seconds",
     )
+    # Equality is about simulated outcomes.  Wall-clock time is host
+    # noise — two bit-identical runs never take exactly as long — so it
+    # is serialized (it feeds the perf reports) but not compared.
+    _EQ_FIELDS = tuple(f for f in _SLIM_FIELDS if f != "wall_clock_seconds")
 
     def __init__(
         self,
@@ -106,7 +110,7 @@ class SimulationResult:
             return NotImplemented
         return all(
             getattr(self, name) == getattr(other, name)
-            for name in self._SLIM_FIELDS
+            for name in self._EQ_FIELDS
         )
 
     __hash__ = None  # mutable record, same as the former dataclass
@@ -192,8 +196,10 @@ def simulate(
     if tracing:
         tracer.emit("run.start", start_time, workload=trace.name, design=design)
     streams = trace.per_cu
+    coalesced = trace.coalesced_per_cu()
     if max_instructions_per_cu is not None:
         streams = [s[:max_instructions_per_cu] for s in streams]
+        coalesced = [c[:max_instructions_per_cu] for c in coalesced]
     n_cus = len(streams)
     hierarchy_cus = len(getattr(hierarchy, "l1s", ()) or ())
     if hierarchy_cus and n_cus > hierarchy_cus:
@@ -203,49 +209,63 @@ def simulate(
             f"with n_cus >= {n_cus}"
         )
 
-    cus: List[ComputeUnit] = [
-        ComputeUnit(i, window=config.cu_window, issue_interval=trace.issue_interval)
-        for i in range(n_cus)
-    ]
     cursors = [0] * n_cus
     # Per-CU list of this instruction's coalesced requests + position.
     pending: List[Optional[list]] = [None] * n_cus
     pending_pos = [0] * n_cus
     pending_scratch = [False] * n_cus
+    # Per-CU issue-window state: the :class:`~repro.gpu.cu.ComputeUnit`
+    # model, inlined as parallel arrays.  The issue loop runs once per
+    # coalesced request (plus window retries) and dominates end-to-end
+    # simulation time, so the per-CU bookkeeping lives in plain lists
+    # and the loop's bindings — heap ops, the hierarchy's access method,
+    # stream lengths — in locals rather than attribute lookups.
+    outstanding: List[List[float]] = [[] for _ in range(n_cus)]
+    next_issue = [start_time] * n_cus
+    last_completion = [0.0] * n_cus
+    cu_window = config.cu_window
+    issue_interval = trace.issue_interval
+    scratch_access = Scratchpad().access  # fixed latency, shared by all CUs
 
-    for cu in cus:
-        cu.next_issue_time = start_time
     heap = [(start_time, cu_id) for cu_id in range(n_cus) if streams[cu_id]]
     heapq.heapify(heap)
     total_requests = 0
     total_instructions = 0
 
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    access = hierarchy.access
+    stream_lens = [len(s) for s in streams]
+
     while heap:
-        candidate, cu_id = heapq.heappop(heap)
-        cu = cus[cu_id]
-        issue = cu.earliest_issue(candidate)
+        candidate, cu_id = heappop(heap)
+        # Earliest cycle a new request can issue, given the window.
+        t = next_issue[cu_id]
+        issue = candidate if candidate > t else t
+        out = outstanding[cu_id]
+        if len(out) >= cu_window and out[0] > issue:
+            issue = out[0]
         if issue > candidate + _TIME_EPS:
             # The outstanding-request window is full: retry at the time
             # the oldest request completes (keeps global time order).
-            heapq.heappush(heap, (issue, cu_id))
+            heappush(heap, (issue, cu_id))
             continue
 
         requests = pending[cu_id]
         if requests is None:
-            inst = streams[cu_id][cursors[cu_id]]
+            reqs = coalesced[cu_id][cursors[cu_id]]
             total_instructions += 1
-            if inst.scratchpad:
-                pending[cu_id] = []
+            if reqs is None:  # scratchpad instruction
+                requests = pending[cu_id] = []
                 pending_scratch[cu_id] = True
             else:
-                pending[cu_id] = cu.coalescer.coalesce(inst.addresses, inst.is_write)
+                requests = pending[cu_id] = reqs
                 pending_scratch[cu_id] = False
             pending_pos[cu_id] = 0
-            requests = pending[cu_id]
 
         if pending_scratch[cu_id]:
-            completion = cu.scratchpad.access(issue)
-            cu.issue(issue, completion, gap=trace.issue_interval)
+            completion = scratch_access(issue)
+            gap = issue_interval
             self_done = True
         else:
             pos = pending_pos[cu_id]
@@ -253,7 +273,7 @@ def simulate(
             if tracing:
                 tracer.emit("request.issue", issue, cu=cu_id,
                             line=request.line_addr, write=request.is_write)
-            completion = hierarchy.access(cu_id, request, issue, asid=asid)
+            completion = access(cu_id, request, issue, asid=asid)
             total_requests += 1
             if req_hist is not None:
                 req_hist.record(completion - issue)
@@ -261,20 +281,34 @@ def simulate(
                 tracer.emit("request.complete", completion, cu=cu_id,
                             line=request.line_addr, latency=completion - issue)
             last = pos == len(requests) - 1
-            cu.issue(issue, completion,
-                     gap=trace.issue_interval if last else 1.0)
+            gap = issue_interval if last else 1.0
             pending_pos[cu_id] = pos + 1
             self_done = last
+
+        # Record the issued request: retire completed ones, track the
+        # new completion, and set the next issue slot (pipeline gap).
+        while out and out[0] <= issue:
+            heappop(out)
+        heappush(out, completion)
+        if completion > last_completion[cu_id]:
+            last_completion[cu_id] = completion
+        nxt = issue + gap
+        next_issue[cu_id] = nxt
 
         if self_done:
             pending[cu_id] = None
             cursors[cu_id] += 1
-            if cursors[cu_id] >= len(streams[cu_id]):
+            if cursors[cu_id] >= stream_lens[cu_id]:
                 continue  # this CU is finished
-        heapq.heappush(heap, (cu.next_issue_time, cu_id))
+        heappush(heap, (nxt, cu_id))
 
-    end_time = max((cu.drain_time() for cu in cus), default=start_time)
-    end_time = max(end_time, start_time)
+    # A CU's drain time is its last outstanding completion.
+    end_time = start_time
+    for cu_id in range(n_cus):
+        out = outstanding[cu_id]
+        drain = max(out) if out else last_completion[cu_id]
+        if drain > end_time:
+            end_time = drain
     hierarchy.finish(end_time)
 
     counters = dict(hierarchy.counters.as_dict())

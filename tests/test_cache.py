@@ -149,6 +149,33 @@ class TestPageTracking:
         assert c.max_lines_per_page() == 32
 
 
+class TestBankMapping:
+    """Pins the bank-selection function: low-order line-address bits.
+
+    The docstring and implementation of ``bank_of`` disagreed once;
+    these tests freeze the intended low-order interleaving so either
+    kind of regression (code or doc-driven "fix") trips loudly.
+    """
+
+    def test_bank_is_line_mod_n_banks(self):
+        c = small_cache(n_banks=8)
+        for line in (0, 1, 7, 8, 9, 0x7F, 0x80, 123456789):
+            assert c.bank_of(line) == line % 8
+
+    def test_consecutive_lines_interleave_across_banks(self):
+        c = small_cache(n_banks=8)
+        assert [c.bank_of(line) for line in range(16)] == list(range(8)) * 2
+
+    def test_non_power_of_two_banks_still_modulo(self):
+        c = small_cache(n_banks=3)
+        for line in (0, 1, 2, 3, 4, 5, 1000003):
+            assert c.bank_of(line) == line % 3
+
+    def test_single_bank_always_zero(self):
+        c = small_cache(n_banks=1)
+        assert c.bank_of(0) == c.bank_of(12345) == 0
+
+
 class TestStats:
     def test_hit_ratio(self):
         c = small_cache()
