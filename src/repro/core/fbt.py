@@ -365,6 +365,13 @@ class ForwardBackwardTable:
         self.counters.add("fbt.full_shootdowns")
         return orders
 
+    def state_summary(self) -> str:
+        """One-line occupancy summary for invariant-violation dumps."""
+        entries = self.bt.entries()
+        counter_entries = sum(1 for e in entries if e.tracking == "counter")
+        return (f"FBT entries={len(entries)} (counter-mode {counter_entries}), "
+                f"FT entries={len(self.ft)}, policy={self.large_page_policy}")
+
     def _order_for(self, entry: BTEntry, reason: str) -> InvalidationOrder:
         if entry.tracking == "bitvector":
             return InvalidationOrder(

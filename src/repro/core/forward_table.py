@@ -63,3 +63,11 @@ class ForwardTable:
     def remove_entry(self, entry: BTEntry) -> None:
         """Drop by entry identity (used on BT replacement)."""
         self._index.pop(entry.leading_key, None)
+
+    def items(self):
+        """Stat-free snapshot of (leading key, BT entry) pairs.
+
+        Unlike :meth:`lookup` this touches no statistics, so invariant
+        audits can walk the table without perturbing the simulation.
+        """
+        return list(self._index.items())

@@ -61,6 +61,10 @@ class InvalidationFilter:
         """Resident-line count for a page (diagnostics/tests)."""
         return self._counts.get((asid, vpn), 0)
 
+    def snapshot(self) -> Dict[Tuple[int, int], int]:
+        """Stat-free copy of the per-page counts, for invariant audits."""
+        return dict(self._counts)
+
     def clear(self) -> None:
         """Reset after a full L1 flush."""
         self._counts.clear()

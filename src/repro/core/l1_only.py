@@ -114,6 +114,15 @@ class ASDT:
         """Reverse index: the PPN led by ``(asid, vpn)``, if tracked."""
         return self._by_leading.get((asid, vpn))
 
+    def entries(self) -> List[ASDTEntry]:
+        """Stat-free snapshot of the live entries, for invariant audits."""
+        return list(self._by_ppn.values())
+
+    def clear(self) -> None:
+        """Drop all tracking (after a full L1 flush)."""
+        self._by_ppn.clear()
+        self._by_leading.clear()
+
 
 class L1OnlyVirtualHierarchy:
     """Virtual L1s over a physical L2, with per-CU TLBs on L1 misses."""
@@ -316,6 +325,41 @@ class L1OnlyVirtualHierarchy:
             if victim_ppn is not None:
                 self.asdt.on_evict(victim_ppn)
         self.asdt.on_fill(ppn)
+
+    # -- software-visible operations ----------------------------------------
+    def shootdown(self, asid: int, vpn: int, now: float = 0.0) -> bool:
+        """Single-entry TLB shootdown: drop the translation and L1 data.
+
+        Only leading pages have data in the (virtual) L1s; shooting down
+        a non-leading synonym page needs just the TLB invalidations —
+        the data remains valid under its unchanged leading mapping.
+        Returns True when cached data had to be invalidated.
+        """
+        key = (asid << _ASID_SHIFT) | vpn
+        for tlb in self.per_cu_tlbs:
+            tlb.invalidate(key, now)
+        self.iommu.invalidate(vpn, asid)
+        ppn = self.asdt.ppn_of_leading(asid, vpn)
+        if ppn is None:
+            return False
+        pkey = page_key(asid, vpn)
+        dropped = False
+        for l1 in self.l1s:
+            for _line in l1.invalidate_page(pkey):
+                self.asdt.on_evict(ppn)
+                dropped = True
+        return dropped
+
+    def shootdown_all(self, now: float = 0.0) -> int:
+        """All-entry shootdown: flush every translation and virtual L1."""
+        for tlb in self.per_cu_tlbs:
+            tlb.invalidate_all(now)
+        self.iommu.invalidate_all()
+        flushed = len(self.asdt)
+        for l1 in self.l1s:
+            l1.invalidate_all()
+        self.asdt.clear()
+        return flushed
 
     def finish(self, now: float) -> None:
         """End-of-run hook: flush deferred counters into the bag."""

@@ -72,5 +72,9 @@ class SynonymRemapTable:
         """Drop one source page's remapping (its own mapping changed)."""
         return self._entries.pop((asid, vpn), None) is not None
 
+    def entries(self):
+        """Stat-free snapshot of (source, leading) pairs, for audits."""
+        return list(self._entries.items())
+
     def clear(self) -> None:
         self._entries.clear()

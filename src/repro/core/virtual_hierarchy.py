@@ -62,6 +62,11 @@ def split_page_key(key: int) -> Tuple[int, int]:
 class VirtualCacheHierarchy:
     """Whole-hierarchy (L1 + L2) virtual caching with an FBT."""
 
+    # The FBT detects pages remapped without an explicit shootdown on the
+    # next translation (``fbt.stale_remaps``), so silent-remap fault
+    # injection is a meaningful event for this hierarchy only.
+    handles_stale_remap = True
+
     def __init__(
         self,
         config: SoCConfig,

@@ -1,0 +1,179 @@
+"""Chaos experiment: fault injection + invariant auditing, end to end.
+
+Sweeps a grid of (workload × design × fault rate) points.  Each point
+replays the workload through a fresh hierarchy wrapped in a
+:class:`~repro.robustness.fault_plan.FaultInjector` (TLB shootdowns,
+page remaps — silent and announced — unmaps, permission downgrades) with
+the structural invariant auditor enabled, proving the paper's
+transparency claim (§4): the virtual hierarchy's FBT/cache state stays
+consistent under the full set of hostile OS events.
+
+The run is fully deterministic — the fault schedule derives from
+``(trace, rate, seed)`` via SHA-512-seeded ``random.Random`` — so a
+failing point reproduces exactly from its printed parameters.  Exit
+status is nonzero if any point trips an invariant violation.
+
+Traces are loaded *fresh* (bypassing the registry memo): fault injection
+mutates the page table, which must never leak into other experiments'
+memoized traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.report import section
+from repro.experiments.common import GLOBAL_CACHE, resolve_workloads
+from repro.robustness.fault_plan import FaultInjector, FaultPlan
+from repro.robustness.invariants import InvariantViolation
+from repro.system.config import SoCConfig
+from repro.system.designs import (
+    BASELINE_512,
+    L1_ONLY_VC_32,
+    VC_WITH_OPT,
+    VC_WITHOUT_OPT,
+)
+from repro.system.run import simulate
+from repro.workloads import registry
+
+#: One design per hierarchy flavour: the physical baseline, the virtual
+#: hierarchy with and without the paper's optimisations (bitvector vs
+#: counter FBT tracking), and the L1-only virtual cache.
+DESIGNS = (BASELINE_512, VC_WITHOUT_OPT, VC_WITH_OPT, L1_ONLY_VC_32)
+
+DEFAULT_WORKLOADS = ("bfs", "kmeans")
+DEFAULT_RATES = (0.0005, 0.002)
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """Outcome of one audited fault-injection run."""
+
+    workload: str
+    design: str
+    rate: float
+    n_events: int
+    events_applied: int
+    audits: int
+    cycles: float
+    violation: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+
+@dataclass
+class ChaosReport:
+    """All chaos points plus the seed that reproduces them."""
+
+    points: List[ChaosPoint]
+    seed: int
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.points)
+
+    def render(self) -> str:
+        header = (f"{'workload':12s} {'design':16s} {'rate':>8s} "
+                  f"{'faults':>6s} {'applied':>7s} {'audits':>6s} verdict")
+        rows = [header, "-" * len(header)]
+        for p in self.points:
+            verdict = "ok" if p.ok else "INVARIANT VIOLATION"
+            rows.append(
+                f"{p.workload:12s} {p.design:16s} {p.rate:8.4f} "
+                f"{p.n_events:6d} {p.events_applied:7d} {p.audits:6d} {verdict}")
+        for p in self.points:
+            if not p.ok:
+                rows.append("")
+                rows.append(f"--- {p.workload} / {p.design} @ {p.rate} ---")
+                rows.append(p.violation)
+        status = ("all points green" if self.ok
+                  else "INVARIANT VIOLATIONS DETECTED")
+        return section(
+            f"Chaos: VM-event fault injection under invariant audit "
+            f"(seed {self.seed}) — {status}",
+            "\n".join(rows))
+
+
+def _run_point(
+    config: SoCConfig,
+    workload: str,
+    design,
+    rate: float,
+    seed: int,
+    scale: Optional[float],
+    invariant_interval: int,
+) -> ChaosPoint:
+    # Fresh trace: the injector mutates this trace's page table.
+    trace = registry.load_fresh(workload, scale=scale)
+    page_tables = {0: trace.address_space.page_table}
+    hierarchy = design.build(config, page_tables)
+    plan = FaultPlan.for_trace(trace, rate, seed=seed)
+    injector = FaultInjector(hierarchy, plan, trace.address_space)
+    violation = None
+    audits = 0
+    cycles = 0.0
+    try:
+        result = simulate(
+            trace, injector, design.soc_config(config),
+            design=design.name, check_invariants=True,
+            invariant_interval=invariant_interval,
+        )
+    except InvariantViolation as exc:
+        violation = str(exc)
+    else:
+        audits = int(result.counters.get("invariants.audits", 0))
+        cycles = result.cycles
+    applied = int(injector.counters.as_dict().get("chaos.events", 0))
+    return ChaosPoint(
+        workload=workload, design=design.name, rate=rate,
+        n_events=len(plan), events_applied=applied, audits=audits,
+        cycles=cycles, violation=violation,
+    )
+
+
+def run(
+    config: Optional[SoCConfig] = None,
+    workloads: Tuple[str, ...] = DEFAULT_WORKLOADS,
+    rates: Tuple[float, ...] = DEFAULT_RATES,
+    seed: int = 0,
+    scale: Optional[float] = None,
+    # Low enough that even tiny CI-scale traces (a few hundred
+    # instructions) get several mid-run audits, not just the final one.
+    invariant_interval: int = 64,
+    designs=DESIGNS,
+) -> ChaosReport:
+    """Run the chaos grid; never raises on a violation (it's reported)."""
+    config = config if config is not None else GLOBAL_CACHE.config
+    scale = scale if scale is not None else GLOBAL_CACHE.effective_scale()
+    names = resolve_workloads(workloads, DEFAULT_WORKLOADS)
+    for rate in rates:
+        if rate < 0:
+            raise ValueError("fault rates must be nonnegative")
+    points = [
+        _run_point(config, workload, design, rate, seed, scale,
+                   invariant_interval)
+        for workload in names
+        for design in designs
+        for rate in rates
+    ]
+    return ChaosReport(points=points, seed=seed)
+
+
+def main(
+    workloads: Tuple[str, ...] = DEFAULT_WORKLOADS,
+    rates: Tuple[float, ...] = DEFAULT_RATES,
+    seed: int = 0,
+    scale: Optional[float] = None,
+) -> int:
+    report = run(workloads=workloads, rates=rates, seed=seed, scale=scale)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

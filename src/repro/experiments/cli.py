@@ -74,7 +74,27 @@ def _validate() -> str:
 
 
 def _experiment_listing() -> str:
-    return "\n".join(sorted(EXPERIMENTS) + ["all", "bench"])
+    return "\n".join(sorted(EXPERIMENTS) + ["all", "bench", "chaos"])
+
+
+def _preflight_cache_dir(cache_dir: str) -> str:
+    """Prove --cache-dir is creatable and writable; '' if so, else why not.
+
+    Runs before any simulation so a doomed sweep fails in milliseconds,
+    not after hours of compute whose results then cannot be persisted.
+    """
+    import tempfile
+
+    try:
+        Path(cache_dir).mkdir(parents=True, exist_ok=True)
+        fd, probe = tempfile.mkstemp(dir=cache_dir, prefix=".writable-")
+    except OSError as exc:
+        return f"--cache-dir {cache_dir!r} is not writable: {exc}"
+    import os
+
+    os.close(fd)
+    os.unlink(probe)
+    return ""
 
 
 def _build_observability(args):
@@ -162,6 +182,44 @@ def main(argv=None) -> int:
         help="allowed fractional throughput regression for --bench-compare "
              "(default: 0.30)",
     )
+    robust_group = parser.add_argument_group("robustness options")
+    robust_group.add_argument(
+        "--check-invariants", action="store_true",
+        help="audit FBT/cache structural invariants during every "
+             "simulation, failing fast with a diagnostic dump on any "
+             "inconsistency (opt-in: costs simulation throughput)",
+    )
+    robust_group.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="append every completed sweep point to a crash-safe "
+             "checkpoint file at PATH; a killed run restarted with the "
+             "same checkpoint recomputes nothing that already finished",
+    )
+    robust_group.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry any parallel sweep point that produces no "
+             "result within SECONDS (default: wait forever)",
+    )
+    robust_group.add_argument(
+        "--point-retries", type=int, default=2, metavar="N",
+        help="retry a crashed/timed-out sweep point up to N times before "
+             "failing the sweep (default: 2)",
+    )
+    chaos_group = parser.add_argument_group(
+        "chaos options (only with the 'chaos' experiment)")
+    chaos_group.add_argument(
+        "--fault-rates", metavar="R1,R2,...", default="0.0005,0.002",
+        help="comma-separated VM-event fault rates (events per coalesced "
+             "request) to sweep (default: 0.0005,0.002)",
+    )
+    chaos_group.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="seed for the deterministic fault schedule (default: 0)",
+    )
+    chaos_group.add_argument(
+        "--chaos-workloads", metavar="W1,W2,...", default="bfs,kmeans",
+        help="comma-separated workloads to fault-inject (default: bfs,kmeans)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -172,6 +230,37 @@ def main(argv=None) -> int:
         print("repro-experiment: error: no experiment given "
               "(use --list to see the choices)", file=sys.stderr)
         return 2
+    if args.cache_dir is not None:
+        # Fail before any simulation, not after hours of compute.
+        problem = _preflight_cache_dir(args.cache_dir)
+        if problem:
+            print(f"repro-experiment: error: {problem}", file=sys.stderr)
+            return 2
+    if args.experiment == "chaos":
+        from repro.experiments import chaos
+
+        try:
+            rates = tuple(
+                float(r) for r in args.fault_rates.split(",") if r.strip())
+        except ValueError:
+            print(f"repro-experiment: error: --fault-rates "
+                  f"{args.fault_rates!r} is not a comma-separated list of "
+                  f"numbers", file=sys.stderr)
+            return 2
+        if not rates or any(r < 0 for r in rates):
+            print("repro-experiment: error: --fault-rates needs at least "
+                  "one nonnegative rate", file=sys.stderr)
+            return 2
+        workloads = tuple(
+            w.strip() for w in args.chaos_workloads.split(",") if w.strip())
+        try:
+            return chaos.main(
+                workloads=workloads, rates=rates, seed=args.chaos_seed,
+                scale=args.scale,
+            )
+        except KeyError as exc:
+            print(f"repro-experiment: error: {exc.args[0]}", file=sys.stderr)
+            return 2
     if args.experiment == "bench":
         from repro.experiments import bench
 
@@ -196,11 +285,23 @@ def main(argv=None) -> int:
     if args.jobs < 1:
         print("repro-experiment: error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.point_retries < 0:
+        print("repro-experiment: error: --point-retries must be >= 0",
+              file=sys.stderr)
+        return 2
+    if args.point_timeout is not None and args.point_timeout <= 0:
+        print("repro-experiment: error: --point-timeout must be positive",
+              file=sys.stderr)
+        return 2
     if args.scale is not None:
         GLOBAL_CACHE.scale = args.scale
     GLOBAL_CACHE.jobs = args.jobs
     if args.cache_dir is not None:
         GLOBAL_CACHE.cache_dir = args.cache_dir
+    GLOBAL_CACHE.check_invariants = args.check_invariants
+    GLOBAL_CACHE.checkpoint = args.checkpoint
+    GLOBAL_CACHE.point_timeout = args.point_timeout
+    GLOBAL_CACHE.point_retries = args.point_retries
     if args.metrics_out is not None:
         # Fail before the run, not after: the manifest is written last.
         parent = Path(args.metrics_out).resolve().parent

@@ -24,7 +24,9 @@ Two opt-in layers sit on top of the in-process memo:
 
 from __future__ import annotations
 
+import time as _time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -42,13 +44,44 @@ from repro.system.run import SimulationResult, simulate
 from repro.workloads import registry
 from repro.workloads.trace import Trace
 
-#: Memo key: (workload, scale, design name, track_lifetimes, config hash).
-#: The config hash is load-bearing — without it, mutating
-#: ``cache.config`` between runs would silently serve stale results.
-CacheKey = Tuple[str, float, str, bool, str]
+#: Memo key: (workload, scale, design name, track_lifetimes,
+#: check_invariants, config hash).  The config hash is load-bearing —
+#: without it, mutating ``cache.config`` between runs would silently
+#: serve stale results; ``check_invariants`` is keyed because audited
+#: runs carry an extra ``invariants.audits`` counter.
+CacheKey = Tuple[str, float, str, bool, bool, str]
 
 #: A design point: (workload, design) or (workload, design, track_lifetimes).
 Point = Tuple
+
+#: One missing design point, carried through the fault-tolerant runner:
+#: (memo key, workload, design, track_lifetimes, disk fingerprint).
+_Missing = Tuple[CacheKey, str, MMUDesign, bool, str]
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One design point that kept failing after all retries."""
+
+    workload: str
+    design: str
+    attempts: int
+    reason: str
+
+    def __str__(self) -> str:
+        return (f"({self.workload}, {self.design}) failed "
+                f"{self.attempts}x: {self.reason}")
+
+
+class SweepError(RuntimeError):
+    """A sweep gave up on one or more points after bounded retries."""
+
+    def __init__(self, failures: List[PointFailure]) -> None:
+        self.failures = list(failures)
+        lines = "\n  ".join(str(f) for f in self.failures)
+        super().__init__(
+            f"{len(self.failures)} design point(s) failed permanently:\n"
+            f"  {lines}")
 
 
 def _simulate_point(
@@ -58,6 +91,7 @@ def _simulate_point(
     design: MMUDesign,
     track_lifetimes: bool,
     collect_metrics: bool,
+    check_invariants: bool = False,
 ) -> Tuple[SimulationResult, Optional[object]]:
     """Run one design point from scratch (executes inside a pool worker).
 
@@ -73,7 +107,8 @@ def _simulate_point(
     hierarchy = design.build(config, page_tables,
                              track_lifetimes=track_lifetimes, obs=obs)
     result = simulate(trace, hierarchy, design.soc_config(config),
-                      design=design.name, obs=obs)
+                      design=design.name, obs=obs,
+                      check_invariants=check_invariants)
     return result, (obs.metrics if obs is not None else None)
 
 
@@ -96,6 +131,20 @@ class ResultCache:
     obs: object = None
     jobs: int = 1
     cache_dir: Optional[str] = None
+    #: Audit simulator invariants during every run (see
+    #: :mod:`repro.robustness.invariants`).  Keyed into the memo/disk
+    #: fingerprints: audited results carry an extra counter.
+    check_invariants: bool = False
+    #: Path of a crash-safe checkpoint file for :meth:`run_many`; a
+    #: killed sweep restarted with the same checkpoint recomputes
+    #: nothing that already completed.
+    checkpoint: Optional[str] = None
+    #: Fault tolerance for the parallel runner: per-point timeout in
+    #: seconds (None = wait forever), bounded retries per point, and the
+    #: base of the exponential inter-round backoff.
+    point_timeout: Optional[float] = None
+    point_retries: int = 2
+    retry_backoff: float = 0.5
     _results: Dict[CacheKey, SimulationResult] = field(default_factory=dict)
     # Strong refs to the hierarchies behind memoized results; results
     # themselves hold only weak refs, so clear() genuinely frees them.
@@ -119,18 +168,23 @@ class ResultCache:
     def _key(self, workload: str, design: MMUDesign,
              track_lifetimes: bool) -> CacheKey:
         return (workload, self.effective_scale(), design.name,
-                track_lifetimes, config_fingerprint(self.config))
+                track_lifetimes, self.check_invariants,
+                config_fingerprint(self.config))
 
     def _fingerprint(self, workload: str, design: MMUDesign,
                      track_lifetimes: bool) -> str:
         return point_fingerprint(workload, self.effective_scale(), design,
-                                 track_lifetimes, self.config)
+                                 track_lifetimes, self.config,
+                                 check_invariants=self.check_invariants)
 
     def _disk_cache(self) -> Optional[DiskCache]:
         if self.cache_dir is None:
             return None
         if self._disk is None or self._disk.root != Path(self.cache_dir):
-            self._disk = DiskCache(self.cache_dir)
+            metrics = getattr(self.obs, "metrics", None)
+            self._disk = DiskCache(
+                self.cache_dir,
+                counters=getattr(metrics, "counters", None))
         return self._disk
 
     # -- running ----------------------------------------------------------
@@ -176,6 +230,7 @@ class ResultCache:
             result = simulate(
                 trace, hierarchy, design.soc_config(self.config),
                 design=design.name, obs=self.obs,
+                check_invariants=self.check_invariants,
             )
         self.simulations_run += 1
         self._results[key] = result
@@ -210,6 +265,14 @@ class ResultCache:
         in-process, exactly as :meth:`run`.  Per-request tracing forces
         the serial path — a worker process cannot stream events into
         the parent's trace file.
+
+        The parallel path is fault tolerant: a point whose worker
+        crashes, is killed, or exceeds ``point_timeout`` is retried (in
+        a fresh pool, after exponential backoff) up to ``point_retries``
+        times before the sweep raises :class:`SweepError`.  With
+        ``checkpoint`` set, every completed point is durably appended to
+        the checkpoint file and a restarted sweep resumes from it with
+        zero lost work.
         """
         normalized = self._normalize(points)
         jobs = self.jobs if jobs is None else jobs
@@ -218,65 +281,178 @@ class ResultCache:
         if self.obs is not None and getattr(self.obs, "tracing", False):
             jobs = 1
 
-        # Collect points not already memoized (deduplicated, in order).
+        store = None
+        completed: Dict[str, object] = {}
+        if self.checkpoint is not None:
+            from repro.robustness.checkpoint import CheckpointStore
+
+            store = CheckpointStore(self.checkpoint)
+            completed = store.load()
+
+        # Collect points not already memoized (deduplicated, in order),
+        # serving checkpointed and disk-cached results along the way.
         disk = self._disk_cache()
-        missing: List[Tuple[CacheKey, str, MMUDesign, bool]] = []
+        missing: List[_Missing] = []
         seen = set()
         for workload, design, track_lifetimes in normalized:
             key = self._key(workload, design, track_lifetimes)
             if key in self._results or key in seen:
                 continue
+            fingerprint = self._fingerprint(workload, design, track_lifetimes)
+            resumed = completed.get(fingerprint)
+            if isinstance(resumed, SimulationResult):
+                self._results[key] = resumed
+                continue
             if disk is not None:
-                cached = disk.load(
-                    self._fingerprint(workload, design, track_lifetimes))
+                cached = disk.load(fingerprint)
                 if cached is not None:
                     self._results[key] = cached
+                    if store is not None:
+                        store.append(fingerprint, cached)
                     continue
             seen.add(key)
-            missing.append((key, workload, design, track_lifetimes))
+            missing.append((key, workload, design, track_lifetimes, fingerprint))
 
         if jobs == 1 or len(missing) <= 1:
-            for key, workload, design, track_lifetimes in missing:
-                self._simulate_into_cache(key, workload, design, track_lifetimes)
+            for key, workload, design, track_lifetimes, fingerprint in missing:
+                result = self._simulate_into_cache(
+                    key, workload, design, track_lifetimes)
+                if store is not None:
+                    store.append(fingerprint, result)
         elif missing:
-            self._run_missing_parallel(missing, jobs)
+            self._run_missing_parallel(missing, jobs, store)
         return [
             self._results[self._key(w, d, tl)] for w, d, tl in normalized
         ]
 
+    #: How long to wait for stragglers once the pool has been torn down
+    #: after a timeout (completed futures return instantly; running ones
+    #: fail with BrokenProcessPool as soon as the executor notices).
+    _POOL_DRAIN_TIMEOUT = 30.0
+    #: Cap on the exponential inter-round retry backoff.
+    _MAX_BACKOFF = 30.0
+
     def _run_missing_parallel(
-        self, missing: List[Tuple[CacheKey, str, MMUDesign, bool]], jobs: int,
+        self, missing: List[_Missing], jobs: int, store=None,
     ) -> None:
         # Generate traces in the parent first: forked workers then
         # inherit the memoized traces instead of regenerating one per
         # process (and spawn-based platforms still regenerate the same
         # deterministic trace from (name, scale)).
-        for workload in dict.fromkeys(w for _, w, _, _ in missing):
+        for workload in dict.fromkeys(w for _, w, _, _, _ in missing):
             self.trace(workload)
         collect_metrics = self.obs is not None
         scale = self.effective_scale()
         disk = self._disk_cache()
         workers = min(jobs, len(missing))
+        metrics_by_key: Dict[CacheKey, object] = {}
+        attempts: Dict[CacheKey, int] = {entry[0]: 0 for entry in missing}
+        pending: List[_Missing] = list(missing)
+        round_number = 0
         with self._span(f"run_many:{len(missing)}points:{workers}jobs"):
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    (key, workload, design, track_lifetimes,
-                     pool.submit(_simulate_point, self.config, scale, workload,
-                                 design, track_lifetimes, collect_metrics))
-                    for key, workload, design, track_lifetimes in missing
-                ]
-                # Merge in submission order so parent-side aggregation is
-                # deterministic run to run.
-                for key, workload, design, track_lifetimes, future in futures:
-                    result, metrics = future.result()
-                    self.simulations_run += 1
-                    self._results[key] = result
-                    if metrics is not None and self.obs is not None:
-                        self.obs.metrics.merge(metrics)
-                    if disk is not None:
-                        disk.store(
-                            self._fingerprint(workload, design, track_lifetimes),
-                            result)
+            while pending:
+                round_number += 1
+                if round_number > 1:
+                    delay = min(self.retry_backoff * 2 ** (round_number - 2),
+                                self._MAX_BACKOFF)
+                    if delay > 0:
+                        _time.sleep(delay)
+                pending = self._run_one_round(
+                    pending, min(jobs, len(pending)), collect_metrics, scale,
+                    disk, store, metrics_by_key, attempts)
+        # Merge worker metrics in the original submission order so
+        # parent-side aggregation is deterministic run to run, no matter
+        # which retry round completed each point.
+        if self.obs is not None:
+            for entry in missing:
+                metrics = metrics_by_key.get(entry[0])
+                if metrics is not None:
+                    self.obs.metrics.merge(metrics)
+
+    def _run_one_round(
+        self,
+        pending: List[_Missing],
+        workers: int,
+        collect_metrics: bool,
+        scale: float,
+        disk,
+        store,
+        metrics_by_key: Dict[CacheKey, object],
+        attempts: Dict[CacheKey, int],
+    ) -> List[_Missing]:
+        """Run one retry round in a fresh pool; return the points to retry.
+
+        Raises :class:`SweepError` once any point exhausts its retries.
+        A per-point timeout tears the whole pool down (the stuck worker
+        cannot be targeted individually); already-completed futures are
+        still harvested, everything else fails this round and is
+        retried in the next pool.
+        """
+        failures: List[Tuple[_Missing, str]] = []
+        pool = ProcessPoolExecutor(max_workers=workers)
+        pool_killed = False
+        try:
+            futures = [
+                (entry,
+                 pool.submit(_simulate_point, self.config, scale, entry[1],
+                             entry[2], entry[3], collect_metrics,
+                             self.check_invariants))
+                for entry in pending
+            ]
+            for entry, future in futures:
+                key, workload, design, track_lifetimes, fingerprint = entry
+                timeout = (self._POOL_DRAIN_TIMEOUT if pool_killed
+                           else self.point_timeout)
+                try:
+                    result, metrics = future.result(timeout=timeout)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except FuturesTimeout:
+                    failures.append((entry, (
+                        f"no result within {timeout}s"
+                        + ("" if pool_killed else " (worker killed)"))))
+                    if not pool_killed:
+                        self._terminate_pool(pool)
+                        pool_killed = True
+                    continue
+                except BaseException as exc:
+                    failures.append((entry, f"{type(exc).__name__}: {exc}"))
+                    continue
+                self.simulations_run += 1
+                self._results[key] = result
+                if metrics is not None:
+                    metrics_by_key[key] = metrics
+                if disk is not None:
+                    disk.store(fingerprint, result)
+                if store is not None:
+                    store.append(fingerprint, result)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        retry: List[_Missing] = []
+        exhausted: List[PointFailure] = []
+        for entry, reason in failures:
+            key = entry[0]
+            attempts[key] += 1
+            if attempts[key] > self.point_retries:
+                exhausted.append(PointFailure(
+                    workload=entry[1], design=entry[2].name,
+                    attempts=attempts[key], reason=reason))
+            else:
+                retry.append(entry)
+        if exhausted:
+            raise SweepError(exhausted)
+        return retry
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Hard-kill a pool whose worker blew the per-point timeout."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
 
     def run_designs(
         self, workload: str, designs: Iterable[MMUDesign]

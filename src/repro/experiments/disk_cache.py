@@ -18,6 +18,14 @@ changes, so stale results can never be served.  Entries are written
 atomically (temp file + ``os.replace``), which makes concurrent writers
 (the parallel sweep runner, or two CLI invocations sharing a directory)
 safe: the worst case is the same result being written twice.
+
+Each entry is a self-verifying envelope carrying the schema version, the
+fingerprint it was stored under, and a SHA-256 digest of the pickled
+result.  A file that fails any of those checks — truncated pickle,
+bit-rot, a foreign file dropped into the directory, an entry renamed to
+the wrong fingerprint — is moved into ``<root>/quarantine/`` and treated
+as a miss: a sweep never crashes on a bad cache entry and never serves
+one either.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Optional
 
@@ -34,7 +43,12 @@ from repro.system.designs import MMUDesign
 from repro.system.run import SimulationResult
 
 #: Bump when the pickled record's shape changes; old entries then miss.
-SCHEMA_VERSION = 1
+#: Schema 2 wraps the result in a digest-verified envelope.
+SCHEMA_VERSION = 2
+
+#: Corrupt entries are moved here (relative to the cache root), keeping
+#: the evidence for post-mortems without ever re-serving it.
+QUARANTINE_DIR = "quarantine"
 
 
 def config_fingerprint(config: SoCConfig) -> str:
@@ -52,14 +66,20 @@ def point_fingerprint(
     design: MMUDesign,
     track_lifetimes: bool,
     config: SoCConfig,
+    check_invariants: bool = False,
 ) -> str:
-    """The complete cache key for one (workload × design) design point."""
+    """The complete cache key for one (workload × design) design point.
+
+    ``check_invariants`` is part of the key because audited runs carry
+    an extra ``invariants.audits`` counter in their results.
+    """
     blob = "\x1f".join([
         f"schema={SCHEMA_VERSION}",
         f"workload={workload}",
         f"scale={scale!r}",
         f"design={design!r}",
         f"track_lifetimes={track_lifetimes}",
+        f"check_invariants={check_invariants}",
         f"config={config!r}",
     ])
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -68,47 +88,148 @@ def point_fingerprint(
 class DiskCache:
     """A directory of pickled slim results, one file per fingerprint."""
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, counters=None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self.store_errors = 0
+        # Optional Counters bag (e.g. the observability registry's) that
+        # mirrors quarantine/store-error events for metrics export.
+        self._counters = counters
 
     def _path(self, fingerprint: str) -> Path:
         return self.root / f"{fingerprint}.pkl"
 
-    def load(self, fingerprint: str) -> Optional[SimulationResult]:
-        """Fetch a cached result, or ``None`` on miss/corruption."""
+    def _count(self, name: str) -> None:
+        if self._counters is not None:
+            self._counters.add(name)
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside; never crash doing so."""
+        target_dir = self.root / QUARANTINE_DIR
         try:
-            with open(self._path(fingerprint), "rb") as fh:
-                result = pickle.load(fh)
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            # Fall back to deletion; a corrupt entry must not be re-read.
+            try:
+                os.unlink(path)
+            except OSError:
+                return  # nothing more we can do; load() already missed
+        self.quarantined += 1
+        self._count("disk_cache.quarantined")
+        warnings.warn(
+            f"quarantined corrupt cache entry {path.name}: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def load(self, fingerprint: str) -> Optional[SimulationResult]:
+        """Fetch a cached result, or ``None`` on miss/corruption.
+
+        Corrupt or mismatched entries are quarantined (see module
+        docstring) and count as misses.
+        """
+        path = self._path(fingerprint)
+        try:
+            with open(path, "rb") as fh:
+                envelope = pickle.load(fh)
         except FileNotFoundError:
             self.misses += 1
             return None
+        except (KeyboardInterrupt, SystemExit):
+            raise
         except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError, IndexError):
-            # A truncated or stale-format entry is a miss, not an error.
+                AttributeError, ImportError, IndexError, MemoryError):
             self.misses += 1
+            self._quarantine(path, "unreadable pickle")
             return None
-        if not isinstance(result, SimulationResult):
+
+        reason = None
+        payload = None
+        if not isinstance(envelope, dict):
+            reason = f"not an envelope ({type(envelope).__name__})"
+        elif envelope.get("schema") != SCHEMA_VERSION:
+            reason = f"schema {envelope.get('schema')!r} != {SCHEMA_VERSION}"
+        elif envelope.get("fingerprint") != fingerprint:
+            reason = "fingerprint mismatch (entry stored under wrong name)"
+        else:
+            payload = envelope.get("payload")
+            if not isinstance(payload, bytes):
+                reason = "missing payload"
+            elif hashlib.sha256(payload).hexdigest() != envelope.get("digest"):
+                reason = "payload digest mismatch (bit rot or torn write)"
+        if reason is None:
+            try:
+                result = pickle.loads(payload)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                reason = "payload does not unpickle"
+            else:
+                if not isinstance(result, SimulationResult):
+                    reason = (
+                        f"payload is {type(result).__name__}, "
+                        f"not SimulationResult")
+        if reason is not None:
             self.misses += 1
+            self._quarantine(path, reason)
             return None
         self.hits += 1
         return result
 
     def store(self, fingerprint: str, result: SimulationResult) -> None:
-        """Persist ``result`` atomically under ``fingerprint``."""
-        fd, tmp = tempfile.mkstemp(dir=str(self.root), prefix=".tmp-")
+        """Persist ``result`` atomically under ``fingerprint``.
+
+        I/O failures (full disk, permissions, dying filesystem) are
+        counted and surfaced as a warning but do not abort the sweep —
+        losing a cache write only costs a recompute next time.
+        ``KeyboardInterrupt``/``SystemExit`` always propagate.
+        """
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "digest": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
+        try:
+            fd, tmp = tempfile.mkstemp(dir=str(self.root), prefix=".tmp-")
+        except OSError as exc:
+            self._store_failed(exc)
+            return
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, self._path(fingerprint))
+        except (KeyboardInterrupt, SystemExit):
+            self._discard_tmp(tmp)
+            raise
+        except OSError as exc:
+            self._discard_tmp(tmp)
+            self._store_failed(exc)
         except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            self._discard_tmp(tmp)
             raise
 
+    @staticmethod
+    def _discard_tmp(tmp: str) -> None:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+    def _store_failed(self, exc: OSError) -> None:
+        self.store_errors += 1
+        self._count("disk_cache.store_errors")
+        warnings.warn(
+            f"disk cache write failed ({exc}); result not persisted",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def __len__(self) -> int:
+        # Non-recursive on purpose: quarantined entries don't count.
         return sum(1 for _ in self.root.glob("*.pkl"))

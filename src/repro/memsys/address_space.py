@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 
 from repro.memsys.addressing import PAGE_SIZE, page_number
 from repro.memsys.page_table import FrameAllocator, PageTable
-from repro.memsys.permissions import Permissions
+from repro.memsys.permissions import PageFault, Permissions
 
 
 @dataclass
@@ -147,6 +147,45 @@ class AddressSpace:
         shared = Mapping(base_va=base, n_pages=mapping.n_pages, permissions=mapping.permissions)
         other.mappings.append(shared)
         return shared
+
+    # -- OS-style page events (fault injection / chaos testing) -------------
+    def remap_page(self, vpn: int) -> int:
+        """Move one 4 KB page to a fresh physical frame (page migration).
+
+        Keeps the page's permissions; returns the new PPN.  The caller is
+        responsible for the accompanying TLB shootdown (or, for designs
+        that tolerate it, deliberately skipping one).
+        """
+        translation = self.page_table.lookup(vpn)
+        if translation is None:
+            raise PageFault(vpn, self.asid)
+        _, permissions = translation
+        if not self.page_table.unmap(vpn):
+            raise ValueError(
+                f"page {vpn:#x} is part of a 2 MB mapping and cannot be "
+                f"remapped at 4 KB granularity")
+        new_ppn = self.frames.allocate()
+        self.page_table.map(vpn, new_ppn, permissions)
+        return new_ppn
+
+    def unmap_page(self, vpn: int) -> Permissions:
+        """Page out one 4 KB page; returns its prior permissions."""
+        translation = self.page_table.lookup(vpn)
+        if translation is None:
+            raise PageFault(vpn, self.asid)
+        _, permissions = translation
+        if not self.page_table.unmap(vpn):
+            raise ValueError(
+                f"page {vpn:#x} is part of a 2 MB mapping and cannot be "
+                f"unmapped at 4 KB granularity")
+        return permissions
+
+    def page_in(self, vpn: int,
+                permissions: Permissions = Permissions.READ_WRITE) -> int:
+        """Back a previously unmapped page with a fresh frame."""
+        new_ppn = self.frames.allocate()
+        self.page_table.map(vpn, new_ppn, permissions)
+        return new_ppn
 
     # -- introspection ------------------------------------------------------
     def translate(self, va: int) -> Optional[int]:

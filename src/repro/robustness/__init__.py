@@ -1,0 +1,33 @@
+"""Robustness layer: fault injection, invariant auditing, checkpointing.
+
+Three independent tools that together back the chaos-testing story:
+
+* :mod:`repro.robustness.fault_plan` — deterministic VM-event fault
+  injection (shootdowns, remaps, unmaps, permission downgrades) driven
+  through any hierarchy's shootdown paths;
+* :mod:`repro.robustness.invariants` — opt-in structural audits of the
+  FBT/ASDT/cache state, failing fast with a diagnostic dump;
+* :mod:`repro.robustness.checkpoint` — crash-safe checkpoint/resume for
+  experiment sweeps.
+"""
+
+from repro.robustness.checkpoint import CheckpointStore
+from repro.robustness.fault_plan import KINDS, FaultEvent, FaultInjector, FaultPlan
+from repro.robustness.invariants import (
+    InvariantAuditor,
+    InvariantViolation,
+    audit_hierarchy,
+    check_hierarchy,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "audit_hierarchy",
+    "check_hierarchy",
+]

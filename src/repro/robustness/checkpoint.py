@@ -1,0 +1,99 @@
+"""Crash-safe sweep checkpointing.
+
+``ResultCache.run_many`` appends each completed point to a checkpoint
+file as it lands, so a sweep killed at any moment — including mid-write —
+restarts with zero lost work.  The format is an append-only sequence of
+self-verifying records:
+
+    magic ``RPCK`` | u32 payload length | 16-byte SHA-256 prefix | payload
+
+where the payload is the pickled ``(fingerprint, result)`` pair.  Loads
+verify each record's digest and stop at the first damaged one, truncating
+the file back to the last good boundary so subsequent appends never land
+inside torn garbage.  Fingerprints are the same
+:func:`~repro.experiments.disk_cache.point_fingerprint` strings the disk
+cache uses, so a checkpoint is portable across processes and sessions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+from typing import Dict
+
+MAGIC = b"RPCK"
+_LEN = struct.Struct("<I")
+_DIGEST_BYTES = 16
+_HEADER_BYTES = len(MAGIC) + _LEN.size + _DIGEST_BYTES
+
+
+class CheckpointStore:
+    """Append-only store of completed sweep points."""
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self.appended = 0
+        self.loaded = 0
+        # Bytes discarded by torn-tail repair on the last load().
+        self.repaired_bytes = 0
+
+    def append(self, fingerprint: str, result) -> None:
+        """Durably record one completed point."""
+        payload = pickle.dumps((fingerprint, result),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        record = (MAGIC + _LEN.pack(len(payload))
+                  + hashlib.sha256(payload).digest()[:_DIGEST_BYTES]
+                  + payload)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "ab") as handle:
+            handle.write(record)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.appended += 1
+
+    def load(self) -> Dict[str, object]:
+        """Replay the checkpoint: fingerprint → result (later wins).
+
+        Damaged or torn records end the scan; the file is truncated back
+        to the last intact record so future appends stay parseable.
+        """
+        self.loaded = 0
+        self.repaired_bytes = 0
+        results: Dict[str, object] = {}
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return results
+        offset = 0
+        good_end = 0
+        while offset + _HEADER_BYTES <= len(data):
+            if data[offset:offset + len(MAGIC)] != MAGIC:
+                break
+            length_at = offset + len(MAGIC)
+            (length,) = _LEN.unpack(data[length_at:length_at + _LEN.size])
+            digest_at = length_at + _LEN.size
+            payload_at = digest_at + _DIGEST_BYTES
+            payload_end = payload_at + length
+            if payload_end > len(data):
+                break  # torn tail: the final append was interrupted
+            payload = data[payload_at:payload_end]
+            if hashlib.sha256(payload).digest()[:_DIGEST_BYTES] != \
+                    data[digest_at:payload_at]:
+                break
+            try:
+                fingerprint, result = pickle.loads(payload)
+            except Exception:
+                break
+            results[str(fingerprint)] = result
+            self.loaded += 1
+            offset = good_end = payload_end
+        if good_end < len(data):
+            self.repaired_bytes = len(data) - good_end
+            with open(self.path, "rb+") as handle:
+                handle.truncate(good_end)
+        return results

@@ -1,0 +1,380 @@
+"""Simulator invariant auditing (opt-in ``--check-invariants``).
+
+The virtual-cache design rests on structural invariants the paper states
+but a simulator can silently violate (§4.1–§4.2): every physical page
+with data anywhere in the hierarchy has exactly one *leading* virtual
+page, the FT and BT stay a bijection, BT line bit-vectors mirror L2
+residency exactly, and the per-L1 invalidation filters count exactly the
+lines each L1 holds.  A bug in any of these produces *subtly wrong
+figures*, not crashes — data served under two virtual names, inclusion
+orders that miss lines, filters that stop flushing.
+
+:func:`audit_hierarchy` recomputes all of this from first principles
+(walking the caches line by line) and returns a list of violation
+strings; :func:`check_hierarchy` raises :class:`InvariantViolation` with
+a diagnostic dump.  The audit is strictly read-only — it never touches
+LRU order, hit/miss counters, or FT/BT lookup statistics — so auditing
+mid-run cannot perturb simulated behaviour.
+
+The checks are deliberately exhaustive rather than fast; they run only
+under ``--check-invariants`` (every N instructions plus once at end of
+run) and never on the default hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+_ASID_SHIFT = 52
+_ASID_MASK = (1 << _ASID_SHIFT) - 1
+
+#: Violations reported in full before the dump truncates.
+MAX_REPORTED = 25
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant failed; carries a diagnostic dump."""
+
+    def __init__(self, hierarchy, where: str, problems: List[str]) -> None:
+        self.where = where
+        self.problems = list(problems)
+        super().__init__(_diagnostic_dump(hierarchy, where, self.problems))
+
+
+def _diagnostic_dump(hierarchy, where: str, problems: List[str]) -> str:
+    shown = problems[:MAX_REPORTED]
+    lines = [
+        f"{len(problems)} invariant violation(s) in "
+        f"{type(hierarchy).__name__} at {where}:",
+    ]
+    lines.extend(f"  - {p}" for p in shown)
+    if len(problems) > len(shown):
+        lines.append(f"  ... and {len(problems) - len(shown)} more")
+    lines.append("state: " + _state_summary(hierarchy))
+    return "\n".join(lines)
+
+
+def _state_summary(hierarchy) -> str:
+    parts = []
+    l1s = getattr(hierarchy, "l1s", None)
+    if l1s:
+        parts.append(f"l1 lines={[len(l1) for l1 in l1s]}")
+    l2 = getattr(hierarchy, "l2", None)
+    if l2 is not None:
+        parts.append(f"l2 lines={len(l2)}")
+    fbt = getattr(hierarchy, "fbt", None)
+    if fbt is not None:
+        parts.append(fbt.state_summary())
+    asdt = getattr(hierarchy, "asdt", None)
+    if asdt is not None:
+        parts.append(f"ASDT entries={len(asdt)}")
+    tlbs = getattr(hierarchy, "per_cu_tlbs", None)
+    if tlbs:
+        parts.append(f"tlb entries={[len(t) for t in tlbs]}")
+    return ", ".join(parts) if parts else "(no inspectable state)"
+
+
+def _split_page(page: int) -> Tuple[int, int]:
+    return page >> _ASID_SHIFT, page & _ASID_MASK
+
+
+# -- generic cache bookkeeping -------------------------------------------
+
+def _audit_cache(cache, label: str) -> List[str]:
+    """Recount a :class:`~repro.memsys.cache.Cache`'s derived state."""
+    problems: List[str] = []
+    n_resident = 0
+    page_counts: Dict[int, int] = {}
+    for set_index, cache_set in enumerate(cache._sets):
+        if len(cache_set) > cache._associativity:
+            problems.append(
+                f"{label}: set {set_index} holds {len(cache_set)} lines "
+                f"(associativity {cache._associativity})")
+        for line_addr, line in cache_set.items():
+            n_resident += 1
+            if line.line_addr != line_addr:
+                problems.append(
+                    f"{label}: line keyed {line_addr:#x} records "
+                    f"line_addr {line.line_addr:#x}")
+            if (line_addr & cache._set_mask) != set_index:
+                problems.append(
+                    f"{label}: line {line_addr:#x} stored in set "
+                    f"{set_index}, indexes to {line_addr & cache._set_mask}")
+            if line.page is not None:
+                page_counts[line.page] = page_counts.get(line.page, 0) + 1
+    if n_resident != cache._n_resident:
+        problems.append(
+            f"{label}: resident-line count {cache._n_resident} but "
+            f"{n_resident} lines are actually resident")
+    if page_counts != cache._page_lines:
+        extra = set(cache._page_lines) - set(page_counts)
+        missing = set(page_counts) - set(cache._page_lines)
+        problems.append(
+            f"{label}: per-page line counts diverge from residency "
+            f"(stale pages: {sorted(extra)[:4]}, "
+            f"untracked pages: {sorted(missing)[:4]})")
+    return problems
+
+
+def _audit_tlbs(hierarchy) -> List[str]:
+    problems: List[str] = []
+    for tlb in getattr(hierarchy, "per_cu_tlbs", None) or ():
+        if tlb.capacity is not None and len(tlb) > tlb.capacity:
+            problems.append(
+                f"{tlb.name}: {len(tlb)} entries exceed capacity "
+                f"{tlb.capacity}")
+    iommu = getattr(hierarchy, "iommu", None)
+    if iommu is not None:
+        shared = iommu.shared_tlb
+        if shared.capacity is not None and len(shared) > shared.capacity:
+            problems.append(
+                f"{shared.name}: {len(shared)} entries exceed capacity "
+                f"{shared.capacity}")
+    return problems
+
+
+# -- full virtual hierarchy (FBT) ----------------------------------------
+
+def _audit_virtual(h) -> List[str]:
+    problems: List[str] = []
+    problems += _audit_cache(h.l2, "vl2")
+    problems += _audit_tlbs(h)
+    lpp = h._lpp
+    fbt = h.fbt
+    ft_items = fbt.ft.items()
+    bt_entries = fbt.bt.entries()
+    counter_mode = fbt.large_page_policy == fbt.COUNTER_POLICY
+
+    # FT ↔ BT bijection: same cardinality, every FT key names its entry's
+    # leading page, every BT entry is reachable from the FT, and each
+    # physical page appears exactly once.
+    if len(ft_items) != len(bt_entries):
+        problems.append(
+            f"FT has {len(ft_items)} entries but BT has {len(bt_entries)} — "
+            f"the tables must pair 1:1")
+    ft_index = dict(ft_items)
+    for key, entry in ft_items:
+        if entry.leading_key != key:
+            problems.append(
+                f"FT key {key} maps to BT entry leading {entry.leading_key}")
+        if fbt.bt.peek(entry.ppn) is not entry:
+            problems.append(
+                f"FT entry for {key} (ppn {entry.ppn:#x}) is not the live "
+                f"BT entry for that ppn")
+    leading_seen: Set[Tuple[int, int]] = set()
+    for entry in bt_entries:
+        if entry.leading_key in leading_seen:
+            problems.append(
+                f"leading page {entry.leading_key} owned by two BT entries — "
+                f"a physical line would be reachable under two leading VPNs")
+        leading_seen.add(entry.leading_key)
+        if ft_index.get(entry.leading_key) is not entry:
+            problems.append(
+                f"BT entry ppn {entry.ppn:#x} (leading {entry.leading_key}) "
+                f"has no matching FT entry")
+
+    def entry_for(asid: int, vpn: int):
+        entry = ft_index.get((asid, vpn))
+        if entry is None and counter_mode:
+            from repro.memsys.addressing import large_page_base_vpn
+            entry = ft_index.get((asid, large_page_base_vpn(vpn)))
+        return entry
+
+    # L2 inclusion: each resident virtual line resolves through the FT to
+    # exactly one BT entry, and bit-vector entries mirror residency exactly.
+    observed_bits: Dict[int, Set[int]] = {}
+    observed_counts: Dict[int, int] = {}
+    for line in h.l2.resident_lines():
+        asid = line.line_addr >> _ASID_SHIFT
+        vline = line.line_addr & _ASID_MASK
+        vpn, index = divmod(vline, lpp)
+        if line.page != ((asid << _ASID_SHIFT) | vpn):
+            problems.append(
+                f"vl2 line {line.line_addr:#x} records page {line.page}, "
+                f"expected {(asid << _ASID_SHIFT) | vpn:#x}")
+        entry = entry_for(asid, vpn)
+        if entry is None:
+            problems.append(
+                f"vl2 line {line.line_addr:#x} (asid {asid}, vpn {vpn:#x}) "
+                f"has no FBT entry — inclusion broken")
+            continue
+        if entry.tracking == "bitvector":
+            observed_bits.setdefault(id(entry), set()).add(index)
+        else:
+            observed_counts[id(entry)] = observed_counts.get(id(entry), 0) + 1
+    for entry in bt_entries:
+        if entry.tracking == "bitvector":
+            expected = observed_bits.get(id(entry), set())
+            recorded = {i for i in range(lpp) if entry.line_bits & (1 << i)}
+            if recorded != expected:
+                problems.append(
+                    f"BT entry ppn {entry.ppn:#x} bit vector marks lines "
+                    f"{sorted(recorded)} but the L2 holds {sorted(expected)}")
+            if entry.line_count != len(recorded):
+                problems.append(
+                    f"BT entry ppn {entry.ppn:#x} line_count "
+                    f"{entry.line_count} != popcount {len(recorded)}")
+        else:
+            # Counter-mode entries are conservative upper bounds (§4.3).
+            observed = observed_counts.get(id(entry), 0)
+            if entry.line_count < observed:
+                problems.append(
+                    f"counter-mode BT entry ppn {entry.ppn:#x} counts "
+                    f"{entry.line_count} lines but the L2 holds {observed}")
+            if entry.line_count < 0:
+                problems.append(
+                    f"counter-mode BT entry ppn {entry.ppn:#x} has negative "
+                    f"line_count {entry.line_count}")
+
+    # L1 side: each filter counts exactly the lines its L1 holds, and
+    # every cached page is still covered by a live FBT entry.
+    for cu_id, (l1, fltr) in enumerate(zip(h.l1s, h.filters)):
+        problems += _audit_cache(l1, f"vl1[{cu_id}]")
+        counts: Dict[Tuple[int, int], int] = {}
+        for line in l1.resident_lines():
+            if line.page is None:
+                problems.append(
+                    f"vl1[{cu_id}] line {line.line_addr:#x} has no owning page")
+                continue
+            asid, vpn = _split_page(line.page)
+            key_vpn = (line.line_addr & _ASID_MASK) // lpp
+            if (line.line_addr >> _ASID_SHIFT, key_vpn) != (asid, vpn):
+                problems.append(
+                    f"vl1[{cu_id}] line {line.line_addr:#x} belongs to page "
+                    f"({asid}, {vpn:#x}) but its key encodes "
+                    f"({line.line_addr >> _ASID_SHIFT}, {key_vpn:#x})")
+            counts[(asid, vpn)] = counts.get((asid, vpn), 0) + 1
+            if entry_for(asid, vpn) is None:
+                problems.append(
+                    f"vl1[{cu_id}] holds a line of (asid {asid}, vpn "
+                    f"{vpn:#x}) with no FBT entry — a shootdown would miss it")
+        snapshot = fltr.snapshot()
+        if snapshot != counts:
+            stale = set(snapshot) - set(counts)
+            untracked = set(counts) - set(snapshot)
+            wrong = {k for k in set(snapshot) & set(counts)
+                     if snapshot[k] != counts[k]}
+            problems.append(
+                f"invalidation filter[{cu_id}] diverges from L1 residency "
+                f"(stale: {sorted(stale)[:4]}, untracked: "
+                f"{sorted(untracked)[:4]}, miscounted: {sorted(wrong)[:4]})")
+
+    # Synonym remap tables must only point at live leading pages.
+    for srt in getattr(h, "srts", None) or ():
+        for source, target in srt.entries():
+            if ft_index.get(target) is None:
+                problems.append(
+                    f"{srt.name}: remap {source} → {target} targets a dead "
+                    f"leading page")
+    return problems
+
+
+# -- L1-only virtual hierarchy (ASDT) ------------------------------------
+
+def _audit_l1_only(h) -> List[str]:
+    problems: List[str] = []
+    problems += _audit_cache(h.l2, "l2")
+    problems += _audit_tlbs(h)
+    asdt = h.asdt
+    by_ppn = asdt._by_ppn
+    by_leading = asdt._by_leading
+
+    if len(by_ppn) != len(by_leading):
+        problems.append(
+            f"ASDT: {len(by_ppn)} ppn entries but {len(by_leading)} leading "
+            f"keys — the indexes must pair 1:1")
+    for ppn, entry in by_ppn.items():
+        if entry.ppn != ppn:
+            problems.append(
+                f"ASDT entry keyed ppn {ppn:#x} records ppn {entry.ppn:#x}")
+        if by_leading.get((entry.leading_asid, entry.leading_vpn)) != ppn:
+            problems.append(
+                f"ASDT leading index for ({entry.leading_asid}, "
+                f"{entry.leading_vpn:#x}) does not point back at ppn {ppn:#x}")
+        if entry.resident_lines <= 0:
+            problems.append(
+                f"ASDT entry ppn {ppn:#x} has {entry.resident_lines} "
+                f"resident lines but is still tracked")
+    for key, ppn in by_leading.items():
+        entry = by_ppn.get(ppn)
+        if entry is None or (entry.leading_asid, entry.leading_vpn) != key:
+            problems.append(
+                f"ASDT leading key {key} points at ppn {ppn:#x} which does "
+                f"not lead back")
+
+    counts: Dict[Tuple[int, int], int] = {}
+    for cu_id, l1 in enumerate(h.l1s):
+        problems += _audit_cache(l1, f"vl1[{cu_id}]")
+        for line in l1.resident_lines():
+            if line.page is None:
+                problems.append(
+                    f"vl1[{cu_id}] line {line.line_addr:#x} has no owning page")
+                continue
+            key = _split_page(line.page)
+            counts[key] = counts.get(key, 0) + 1
+            if key not in by_leading:
+                problems.append(
+                    f"vl1[{cu_id}] holds a line of leading page {key} the "
+                    f"ASDT does not track")
+    for ppn, entry in by_ppn.items():
+        key = (entry.leading_asid, entry.leading_vpn)
+        if counts.get(key, 0) != entry.resident_lines:
+            problems.append(
+                f"ASDT entry ppn {ppn:#x} counts {entry.resident_lines} "
+                f"resident lines but the L1s hold {counts.get(key, 0)}")
+    return problems
+
+
+# -- physical hierarchy ---------------------------------------------------
+
+def _audit_physical(h) -> List[str]:
+    problems: List[str] = []
+    for cu_id, l1 in enumerate(getattr(h, "l1s", None) or ()):
+        problems += _audit_cache(l1, f"l1[{cu_id}]")
+    l2 = getattr(h, "l2", None)
+    if l2 is not None:
+        problems += _audit_cache(l2, "l2")
+    problems += _audit_tlbs(h)
+    return problems
+
+
+# -- entry points ---------------------------------------------------------
+
+def audit_hierarchy(hierarchy) -> List[str]:
+    """All invariant violations in ``hierarchy`` (empty list = clean).
+
+    Dispatches on the hierarchy's class; wrappers (the chaos fault
+    injector) expose the real hierarchy via an ``audit_target``
+    attribute.
+    """
+    from repro.core.l1_only import L1OnlyVirtualHierarchy
+    from repro.core.virtual_hierarchy import VirtualCacheHierarchy
+
+    target = getattr(hierarchy, "audit_target", hierarchy)
+    if isinstance(target, VirtualCacheHierarchy):
+        return _audit_virtual(target)
+    if isinstance(target, L1OnlyVirtualHierarchy):
+        return _audit_l1_only(target)
+    return _audit_physical(target)
+
+
+def check_hierarchy(hierarchy, where: str = "audit") -> None:
+    """Raise :class:`InvariantViolation` if any invariant is broken."""
+    problems = audit_hierarchy(hierarchy)
+    if problems:
+        raise InvariantViolation(
+            getattr(hierarchy, "audit_target", hierarchy), where, problems)
+
+
+class InvariantAuditor:
+    """Periodic audit driver used by ``simulate(check_invariants=True)``."""
+
+    def __init__(self, interval: int = 2048) -> None:
+        if interval < 1:
+            raise ValueError("audit interval must be >= 1")
+        self.interval = interval
+        self.audits = 0
+
+    def audit(self, hierarchy, where: str) -> None:
+        self.audits += 1
+        check_hierarchy(hierarchy, where)

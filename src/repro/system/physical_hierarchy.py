@@ -307,6 +307,28 @@ class PhysicalHierarchy:
         if self.lifetimes is not None:
             self.lifetimes["l2"].on_access(physical_line, now)
 
+    # -- software-visible operations ------------------------------------------
+    def shootdown(self, asid: int, vpn: int, now: float = 0.0) -> bool:
+        """Single-entry TLB shootdown across the per-CU TLBs and the IOMMU.
+
+        The physical caches are untouched: frames are never reused by
+        the allocator, so stale lines under a dead translation can never
+        be reached again.  Returns True if any translation was dropped.
+        """
+        key = (asid << 52) | vpn
+        dropped = False
+        for tlb in self.per_cu_tlbs:
+            if tlb.invalidate(key, now):
+                dropped = True
+        if self.iommu.invalidate(vpn, asid):
+            dropped = True
+        return dropped
+
+    def shootdown_all(self, now: float = 0.0) -> int:
+        """All-entry shootdown; returns the number of translations dropped."""
+        dropped = sum(tlb.invalidate_all(now) for tlb in self.per_cu_tlbs)
+        return dropped + self.iommu.invalidate_all()
+
     # -- aggregate statistics ---------------------------------------------------
     def per_cu_tlb_miss_ratio(self) -> float:
         accesses = sum(t.accesses for t in self.per_cu_tlbs)

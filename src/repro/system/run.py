@@ -161,6 +161,8 @@ def simulate(
     start_time: float = 0.0,
     obs=None,
     manifest_out=None,
+    check_invariants: bool = False,
+    invariant_interval: int = 2048,
 ) -> SimulationResult:
     """Run ``trace`` through ``hierarchy`` and collect statistics.
 
@@ -184,9 +186,23 @@ def simulate(
     ``manifest_out``, if given, is a path where a JSON run manifest
     (config, workload, design, git SHA, wall-clock, all metrics) is
     written after the run.
+
+    ``check_invariants`` audits the hierarchy's structural invariants
+    (FT↔BT bijection, inclusion bit vectors, filter counts — see
+    :mod:`repro.robustness.invariants`) every ``invariant_interval``
+    instructions and once at end of run, raising
+    :class:`~repro.robustness.invariants.InvariantViolation` with a
+    diagnostic dump on the first inconsistency.  Off by default: the
+    only hot-path cost when disabled is one ``is not None`` test per
+    instruction.
     """
     if start_time < 0:
         raise ValueError("start_time must be nonnegative")
+    auditor = None
+    if check_invariants:
+        from repro.robustness.invariants import InvariantAuditor
+
+        auditor = InvariantAuditor(interval=invariant_interval)
     wall_start = time.perf_counter()
     if obs is None:
         obs = getattr(hierarchy, "obs", None)
@@ -255,6 +271,8 @@ def simulate(
         if requests is None:
             reqs = coalesced[cu_id][cursors[cu_id]]
             total_instructions += 1
+            if auditor is not None and total_instructions % auditor.interval == 0:
+                auditor.audit(hierarchy, f"instruction {total_instructions}")
             if reqs is None:  # scratchpad instruction
                 requests = pending[cu_id] = []
                 pending_scratch[cu_id] = True
@@ -310,8 +328,12 @@ def simulate(
         if drain > end_time:
             end_time = drain
     hierarchy.finish(end_time)
+    if auditor is not None:
+        auditor.audit(hierarchy, "end of run")
 
     counters = dict(hierarchy.counters.as_dict())
+    if auditor is not None:
+        counters["invariants.audits"] = auditor.audits
     iommu = getattr(hierarchy, "iommu", None)
     iommu_rate = None
     if iommu is not None:

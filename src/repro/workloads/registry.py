@@ -86,6 +86,26 @@ def load(name: str, scale: Optional[float] = None, seed: Optional[int] = None) -
     return _cache[key]
 
 
+def load_fresh(name: str, scale: Optional[float] = None,
+               seed: Optional[int] = None) -> Trace:
+    """Build a private, non-memoized trace instance.
+
+    Fault injection mutates the trace's page table (remaps, unmaps), so
+    chaos runs must never share the memoized instance other experiments
+    see.  The fresh trace is not entered into the cache either.
+    """
+    if name not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
+        )
+    if scale is None:
+        scale = default_scale()
+    kwargs = {"scale": scale}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return WORKLOADS[name](**kwargs)
+
+
 def load_many(names, scale: Optional[float] = None) -> List[Trace]:
     """Traces for several workloads (memoized)."""
     return [load(name, scale=scale) for name in names]

@@ -22,7 +22,12 @@ import numpy as np
 
 from repro.memsys.address_space import AddressSpace
 from repro.memsys.permissions import Permissions
-from repro.workloads.trace import MemoryInstruction, Trace
+from repro.workloads.trace import (
+    MemoryInstruction,
+    Trace,
+    TraceValidationError,
+    validate_trace,
+)
 
 FORMAT_VERSION = 1
 
@@ -87,7 +92,13 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
 
 
 def load_trace(path: Union[str, Path]) -> Trace:
-    """Reload a trace saved by :func:`save_trace`."""
+    """Reload a trace saved by :func:`save_trace`.
+
+    The file's contents are validated before a trace is built — a
+    truncated, bit-rotted, or foreign file raises
+    :class:`~repro.workloads.trace.TraceValidationError` with the
+    specific problem rather than producing a silently-wrong simulation.
+    """
     with np.load(Path(path)) as data:
         meta = json.loads(bytes(data["meta"]).decode())
         if meta["version"] != FORMAT_VERSION:
@@ -98,6 +109,7 @@ def load_trace(path: Union[str, Path]) -> Trace:
         lane_counts = data["lane_counts"]
         flags = data["flags"]
         lanes = data["lanes"]
+    _validate_arrays(path, meta, cu_ids, lane_counts, flags, lanes)
 
     # Rebuild the address space by replaying the allocations.
     space = AddressSpace(asid=meta["asid"])
@@ -128,10 +140,46 @@ def load_trace(path: Union[str, Path]) -> Trace:
             scratchpad=bool(flag & 2),
         ))
     per_cu = [s for s in per_cu if s]
-    return Trace(
+    return validate_trace(Trace(
         name=meta["name"],
         per_cu=per_cu,
         address_space=space,
         issue_interval=meta["issue_interval"],
         metadata=meta["metadata"],
-    )
+    ))
+
+
+def _validate_arrays(path, meta, cu_ids, lane_counts, flags, lanes) -> None:
+    """Reject a structurally broken trace file before building anything."""
+    where = f"trace file {str(path)!r}"
+    n_cus = int(meta.get("n_cus", 0))
+    if n_cus <= 0:
+        raise TraceValidationError(f"{where}: n_cus must be positive")
+    n = len(cu_ids)
+    if n == 0:
+        raise TraceValidationError(f"{where}: empty trace (zero instructions)")
+    if len(lane_counts) != n or len(flags) != n:
+        raise TraceValidationError(
+            f"{where}: per-instruction arrays disagree on length "
+            f"({n} cu_ids, {len(lane_counts)} lane_counts, {len(flags)} flags)")
+    if int(lane_counts.min()) <= 0:
+        raise TraceValidationError(
+            f"{where}: instruction with non-positive lane count "
+            f"{int(lane_counts.min())}")
+    if int(cu_ids.min()) < 0 or int(cu_ids.max()) >= n_cus:
+        raise TraceValidationError(
+            f"{where}: CU id out of range 0..{n_cus - 1}")
+    unknown = int(np.bitwise_and(flags, ~np.int8(3)).any())
+    if unknown:
+        bad = int(flags[np.bitwise_and(flags, ~np.int8(3)) != 0][0])
+        raise TraceValidationError(
+            f"{where}: unknown access kind (flag byte {bad:#x}; only "
+            f"is_write=1 and scratchpad=2 are defined)")
+    total_lanes = int(lane_counts.sum())
+    if total_lanes != len(lanes):
+        raise TraceValidationError(
+            f"{where}: lane array holds {len(lanes)} addresses but "
+            f"instructions claim {total_lanes} (truncated file?)")
+    if len(lanes) and int(lanes.min()) < 0:
+        raise TraceValidationError(
+            f"{where}: negative lane address {int(lanes.min())}")

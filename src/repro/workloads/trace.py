@@ -23,6 +23,37 @@ from repro.memsys.address_space import AddressSpace
 from repro.memsys.addressing import DEFAULT_LINE_SIZE, PAGE_SIZE, line_address, page_number
 
 
+class TraceValidationError(ValueError):
+    """A trace (usually deserialized) is structurally invalid."""
+
+
+def validate_trace(trace: "Trace") -> "Trace":
+    """Check a trace for structural sanity; returns it for chaining.
+
+    Traces built by the in-tree generators are valid by construction,
+    but deserialized ones come from a file that may be truncated,
+    corrupted, or written by foreign tooling.  Raises
+    :class:`TraceValidationError` on the first problem: an empty trace
+    (zero instructions), or a lane address that is not a nonnegative
+    integer.
+    """
+    if trace.n_instructions == 0:
+        raise TraceValidationError(
+            f"trace {trace.name!r} is empty (zero instructions)")
+    for cu_id, stream in enumerate(trace.per_cu):
+        for i, inst in enumerate(stream):
+            for addr in inst.addresses:
+                if not isinstance(addr, int) or isinstance(addr, bool):
+                    raise TraceValidationError(
+                        f"trace {trace.name!r}: CU {cu_id} instruction {i} "
+                        f"has non-integer lane address {addr!r}")
+                if addr < 0:
+                    raise TraceValidationError(
+                        f"trace {trace.name!r}: CU {cu_id} instruction {i} "
+                        f"has negative lane address {addr}")
+    return trace
+
+
 @dataclass(frozen=True)
 class MemoryInstruction:
     """One dynamic GPU load/store with its per-lane addresses."""

@@ -11,15 +11,22 @@ from __future__ import annotations
 
 import dataclasses
 import gc
+import os
 import pickle
+import signal
+import subprocess
+import sys
+import time
 import weakref
+from pathlib import Path
 
 import pytest
 
-from repro.experiments import fig4
-from repro.experiments.common import ResultCache
+from repro.experiments import common, fig4
+from repro.experiments.common import PointFailure, ResultCache, SweepError
 from repro.experiments.disk_cache import DiskCache, point_fingerprint
 from repro.obs import Observability
+from repro.robustness.checkpoint import CheckpointStore
 from repro.system.designs import (
     BASELINE_512,
     BASELINE_16K,
@@ -31,6 +38,63 @@ TINY = 0.05
 WORKLOADS = ("kmeans", "pagerank")
 DESIGNS = (IDEAL_MMU, BASELINE_512, VC_WITH_OPT)
 POINTS = [(w, d) for w in WORKLOADS for d in DESIGNS]
+
+# The pool pickles submitted callables *by name*, so the crash wrappers
+# below must live at module level.  They are parameterized through the
+# module global `_FAULT_DIR` (a directory of per-point sentinel files),
+# which forked workers inherit; a wrapper misbehaves only until its
+# point's sentinel exists, making every failure transient and the retry
+# observable.
+_FAULT_DIR = None
+_REAL_SIMULATE_POINT = common._simulate_point
+
+
+def _sentinel(workload, design):
+    return Path(_FAULT_DIR) / f"{workload}-{design.name}".replace(" ", "_")
+
+
+def _arm(workload, design):
+    """True exactly once per (workload, design): on the first attempt."""
+    sentinel = _sentinel(workload, design)
+    if sentinel.exists():
+        return False
+    sentinel.write_text("tripped")
+    return True
+
+
+def _raise_once_point(config, scale, workload, design, *rest):
+    if _arm(workload, design):
+        raise RuntimeError("injected transient worker crash")
+    return _REAL_SIMULATE_POINT(config, scale, workload, design, *rest)
+
+
+def _is_target(workload, design):
+    # A SIGKILL or hang fails the *whole round* (the pool is torn down),
+    # charging one attempt to every pending point — so only one point
+    # misbehaves, keeping every point within its retry budget.
+    return workload == "kmeans" and design.name == IDEAL_MMU.name
+
+
+def _sigkill_once_point(config, scale, workload, design, *rest):
+    if _is_target(workload, design) and _arm(workload, design):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _REAL_SIMULATE_POINT(config, scale, workload, design, *rest)
+
+
+def _hang_once_point(config, scale, workload, design, *rest):
+    if _is_target(workload, design) and _arm(workload, design):
+        time.sleep(600)
+    return _REAL_SIMULATE_POINT(config, scale, workload, design, *rest)
+
+
+def _always_fail_point(config, scale, workload, design, *rest):
+    raise RuntimeError("injected permanent worker crash")
+
+
+@pytest.fixture
+def fault_dir(tmp_path, monkeypatch):
+    monkeypatch.setattr(sys.modules[__name__], "_FAULT_DIR", str(tmp_path))
+    return tmp_path
 
 
 def slim_view(result):
@@ -221,3 +285,111 @@ class TestSlimResults:
         assert warm.simulations_run == 1
         assert live.hierarchy is not None
         assert slim_view(live) == slim_view(slim)
+
+
+def _serial_reference():
+    serial = ResultCache(scale=TINY)
+    return [slim_view(serial.run(w, d)) for w, d in POINTS]
+
+
+class TestFaultTolerantSweeps:
+    def test_crashing_worker_is_retried_bit_identically(
+            self, fault_dir, monkeypatch):
+        # Every point's worker raises on its first attempt; the sweep
+        # must retry each one and still match serial bit for bit.
+        monkeypatch.setattr(common, "_simulate_point", _raise_once_point)
+        cache = ResultCache(scale=TINY, retry_backoff=0.0)
+        results = cache.run_many(POINTS, jobs=2)
+        assert cache.simulations_run == len(POINTS)
+        assert [slim_view(r) for r in results] == _serial_reference()
+
+    def test_sigkilled_worker_is_retried_bit_identically(
+            self, fault_dir, monkeypatch):
+        monkeypatch.setattr(common, "_simulate_point", _sigkill_once_point)
+        cache = ResultCache(scale=TINY, retry_backoff=0.0)
+        results = cache.run_many(POINTS, jobs=2)
+        assert [slim_view(r) for r in results] == _serial_reference()
+
+    def test_hung_worker_is_killed_and_retried(self, fault_dir, monkeypatch):
+        monkeypatch.setattr(common, "_simulate_point", _hang_once_point)
+        cache = ResultCache(scale=TINY, retry_backoff=0.0, point_timeout=10.0)
+        start = time.monotonic()
+        results = cache.run_many(POINTS, jobs=2)
+        assert time.monotonic() - start < 300  # nowhere near the 600s hang
+        assert [slim_view(r) for r in results] == _serial_reference()
+
+    def test_exhausted_retries_raise_sweep_error(self, monkeypatch):
+        monkeypatch.setattr(common, "_simulate_point", _always_fail_point)
+        cache = ResultCache(scale=TINY, retry_backoff=0.0, point_retries=1)
+        with pytest.raises(SweepError) as excinfo:
+            cache.run_many(POINTS, jobs=2)
+        failures = excinfo.value.failures
+        assert all(isinstance(f, PointFailure) for f in failures)
+        assert all(f.attempts == 2 for f in failures)  # 1 try + 1 retry
+        assert "injected permanent worker crash" in str(excinfo.value)
+
+
+class TestCheckpointResume:
+    def test_resume_skips_completed_points(self, tmp_path):
+        ckpt = str(tmp_path / "sweep.ckpt")
+        first = ResultCache(scale=TINY, checkpoint=ckpt)
+        first.run_many(POINTS[:2], jobs=2)
+        assert first.simulations_run == 2
+
+        resumed = ResultCache(scale=TINY, checkpoint=ckpt)
+        results = resumed.run_many(POINTS, jobs=2)
+        assert resumed.simulations_run == len(POINTS) - 2
+        assert [slim_view(r) for r in results] == _serial_reference()
+
+    def test_parallel_sweep_checkpoints_every_point(self, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt"
+        cache = ResultCache(scale=TINY, checkpoint=str(ckpt))
+        cache.run_many(POINTS, jobs=2)
+        assert len(CheckpointStore(ckpt).load()) == len(POINTS)
+
+    def test_killed_sweep_resumes_with_zero_lost_points(self, tmp_path):
+        # A real SIGKILL mid-sweep: the child runs a serial sweep and
+        # shoots itself after two points have been durably checkpointed.
+        ckpt = tmp_path / "sweep.ckpt"
+        script = f"""
+import os, signal
+from repro.experiments.common import ResultCache
+from repro.robustness.checkpoint import CheckpointStore
+import tests.test_parallel as tp
+
+orig = CheckpointStore.append
+def append_then_die(self, *args, **kwargs):
+    orig(self, *args, **kwargs)
+    if self.appended >= 2:
+        os.kill(os.getpid(), signal.SIGKILL)
+CheckpointStore.append = append_then_die
+
+cache = ResultCache(scale={TINY!r}, checkpoint={str(ckpt)!r})
+cache.run_many(tp.POINTS, jobs=1)
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(Path(__file__).resolve().parents[1] / "src"),
+             str(Path(__file__).resolve().parents[1]),
+             env.get("PYTHONPATH", "")])
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, timeout=300)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        assert len(CheckpointStore(ckpt).load()) == 2
+
+        resumed = ResultCache(scale=TINY, checkpoint=str(ckpt))
+        results = resumed.run_many(POINTS, jobs=2)
+        assert resumed.simulations_run == len(POINTS) - 2
+        assert [slim_view(r) for r in results] == _serial_reference()
+
+    def test_disk_cache_hits_are_checkpointed_too(self, tmp_path):
+        # Points served from the disk cache still land in the checkpoint,
+        # so a later resume without the disk cache loses nothing.
+        cold = ResultCache(scale=TINY, cache_dir=str(tmp_path / "cache"))
+        cold.run_many(POINTS[:2], jobs=2)
+        ckpt = tmp_path / "sweep.ckpt"
+        warm = ResultCache(scale=TINY, cache_dir=str(tmp_path / "cache"),
+                           checkpoint=str(ckpt))
+        warm.run_many(POINTS[:2], jobs=2)
+        assert warm.simulations_run == 0
+        assert len(CheckpointStore(ckpt).load()) == 2
