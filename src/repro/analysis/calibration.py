@@ -29,6 +29,14 @@ from repro.system.run import simulate
 from repro.workloads.trace import Trace
 
 
+__all__ = [
+    "OperatingPoint",
+    "calibration_report",
+    "measure",
+    "recommend_interval",
+]
+
+
 @dataclass
 class OperatingPoint:
     """A workload's measured translation-bandwidth operating point."""

@@ -13,6 +13,16 @@ from typing import Dict, Iterable, List, Mapping, Sequence
 from repro.system.run import SimulationResult
 
 
+__all__ = [
+    "average_across_workloads",
+    "fbt_hit_fraction",
+    "geomean",
+    "mean",
+    "relative_performance",
+    "speedups",
+    "translation_filter_rate",
+]
+
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean (0.0 for empty input)."""
     values = list(values)

@@ -17,6 +17,16 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 
+__all__ = [
+    "Comparison",
+    "TARGETS",
+    "Target",
+    "collect_measurements",
+    "compare_all",
+    "render_report",
+]
+
+
 @dataclass(frozen=True)
 class Target:
     """One claim from the paper."""

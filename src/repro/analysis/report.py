@@ -10,6 +10,8 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 
+__all__ = ["bar", "bar_chart", "format_table", "section", "stacked_bar"]
+
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
                  title: str = None) -> str:
     """Render an aligned text table."""

@@ -12,6 +12,8 @@ import xml.sax.saxutils as saxutils
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+__all__ = ["PALETTE", "cdf_chart", "grouped_bar_chart"]
+
 PALETTE = ("#31588A", "#C14B42", "#D9A441", "#5B8C5A", "#7B5B8F", "#4E9B9B")
 
 

@@ -28,6 +28,8 @@ from repro.memsys.addressing import is_power_of_two
 from repro.memsys.permissions import Permissions
 
 
+__all__ = ["BTEntry", "BackwardTable"]
+
 class BTEntry:
     """One backward-table entry.
 

@@ -31,6 +31,9 @@ from repro.engine.stats import Counters
 from repro.memsys.permissions import Permissions, ReadWriteSynonymFault
 
 
+__all__ = ["AccessCheck", "ForwardBackwardTable", "InvalidationOrder"]
+
+
 @dataclass
 class InvalidationOrder:
     """Work the hierarchy must do when a page leaves the FBT.

@@ -22,6 +22,8 @@ from typing import Dict, Optional, Tuple
 from repro.core.backward_table import BTEntry
 
 
+__all__ = ["ForwardTable"]
+
 class ForwardTable:
     """Index from leading virtual page to BT entry."""
 

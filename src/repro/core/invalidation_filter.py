@@ -19,6 +19,8 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 
+__all__ = ["InvalidationFilter"]
+
 class InvalidationFilter:
     """Counting filter over the virtual pages resident in one L1."""
 

@@ -34,6 +34,9 @@ from repro.memsys.tlb import TLB
 from repro.system.config import SoCConfig
 
 
+__all__ = ["ASDT", "ASDTEntry", "L1OnlyVirtualHierarchy"]
+
+
 @dataclass
 class ASDTEntry:
     """Active-synonym-detection entry: one per physical page in the L1s."""

@@ -20,6 +20,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional, Tuple
 
+__all__ = ["Key", "SynonymRemapTable"]
+
 Key = Tuple[int, int]  # (asid, vpn)
 
 

@@ -41,6 +41,9 @@ from repro.system.config import SoCConfig
 
 # Virtual line/page keys are ASID-qualified so distinct address spaces
 # never alias in the caches (homonym safety).
+
+__all__ = ["VirtualCacheHierarchy", "line_key", "page_key", "split_page_key"]
+
 _ASID_SHIFT = 52
 
 

@@ -14,6 +14,8 @@ import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 
+__all__ = ["EventQueue", "Simulator"]
+
 class EventQueue:
     """A time-ordered queue of callbacks.
 

@@ -14,6 +14,14 @@ import heapq
 from typing import List
 
 
+__all__ = [
+    "BandwidthLink",
+    "BankedServer",
+    "ThreadPool",
+    "ThroughputServer",
+    "WindowedServer",
+]
+
 class ThroughputServer:
     """A FIFO server that accepts ``rate`` requests per cycle.
 

@@ -18,6 +18,15 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Sequence, Tuple
 
 
+__all__ = [
+    "Counters",
+    "IntervalSampler",
+    "LifetimeTracker",
+    "RateStats",
+    "cdf",
+    "fraction_at_or_below",
+]
+
 class Counters:
     """A bag of named integer counters with dict-style access."""
 

@@ -46,6 +46,17 @@ from repro.system.designs import (
 from repro.system.run import simulate
 from repro.workloads import registry
 
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_POINTS",
+    "PointResult",
+    "attach_baseline",
+    "check_regression",
+    "main",
+    "render",
+    "run_bench",
+]
+
 BENCH_SCHEMA_VERSION = 1
 
 #: The tracked points: the fig4 smoke sweep (one workload under the

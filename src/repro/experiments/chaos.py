@@ -40,6 +40,17 @@ from repro.workloads import registry
 #: One design per hierarchy flavour: the physical baseline, the virtual
 #: hierarchy with and without the paper's optimisations (bitvector vs
 #: counter FBT tracking), and the L1-only virtual cache.
+
+__all__ = [
+    "ChaosPoint",
+    "ChaosReport",
+    "DEFAULT_RATES",
+    "DEFAULT_WORKLOADS",
+    "DESIGNS",
+    "main",
+    "run",
+]
+
 DESIGNS = (BASELINE_512, VC_WITHOUT_OPT, VC_WITH_OPT, L1_ONLY_VC_32)
 
 DEFAULT_WORKLOADS = ("bfs", "kmeans")

@@ -43,6 +43,8 @@ from repro.experiments import (
 )
 from repro.experiments.common import GLOBAL_CACHE
 
+__all__ = ["EXPERIMENTS", "build_parser", "main"]
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": lambda: tables.render_table1(),
     "table2": lambda: tables.render_table2(),
@@ -74,7 +76,7 @@ def _validate() -> str:
 
 
 def _experiment_listing() -> str:
-    return "\n".join(sorted(EXPERIMENTS) + ["all", "bench", "chaos"])
+    return "\n".join(sorted(EXPERIMENTS) + ["all", "bench", "chaos", "serve"])
 
 
 def _preflight_cache_dir(cache_dir: str) -> str:
@@ -108,7 +110,13 @@ def _build_observability(args):
     return Observability(tracer=tracer, profiler=profiler)
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The complete ``repro-experiment`` argument parser.
+
+    Exposed separately from :func:`main` so ``docs/CLI.md`` can be
+    generated from (and drift-checked against) the real parser — see
+    :mod:`repro.experiments.cli_doc`.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description="Regenerate tables/figures from 'Filtering Translation "
@@ -220,6 +228,31 @@ def main(argv=None) -> int:
         "--chaos-workloads", metavar="W1,W2,...", default="bfs,kmeans",
         help="comma-separated workloads to fault-inject (default: bfs,kmeans)",
     )
+    serve_group = parser.add_argument_group(
+        "serve options (only with the 'serve' experiment)")
+    serve_group.add_argument(
+        "--host", metavar="ADDR", default="127.0.0.1",
+        help="address the simulation service binds (default: 127.0.0.1)",
+    )
+    serve_group.add_argument(
+        "--port", type=int, default=8000, metavar="N",
+        help="port the simulation service listens on; 0 picks a free "
+             "port and prints it (default: 8000)",
+    )
+    serve_group.add_argument(
+        "--batch-window", type=float, default=0.01, metavar="SECONDS",
+        help="how long the server lingers collecting points into one "
+             "run_many wave after the first arrives (default: 0.01)",
+    )
+    serve_group.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="maximum distinct points batched into one wave (default: 64)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list:
@@ -236,6 +269,34 @@ def main(argv=None) -> int:
         if problem:
             print(f"repro-experiment: error: {problem}", file=sys.stderr)
             return 2
+    if args.experiment == "serve":
+        from repro.service.server import run_server
+
+        if args.jobs < 1:
+            print("repro-experiment: error: --jobs must be >= 1",
+                  file=sys.stderr)
+            return 2
+        if not 0 <= args.port <= 65535:
+            print("repro-experiment: error: --port must be in 0..65535",
+                  file=sys.stderr)
+            return 2
+        if args.batch_window < 0:
+            print("repro-experiment: error: --batch-window must be >= 0",
+                  file=sys.stderr)
+            return 2
+        if args.max_batch < 1:
+            print("repro-experiment: error: --max-batch must be >= 1",
+                  file=sys.stderr)
+            return 2
+        return run_server(
+            host=args.host, port=args.port, jobs=args.jobs,
+            scale=args.scale, cache_dir=args.cache_dir,
+            checkpoint=args.checkpoint,
+            check_invariants=args.check_invariants,
+            point_timeout=args.point_timeout,
+            point_retries=args.point_retries,
+            batch_window=args.batch_window, max_batch=args.max_batch,
+        )
     if args.experiment == "chaos":
         from repro.experiments import chaos
 

@@ -25,6 +25,9 @@ from repro.memsys.directory import CoherenceProbe, Directory
 from repro.system.designs import VC_WITH_OPT
 
 
+__all__ = ["CoherenceResult", "main", "run"]
+
+
 @dataclass
 class CoherenceResult:
     """Probe-filtering statistics against a warmed virtual hierarchy."""

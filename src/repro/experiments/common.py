@@ -49,6 +49,20 @@ from repro.workloads.trace import Trace
 #: without it, mutating ``cache.config`` between runs would silently
 #: serve stale results; ``check_invariants`` is keyed because audited
 #: runs carry an extra ``invariants.audits`` counter.
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "CacheKey",
+    "GLOBAL_CACHE",
+    "HIGH_BANDWIDTH",
+    "LOW_BANDWIDTH",
+    "Point",
+    "PointFailure",
+    "ResultCache",
+    "SweepError",
+    "resolve_workloads",
+]
+
 CacheKey = Tuple[str, float, str, bool, bool, str]
 
 #: A design point: (workload, design) or (workload, design, track_lifetimes).

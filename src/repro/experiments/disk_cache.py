@@ -44,6 +44,15 @@ from repro.system.run import SimulationResult
 
 #: Bump when the pickled record's shape changes; old entries then miss.
 #: Schema 2 wraps the result in a digest-verified envelope.
+
+__all__ = [
+    "DiskCache",
+    "QUARANTINE_DIR",
+    "SCHEMA_VERSION",
+    "config_fingerprint",
+    "point_fingerprint",
+]
+
 SCHEMA_VERSION = 2
 
 #: Corrupt entries are moved here (relative to the cache root), keeping

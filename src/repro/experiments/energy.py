@@ -18,6 +18,9 @@ from repro.experiments.common import ALL_WORKLOADS, GLOBAL_CACHE, ResultCache, r
 from repro.system.designs import BASELINE_512, VC_WITH_OPT
 
 
+__all__ = ["EnergyResult", "main", "run"]
+
+
 @dataclass
 class EnergyResult:
     """Per-workload event counts: baseline vs virtual hierarchy."""

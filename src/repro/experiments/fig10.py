@@ -21,6 +21,9 @@ from repro.experiments.common import GLOBAL_CACHE, HIGH_BANDWIDTH, ResultCache, 
 from repro.system.designs import BASELINE_LARGE_PER_CU, VC_WITH_OPT
 
 
+__all__ = ["Fig10Result", "main", "run"]
+
+
 @dataclass
 class Fig10Result:
     """Speedup of VC With OPT over the large-per-CU-TLB baseline."""

@@ -25,6 +25,8 @@ from repro.system.designs import (
     VC_WITH_OPT,
 )
 
+__all__ = ["Fig11Result", "SCOPES", "main", "run"]
+
 SCOPES = (L1_ONLY_VC_32, L1_ONLY_VC_128, VC_WITH_OPT)
 
 

@@ -22,6 +22,8 @@ from repro.engine.stats import fraction_at_or_below
 from repro.experiments.common import GLOBAL_CACHE, ResultCache
 from repro.system.designs import BASELINE_512
 
+__all__ = ["CHECKPOINTS_NS", "Fig12Result", "main", "run"]
+
 CHECKPOINTS_NS = (1000.0, 2000.0, 5000.0, 10_000.0, 20_000.0, 40_000.0)
 
 

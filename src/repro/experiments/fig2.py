@@ -21,6 +21,8 @@ from repro.analysis.report import format_table, section, stacked_bar
 from repro.experiments.common import ALL_WORKLOADS, GLOBAL_CACHE, ResultCache, resolve_workloads
 from repro.system.designs import MMUDesign
 
+__all__ = ["Fig2Result", "TLB_SIZES", "main", "run", "tlb_sweep_design"]
+
 TLB_SIZES: Sequence[Optional[int]] = (32, 64, 128, None)  # None = infinite
 
 

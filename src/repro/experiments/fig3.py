@@ -24,6 +24,9 @@ from repro.system.designs import baseline_unlimited_bandwidth
 from repro.workloads.registry import is_high_bandwidth
 
 
+__all__ = ["Fig3Result", "main", "run"]
+
+
 @dataclass
 class Fig3Result:
     """Per-workload shared-TLB access-rate statistics."""

@@ -20,6 +20,8 @@ from repro.analysis.report import bar_chart, section
 from repro.experiments.common import ALL_WORKLOADS, GLOBAL_CACHE, ResultCache, resolve_workloads
 from repro.system.designs import BASELINE_16K, BASELINE_512, IDEAL_MMU
 
+__all__ = ["DESIGNS", "Fig4Result", "main", "run"]
+
 DESIGNS = (IDEAL_MMU, BASELINE_512, BASELINE_16K)
 
 

@@ -20,6 +20,8 @@ from repro.analysis.report import bar_chart, section
 from repro.experiments.common import GLOBAL_CACHE, HIGH_BANDWIDTH, ResultCache, resolve_workloads
 from repro.system.designs import IDEAL_MMU, baseline_with_bandwidth
 
+__all__ = ["BANDWIDTHS", "Fig5Result", "main", "run"]
+
 BANDWIDTHS: Sequence[float] = (1.0, 2.0, 3.0, 4.0)
 
 

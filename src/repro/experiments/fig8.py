@@ -21,6 +21,8 @@ from repro.engine.stats import RateStats
 from repro.experiments.common import ALL_WORKLOADS, GLOBAL_CACHE, ResultCache, resolve_workloads
 from repro.system.designs import FULL_VC, MMUDesign, baseline_unlimited_bandwidth
 
+__all__ = ["Fig8Result", "VC_UNLIMITED", "main", "run"]
+
 VC_UNLIMITED = MMUDesign(
     name="VC hierarchy, unlimited B/W",
     kind=FULL_VC,

@@ -35,6 +35,8 @@ from repro.system.designs import (
     VC_WITH_OPT,
 )
 
+__all__ = ["COMPARED", "Fig9Result", "main", "run"]
+
 COMPARED = (BASELINE_512, BASELINE_16K, VC_WITHOUT_OPT, VC_WITH_OPT)
 
 

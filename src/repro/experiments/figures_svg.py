@@ -21,6 +21,19 @@ from repro.experiments import fig3, fig4, fig8, fig9, fig10, fig11, fig12
 from repro.experiments.common import GLOBAL_CACHE, ResultCache
 
 
+__all__ = [
+    "RENDERERS",
+    "fig10_svg",
+    "fig11_svg",
+    "fig12_svg",
+    "fig3_svg",
+    "fig4_svg",
+    "fig8_svg",
+    "fig9_svg",
+    "main",
+    "save_all",
+]
+
 def fig3_svg(cache: ResultCache) -> str:
     r = fig3.run(cache)
     order = r.sorted_workloads()

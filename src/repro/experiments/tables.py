@@ -11,6 +11,8 @@ from repro.system.config import SoCConfig
 from repro.system.designs import TABLE2_DESIGNS
 
 
+__all__ = ["main", "render_table1", "render_table2"]
+
 def render_table1(config: SoCConfig = None) -> str:
     """Table 1: simulation configuration details."""
     cfg = config if config is not None else SoCConfig()

@@ -14,6 +14,8 @@ from typing import List, Sequence
 
 from repro.memsys.addressing import DEFAULT_LINE_SIZE, PAGE_SIZE
 
+__all__ = ["CoalescedRequest", "Coalescer"]
+
 _LINES_PER_PAGE = PAGE_SIZE // DEFAULT_LINE_SIZE
 
 

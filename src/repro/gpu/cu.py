@@ -19,6 +19,8 @@ from repro.gpu.coalescer import Coalescer
 from repro.gpu.scratchpad import Scratchpad
 
 
+__all__ = ["ComputeUnit"]
+
 class ComputeUnit:
     """Issue/outstanding-request bookkeeping for one CU."""
 

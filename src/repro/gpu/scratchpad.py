@@ -10,6 +10,8 @@ accesses are bursty loads/stores at kernel boundaries.
 from __future__ import annotations
 
 
+__all__ = ["Scratchpad"]
+
 class Scratchpad:
     """Fixed-latency local memory attached to one CU."""
 

@@ -18,6 +18,9 @@ from repro.memsys.page_table import FrameAllocator, PageTable
 from repro.memsys.permissions import PageFault, Permissions
 
 
+__all__ = ["AddressSpace", "Mapping", "System"]
+
+
 @dataclass
 class Mapping:
     """A contiguous virtual allocation."""

@@ -10,6 +10,27 @@ is 32 bits wide.
 
 from __future__ import annotations
 
+__all__ = [
+    "BASE_PAGES_PER_LARGE",
+    "DEFAULT_LINE_SIZE",
+    "LARGE_PAGE_SHIFT",
+    "LARGE_PAGE_SIZE",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "compose_address",
+    "is_power_of_two",
+    "large_page_base_vpn",
+    "large_page_number",
+    "line_address",
+    "line_base",
+    "line_index_in_page",
+    "lines_per_page",
+    "log2_int",
+    "page_number",
+    "page_offset",
+    "translate_line_address",
+]
+
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
 

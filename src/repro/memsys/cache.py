@@ -31,6 +31,9 @@ from repro.memsys.addressing import is_power_of_two, lines_per_page
 from repro.memsys.permissions import Permissions
 
 
+__all__ = ["Cache", "CacheConfig", "CacheLine"]
+
+
 @dataclass(frozen=True)
 class CacheConfig:
     """Geometry and policy of one cache.

@@ -20,6 +20,8 @@ from typing import Optional, Set
 from repro.engine.stats import Counters
 
 
+__all__ = ["CoherenceProbe", "Directory"]
+
 class Directory:
     """Tracks which physical lines the GPU may hold and issues probes."""
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from repro.engine.resources import BandwidthLink
 
 
+__all__ = ["DRAM"]
+
 class DRAM:
     """Fixed-latency, bandwidth-limited main memory."""
 

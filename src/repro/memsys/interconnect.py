@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+__all__ = ["InterconnectConfig"]
+
+
 @dataclass(frozen=True)
 class InterconnectConfig:
     """One-way latencies (GPU cycles) between SoC components."""

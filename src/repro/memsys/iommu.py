@@ -24,6 +24,8 @@ from repro.memsys.permissions import Permissions
 from repro.memsys.tlb import TLB
 
 
+__all__ = ["IOMMU", "IOMMUConfig", "SecondLevelTLB", "TranslationOutcome"]
+
 class SecondLevelTLB(Protocol):
     """What the IOMMU needs from an FBT acting as a second-level TLB."""
 

@@ -16,6 +16,16 @@ from typing import Dict, List, Optional, Tuple
 from repro.memsys.addressing import PAGE_SIZE
 from repro.memsys.permissions import PageFault, Permissions
 
+__all__ = [
+    "BITS_PER_LEVEL",
+    "ENTRIES_PER_NODE",
+    "FrameAllocator",
+    "LEVELS",
+    "PTE_SIZE",
+    "PageTable",
+    "WalkResult",
+]
+
 LEVELS = 4
 BITS_PER_LEVEL = 9
 ENTRIES_PER_NODE = 1 << BITS_PER_LEVEL

@@ -15,6 +15,9 @@ from repro.memsys.page_table import PageTable, WalkResult
 from repro.memsys.page_walk_cache import PageWalkCache
 
 
+__all__ = ["PageTableWalker", "TimedWalk"]
+
+
 @dataclass
 class TimedWalk:
     """A completed walk with its timing."""

@@ -17,6 +17,8 @@ from typing import Sequence, Tuple
 from repro.memsys.cache import Cache, CacheConfig
 
 
+__all__ = ["PageWalkCache"]
+
 class PageWalkCache:
     """A small physical cache consulted for each page-table node access."""
 

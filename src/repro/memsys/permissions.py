@@ -11,6 +11,13 @@ from __future__ import annotations
 import enum
 
 
+__all__ = [
+    "PageFault",
+    "PermissionFault",
+    "Permissions",
+    "ReadWriteSynonymFault",
+]
+
 class Permissions(enum.IntFlag):
     """Read/write/execute permission bits of a page mapping."""
 

@@ -15,6 +15,8 @@ from repro.engine.stats import LifetimeTracker
 from repro.memsys.permissions import Permissions
 
 
+__all__ = ["TLB", "TLBEntry"]
+
 class TLBEntry:
     """One cached translation.
 

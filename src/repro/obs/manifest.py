@@ -22,6 +22,14 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+__all__ = [
+    "SCHEMA_VERSION",
+    "build_manifest",
+    "git_sha",
+    "load_manifest",
+    "write_manifest",
+]
+
 SCHEMA_VERSION = 1
 
 

@@ -21,6 +21,8 @@ from typing import Any, Dict, Optional
 from repro.engine.stats import Counters
 
 
+__all__ = ["LatencyHistogram", "MetricsRegistry", "MetricsScope"]
+
 class LatencyHistogram:
     """A log-scale histogram of nonnegative values.
 

@@ -16,6 +16,9 @@ from dataclasses import dataclass
 from typing import Iterator, List
 
 
+__all__ = ["Profiler", "Span"]
+
+
 @dataclass
 class Span:
     """One completed (or still-open) profiling span."""

@@ -29,6 +29,8 @@ import json
 from typing import IO, Any, Dict, List, Union
 
 
+__all__ = ["JsonLinesTracer", "NULL_TRACER", "NullTracer", "RecordingTracer"]
+
 def _coerce(obj: Any) -> Any:
     """JSON fallback for numpy scalars (trace fields come from numpy-backed
     workload arrays)."""

@@ -23,6 +23,8 @@ import pickle
 import struct
 from typing import Dict
 
+__all__ = ["CheckpointStore", "MAGIC"]
+
 MAGIC = b"RPCK"
 _LEN = struct.Struct("<I")
 _DIGEST_BYTES = 16

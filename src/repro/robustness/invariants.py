@@ -25,6 +25,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
+__all__ = [
+    "InvariantAuditor",
+    "InvariantViolation",
+    "MAX_REPORTED",
+    "audit_hierarchy",
+    "check_hierarchy",
+]
+
 _ASID_SHIFT = 52
 _ASID_MASK = (1 << _ASID_SHIFT) - 1
 

@@ -1,0 +1,286 @@
+"""A stdlib-only typed client for the experiment service.
+
+:class:`ServiceClient` wraps :mod:`http.client` so examples, tests, and
+scripts talk to a running :class:`~repro.service.server.ExperimentService`
+without any third-party dependency:
+
+>>> with ServiceClient("127.0.0.1", 8123) as client:          # doctest: +SKIP
+...     reply = client.simulate([{"workload": "bfs",
+...                               "design": "baseline-512"}])
+...     print(reply.points[0].tier, reply.points[0].cycles)
+...     job = client.submit([{"workload": "bfs", "design": "vc-with-opt"}])
+...     done = client.wait(job)                               # poll → fetch
+...     print(done.points[0].tier)
+
+Server-side rejections (bad request, unknown design, sweep failures,
+a draining server) raise :class:`ServiceError` carrying the HTTP
+status, the machine-readable error code, and the decoded body.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "HealthReport",
+    "JobReply",
+    "PointReply",
+    "ServiceClient",
+    "ServiceError",
+    "SimulateReply",
+]
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service (HTTP status >= 400)."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 body: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.body = body if body is not None else {}
+
+
+@dataclass(frozen=True)
+class PointReply:
+    """One resolved experiment point, with its cache-tier provenance."""
+
+    workload: str
+    design: str
+    tier: str  # "memo" | "disk" | "computed"
+    coalesced: bool
+    cycles: float
+    instructions: int
+    requests: int
+    fingerprint: str
+    scale: float
+    wall_clock_seconds: float
+    counters: Optional[Dict[str, int]] = None
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, Any]) -> "PointReply":
+        return cls(
+            workload=raw["workload"],
+            design=raw["design"],
+            tier=raw["tier"],
+            coalesced=raw["coalesced"],
+            cycles=raw["cycles"],
+            instructions=raw["instructions"],
+            requests=raw["requests"],
+            fingerprint=raw["fingerprint"],
+            scale=raw["scale"],
+            wall_clock_seconds=raw["wall_clock_seconds"],
+            counters=raw.get("counters"),
+        )
+
+
+@dataclass(frozen=True)
+class SimulateReply:
+    """The response to one simulate call (or one finished job)."""
+
+    trace_id: str
+    points: List[PointReply]
+    wall_seconds: float
+    simulations_run_total: int
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, Any]) -> "SimulateReply":
+        return cls(
+            trace_id=raw["trace_id"],
+            points=[PointReply.from_json(p) for p in raw["points"]],
+            wall_seconds=raw["wall_seconds"],
+            simulations_run_total=raw["simulations_run_total"],
+        )
+
+
+@dataclass(frozen=True)
+class JobReply:
+    """One poll of an asynchronous job."""
+
+    job_id: str
+    status: str  # "running" | "done" | "failed"
+    n_points: int
+    result: Optional[SimulateReply] = None
+    raw_result: Optional[Dict[str, Any]] = None
+
+    @property
+    def done(self) -> bool:
+        return self.status != "running"
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """The decoded ``/healthz`` payload."""
+
+    status: str
+    queue_depth: int
+    inflight_points: int
+    simulations_run: int
+    pool: Dict[str, Any]
+    raw: Dict[str, Any] = field(repr=False, default_factory=dict)
+
+
+PointLike = Union[Dict[str, Any], Iterable]
+
+
+def _normalize_points(points: Iterable[PointLike]) -> List[Dict[str, Any]]:
+    """Accept dicts or (workload, design[, track_lifetimes]) tuples."""
+    normalized: List[Dict[str, Any]] = []
+    for point in points:
+        if isinstance(point, dict):
+            normalized.append(point)
+            continue
+        parts = list(point)
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                "tuple points must be (workload, design[, track_lifetimes])")
+        spec: Dict[str, Any] = {"workload": parts[0], "design": parts[1]}
+        if len(parts) == 3:
+            spec["track_lifetimes"] = bool(parts[2])
+        normalized.append(spec)
+    return normalized
+
+
+class ServiceClient:
+    """Blocking HTTP client for the simulation service (stdlib only)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000,
+                 timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ---------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # A server that closed a kept-alive socket between calls
+                # looks like a dead connection; retry once on a fresh one.
+                self.close()
+                if attempt == 2:
+                    raise
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServiceError(response.status, "bad_payload",
+                               f"undecodable response body: {raw[:200]!r}")
+        if response.status >= 400:
+            raise ServiceError(
+                response.status,
+                decoded.get("error", "error"),
+                decoded.get("message", f"HTTP {response.status}"),
+                decoded,
+            )
+        return decoded
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- API --------------------------------------------------------------
+    def simulate(self, points: Iterable[PointLike],
+                 scale: Optional[float] = None,
+                 config: Optional[Dict[str, Any]] = None,
+                 include_counters: bool = False) -> SimulateReply:
+        """Run (or fetch) points synchronously; blocks until the wave lands."""
+        body: Dict[str, Any] = {"points": _normalize_points(points)}
+        if scale is not None:
+            body["scale"] = scale
+        if config is not None:
+            body["config"] = config
+        if include_counters:
+            body["include_counters"] = True
+        return SimulateReply.from_json(
+            self._request("POST", "/v1/simulate", body))
+
+    def submit(self, points: Iterable[PointLike],
+               scale: Optional[float] = None,
+               config: Optional[Dict[str, Any]] = None) -> str:
+        """Submit an asynchronous job; returns its id for :meth:`poll`."""
+        body: Dict[str, Any] = {"points": _normalize_points(points)}
+        if scale is not None:
+            body["scale"] = scale
+        if config is not None:
+            body["config"] = config
+        return self._request("POST", "/v1/jobs", body)["job_id"]
+
+    def poll(self, job_id: str) -> JobReply:
+        """Fetch a job's status (and its result once finished)."""
+        raw = self._request("GET", f"/v1/jobs/{job_id}")
+        result = raw.get("result")
+        return JobReply(
+            job_id=raw["job_id"],
+            status=raw["status"],
+            n_points=raw["n_points"],
+            result=(SimulateReply.from_json(result)
+                    if raw["status"] == "done" and result else None),
+            raw_result=result,
+        )
+
+    def wait(self, job_id: str, poll_interval: float = 0.05,
+             timeout: float = 600.0) -> SimulateReply:
+        """Poll until a job finishes; raise on failure or timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            reply = self.poll(job_id)
+            if reply.status == "done":
+                assert reply.result is not None
+                return reply.result
+            if reply.status == "failed":
+                raise ServiceError(
+                    500, "sweep_failed",
+                    f"job {job_id} failed", reply.raw_result or {})
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still running after {timeout}s")
+            time.sleep(poll_interval)
+
+    def healthz(self) -> HealthReport:
+        raw = self._request("GET", "/healthz")
+        return HealthReport(
+            status=raw["status"],
+            queue_depth=raw["queue_depth"],
+            inflight_points=raw["inflight_points"],
+            simulations_run=raw["simulations_run"],
+            pool=raw["pool"],
+            raw=raw,
+        )
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's full metrics snapshot (counters/gauges/histograms)."""
+        return self._request("GET", "/metrics")
+
+    def drain(self) -> None:
+        """Ask the server to drain gracefully (same path as SIGTERM)."""
+        self._request("POST", "/v1/drain")

@@ -1,0 +1,746 @@
+"""The experiment service: an asyncio HTTP server over :class:`ResultCache`.
+
+Architecture (one request's life)::
+
+    HTTP request ──> parse/validate (protocol.py)
+        │                 │ 400 on unknown workload/design/config
+        ▼
+    single-flight map (fingerprint → in-flight point)
+        │ duplicate concurrent points join the existing future
+        ▼
+    batch queue ──> batcher task: collects points for ``batch_window``
+        │           seconds (or ``max_batch``), then runs one *wave*
+        ▼
+    wave (executor thread): each point resolved through the cache tiers
+        memo  — already in the in-process memo           (0 work)
+        disk  — loaded from the persistent DiskCache     (1 pickle read)
+        computed — batched into ``ResultCache.run_many`` (simulated, with
+                   the PR 4 timeout/retry/checkpoint machinery)
+        │
+        ▼
+    futures resolve ──> JSON response with per-point tier provenance
+
+This is the paper's bandwidth-filtering argument applied to the
+simulation fleet itself: the two cache tiers filter repeated experiment
+traffic so only genuine misses reach the expensive shared resource (the
+process pool), exactly as virtual-cache hits filter translations before
+the shared IOMMU TLB.
+
+Endpoints:
+
+* ``POST /v1/simulate`` — run/fetch points, blocking until the wave lands.
+* ``POST /v1/jobs`` / ``GET /v1/jobs/<id>`` — submit → poll → fetch.
+* ``GET /metrics`` — the :class:`~repro.obs.MetricsRegistry` snapshot
+  (per-tier latency histograms, tier counters, queue gauges).
+* ``GET /healthz`` — queue depth, in-flight points, pool liveness.
+* ``POST /v1/drain`` — programmatic graceful drain (same path as SIGTERM).
+
+Graceful shutdown: SIGTERM (or ``/v1/drain``) stops the listener,
+rejects new work with 503, finishes every in-flight wave (delivering
+the responses), leaves the crash-safe checkpoint flushed (appends are
+fsync'd per point), and exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.common import ResultCache, SweepError
+from repro.experiments.disk_cache import config_fingerprint
+from repro.obs import Observability
+from repro.service import protocol
+from repro.service.protocol import PointSpec, ProtocolError
+from repro.workloads import registry
+
+__all__ = [
+    "ExperimentService",
+    "TIER_COMPUTED",
+    "TIER_DISK",
+    "TIER_MEMO",
+    "run_server",
+]
+
+TIER_MEMO = "memo"
+TIER_DISK = "disk"
+TIER_COMPUTED = "computed"
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_HEADER_LINES = 100
+#: Completed job records kept for polling before the oldest are evicted.
+_MAX_JOBS = 1024
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class _InflightPoint:
+    """One unique point travelling from the queue through a wave."""
+
+    __slots__ = ("spec", "future", "enqueued_at")
+
+    def __init__(self, spec: PointSpec, future: "asyncio.Future") -> None:
+        self.spec = spec
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+
+
+class _PointFailed(RuntimeError):
+    """A computed point that did not survive its wave."""
+
+    def __init__(self, spec: PointSpec, reason: str) -> None:
+        super().__init__(reason)
+        self.spec = spec
+        self.reason = reason
+
+
+class ExperimentService:
+    """A long-lived batching simulation server over one :class:`ResultCache`.
+
+    The service owns (or adopts) a cache configured exactly like the
+    CLI's: ``jobs`` workers per wave, optional ``cache_dir`` disk
+    persistence, optional crash-safe ``checkpoint``, per-point
+    timeout/retries, and invariant auditing.  ``scale`` fixes the
+    default workload scale (requests may override per request).
+
+    Run it three ways: :meth:`serve_forever` (the CLI path, installs
+    SIGTERM/SIGINT drain handlers), :meth:`start_in_thread` /
+    :meth:`shutdown` (embedding in tests and examples), or ``await
+    start()`` inside an existing event loop.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int = 1,
+        scale: Optional[float] = None,
+        cache_dir: Optional[str] = None,
+        checkpoint: Optional[str] = None,
+        check_invariants: bool = False,
+        point_timeout: Optional[float] = None,
+        point_retries: int = 2,
+        batch_window: float = 0.01,
+        max_batch: int = 64,
+        cache: Optional[ResultCache] = None,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.host = host
+        self.port = port
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.obs = obs if obs is not None else Observability()
+        if cache is None:
+            cache = ResultCache(
+                jobs=jobs, cache_dir=cache_dir, checkpoint=checkpoint,
+                check_invariants=check_invariants,
+                point_timeout=point_timeout, point_retries=point_retries)
+            if scale is not None:
+                cache.scale = scale
+        elif scale is not None:
+            cache.scale = scale
+        if cache.obs is None:
+            cache.obs = self.obs
+        else:
+            self.obs = cache.obs
+        self.cache = cache
+        # Snapshots the request parser validates against; waves restore
+        # the cache to these after any per-request override.
+        self._base_scale = cache.effective_scale()
+        self._base_config = cache.config
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._queue: "asyncio.Queue[Optional[_InflightPoint]]" = None
+        self._batcher_task: Optional[asyncio.Task] = None
+        self._drained_event: Optional[asyncio.Event] = None
+        self._inflight: Dict[str, _InflightPoint] = {}
+        self._jobs: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._writers: set = set()
+        self._active_points = 0
+        self._busy_requests = 0
+        self._wave_active = False
+        self._waves_run = 0
+        self._last_wave_error: Optional[str] = None
+        self._draining = False
+        self._started_at = time.time()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle --------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listener and start the batcher; returns (host, port)."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._drained_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._batcher_task = self._loop.create_task(self._batch_loop())
+        self._started_at = time.time()
+        return self.host, self.port
+
+    def request_drain(self) -> None:
+        """Begin graceful shutdown (idempotent; safe from a signal handler).
+
+        New work is rejected with 503 immediately; in-flight waves
+        finish and deliver their responses; the drain completes once
+        the queue is empty and every response has been written.
+        """
+        if self._draining or self._loop is None:
+            return
+        self._draining = True
+        self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        if self._server is not None:
+            self._server.close()  # stop accepting new connections
+        while (self._active_points or self._busy_requests
+               or not self._queue.empty()
+               or any(r["status"] == "running"
+                      for r in self._jobs.values())):
+            await asyncio.sleep(0.01)
+        await self._queue.put(None)  # stop the batcher
+        if self._batcher_task is not None:
+            await self._batcher_task
+        # Idle keep-alive connections would outlive the loop otherwise.
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._drained_event.set()
+
+    async def serve_until_drained(self) -> None:
+        """Block until a drain (SIGTERM, /v1/drain, or shutdown()) finishes."""
+        await self._drained_event.wait()
+
+    def start_in_thread(self, timeout: float = 30.0) -> Tuple[str, int]:
+        """Run the service on a dedicated event-loop thread; returns the address."""
+        started = threading.Event()
+        failure: List[BaseException] = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            try:
+                asyncio.set_event_loop(loop)
+                loop.run_until_complete(self.start())
+            except BaseException as exc:  # surface bind errors to the caller
+                failure.append(exc)
+                started.set()
+                loop.close()
+                return
+            started.set()
+            try:
+                loop.run_until_complete(self.serve_until_drained())
+                loop.run_until_complete(loop.shutdown_default_executor())
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-service", daemon=True)
+        self._thread.start()
+        if not started.wait(timeout):
+            raise RuntimeError("service did not start in time")
+        if failure:
+            raise failure[0]
+        return self.host, self.port
+
+    def shutdown(self, timeout: float = 60.0) -> None:
+        """Drain a :meth:`start_in_thread` service and join its thread."""
+        if self._loop is not None and not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(self.request_drain)
+            except RuntimeError:
+                pass  # loop already closed between the check and the call
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    async def _amain(self) -> None:
+        await self.start()
+        print(f"repro-service listening on http://{self.host}:{self.port}",
+              flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_drain)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await self.serve_until_drained()
+        print("repro-service drained cleanly", flush=True)
+
+    def serve_forever(self) -> int:
+        """The CLI entry: serve until SIGTERM/SIGINT drains us; exit 0."""
+        asyncio.run(self._amain())
+        return 0
+
+    # -- single-flight + batching -----------------------------------------
+    def _enqueue(self, spec: PointSpec) -> Tuple[_InflightPoint, bool]:
+        """Get the in-flight entry for a point, creating one if needed.
+
+        Returns ``(entry, coalesced)``; ``coalesced`` is True when the
+        point joined a computation another request already started.
+        """
+        entry = self._inflight.get(spec.fingerprint)
+        if entry is not None:
+            self.obs.metrics.add("service.points.coalesced")
+            return entry, True
+        entry = _InflightPoint(spec, self._loop.create_future())
+        self._inflight[spec.fingerprint] = entry
+        self._active_points += 1
+        self._queue.put_nowait(entry)
+        self.obs.metrics.add("service.points.enqueued")
+        return entry, False
+
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            entry = await self._queue.get()
+            if entry is None:
+                return
+            batch = [entry]
+            deadline = loop.time() + self.batch_window
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if nxt is None:
+                    self._queue.put_nowait(None)  # re-arm the stop sentinel
+                    break
+                batch.append(nxt)
+            self._wave_active = True
+            try:
+                await loop.run_in_executor(None, self._execute_wave, batch)
+            except BaseException as exc:  # defensive: _execute_wave catches
+                self._last_wave_error = f"{type(exc).__name__}: {exc}"
+                for item in batch:
+                    self._finish_point(
+                        item, None, None,
+                        _PointFailed(item.spec, self._last_wave_error))
+            finally:
+                self._wave_active = False
+                self._waves_run += 1
+
+    # -- wave execution (runs on an executor thread) ----------------------
+    def _execute_wave(self, batch: List[_InflightPoint]) -> None:
+        """Resolve one batch of unique points through the cache tiers."""
+        groups: "OrderedDict[Tuple[float, str], List[_InflightPoint]]" = \
+            OrderedDict()
+        for entry in batch:
+            key = (entry.spec.scale, config_fingerprint(entry.spec.config))
+            groups.setdefault(key, []).append(entry)
+        for (scale, _), entries in groups.items():
+            self._run_group(scale, entries)
+
+    def _run_group(self, scale: float, entries: List[_InflightPoint]) -> None:
+        cache = self.cache
+        saved_scale, saved_config = cache.scale, cache.config
+        try:
+            cache.scale = scale
+            cache.config = entries[0].spec.config
+            tiers: Dict[str, str] = {}
+            to_compute: List[_InflightPoint] = []
+            disk = cache._disk_cache()
+            for entry in entries:
+                spec = entry.spec
+                key = cache._key(spec.workload, spec.design,
+                                 spec.track_lifetimes)
+                if key in cache._results:
+                    tiers[spec.fingerprint] = TIER_MEMO
+                    continue
+                cached = disk.load(spec.fingerprint) if disk is not None \
+                    else None
+                if cached is not None:
+                    cache._results[key] = cached
+                    tiers[spec.fingerprint] = TIER_DISK
+                else:
+                    tiers[spec.fingerprint] = TIER_COMPUTED
+                    to_compute.append(entry)
+            sweep_failures: Dict[Tuple[str, str], str] = {}
+            wave_error: Optional[str] = None
+            if to_compute:
+                try:
+                    cache.run_many(
+                        [(e.spec.workload, e.spec.design,
+                          e.spec.track_lifetimes) for e in to_compute])
+                except SweepError as exc:
+                    self._last_wave_error = str(exc)
+                    sweep_failures = {
+                        (f.workload, f.design): str(f) for f in exc.failures}
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as exc:
+                    wave_error = f"{type(exc).__name__}: {exc}"
+                    self._last_wave_error = wave_error
+            for entry in entries:
+                spec = entry.spec
+                key = cache._key(spec.workload, spec.design,
+                                 spec.track_lifetimes)
+                result = cache._results.get(key)
+                if result is not None:
+                    self._resolve(entry, tiers[spec.fingerprint], result)
+                    continue
+                reason = (sweep_failures.get((spec.workload, spec.design.name))
+                          or wave_error
+                          or "point did not complete")
+                self._resolve(entry, None, None,
+                              _PointFailed(spec, reason))
+        finally:
+            cache.scale, cache.config = saved_scale, saved_config
+
+    def _resolve(self, entry: _InflightPoint, tier: Optional[str],
+                 result, exc: Optional[BaseException] = None) -> None:
+        self._loop.call_soon_threadsafe(
+            self._finish_point, entry, tier, result, exc)
+
+    def _finish_point(self, entry: _InflightPoint, tier: Optional[str],
+                      result, exc: Optional[BaseException]) -> None:
+        """Settle one point's future (always on the event-loop thread)."""
+        if self._inflight.pop(entry.spec.fingerprint, None) is not None:
+            self._active_points -= 1
+        metrics = self.obs.metrics
+        latency = time.perf_counter() - entry.enqueued_at
+        if entry.future.done():
+            return
+        if exc is not None:
+            metrics.add("service.points.failed")
+            entry.future.set_exception(exc)
+        else:
+            metrics.add(f"service.tier.{tier}")
+            metrics.histogram(f"service.latency.{tier}").record(latency)
+            entry.future.set_result((result, tier))
+
+    # -- HTTP layer -------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                self._busy_requests += 1
+                try:
+                    status, payload = await self._route(method, path, body)
+                    # Established connections stay alive through a drain
+                    # (so clients see a clean 503, not a reset); _drain()
+                    # force-closes them once the last response is written.
+                    keep_alive = (headers.get("connection", "").lower()
+                                  != "close")
+                    await self._write_response(
+                        writer, status, payload, keep_alive)
+                finally:
+                    self._busy_requests -= 1
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("ascii").split(None, 2)
+        except (UnicodeDecodeError, ValueError):
+            return None
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            return None
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError:
+                return None
+            if not 0 <= n <= _MAX_BODY_BYTES:
+                return None
+            body = await reader.readexactly(n)
+        return method, target.split("?", 1)[0], headers, body
+
+    async def _write_response(self, writer: asyncio.StreamWriter, status: int,
+                              payload: Dict[str, Any],
+                              keep_alive: bool) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"X-Trace-Id: {payload.get('trace_id', '-')}\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> Tuple[int, Dict[str, Any]]:
+        trace_id = uuid.uuid4().hex[:16]
+        metrics = self.obs.metrics
+        metrics.add("service.requests")
+        started = time.perf_counter()
+        try:
+            status, payload = await self._dispatch(
+                method, path, body, trace_id)
+        except ProtocolError as exc:
+            status, payload = exc.status, exc.body()
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            metrics.add("service.errors.internal")
+            status, payload = 500, {
+                "error": protocol.ERROR_INTERNAL,
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+        payload.setdefault("trace_id", trace_id)
+        metrics.add(f"service.http.{status}")
+        metrics.histogram("service.request_seconds").record(
+            time.perf_counter() - started)
+        if self.obs.tracing:
+            self.obs.tracer.emit(
+                "service.request", time.time(), trace_id=trace_id,
+                method=method, path=path, status=status)
+        return status, payload
+
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        trace_id: str) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            self._require(method, "GET")
+            return 200, self._health_payload()
+        if path == "/metrics":
+            self._require(method, "GET")
+            return 200, self._metrics_payload()
+        if path == "/v1/simulate":
+            self._require(method, "POST")
+            self._reject_if_draining()
+            return await self._simulate(self._decode(body), trace_id)
+        if path == "/v1/jobs":
+            self._require(method, "POST")
+            self._reject_if_draining()
+            return self._submit_job(self._decode(body), trace_id)
+        if path.startswith("/v1/jobs/"):
+            self._require(method, "GET")
+            return self._job_status(path[len("/v1/jobs/"):])
+        if path == "/v1/drain":
+            self._require(method, "POST")
+            self.request_drain()
+            return 202, {"status": "draining"}
+        raise ProtocolError(404, protocol.ERROR_NOT_FOUND,
+                            f"no route for {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise ProtocolError(
+                405, protocol.ERROR_BAD_REQUEST,
+                f"method {method} not allowed here (use {expected})")
+
+    def _reject_if_draining(self) -> None:
+        if self._draining:
+            self.obs.metrics.add("service.rejected.draining")
+            raise ProtocolError(
+                503, protocol.ERROR_DRAINING,
+                "service is draining; no new work accepted")
+
+    @staticmethod
+    def _decode(body: bytes) -> Any:
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                400, protocol.ERROR_BAD_REQUEST,
+                f"request body is not valid JSON: {exc}")
+
+    # -- endpoints --------------------------------------------------------
+    def _parse_points(self, body: Any) -> List[PointSpec]:
+        return protocol.parse_simulate_request(
+            body, self._base_scale, self._base_config,
+            check_invariants=self.cache.check_invariants)
+
+    async def _simulate(self, body: Any,
+                        trace_id: str) -> Tuple[int, Dict[str, Any]]:
+        specs = self._parse_points(body)
+        include_counters = bool(isinstance(body, dict)
+                                and body.get("include_counters"))
+        started = time.perf_counter()
+        entries = [self._enqueue(spec) for spec in specs]
+        outcomes = await asyncio.gather(
+            *(entry.future for entry, _ in entries), return_exceptions=True)
+        points: List[Dict[str, Any]] = []
+        failures: List[Dict[str, Any]] = []
+        for spec, (entry, coalesced), outcome in zip(
+                specs, entries, outcomes):
+            if isinstance(outcome, BaseException):
+                reason = getattr(outcome, "reason", None) or str(outcome)
+                failures.append({
+                    "workload": spec.workload,
+                    "design": spec.design.name,
+                    "fingerprint": spec.fingerprint,
+                    "reason": reason,
+                })
+                points.append({
+                    "workload": spec.workload,
+                    "design": spec.design.name,
+                    "fingerprint": spec.fingerprint,
+                    "error": reason,
+                })
+            else:
+                result, tier = outcome
+                points.append(protocol.result_payload(
+                    spec, result, tier, coalesced,
+                    include_counters=include_counters))
+        payload: Dict[str, Any] = {
+            "trace_id": trace_id,
+            "points": points,
+            "wall_seconds": time.perf_counter() - started,
+            "simulations_run_total": self.cache.simulations_run,
+        }
+        if failures:
+            payload["error"] = protocol.ERROR_SWEEP_FAILED
+            payload["message"] = (
+                f"{len(failures)} of {len(specs)} point(s) failed")
+            payload["failures"] = failures
+            return 500, payload
+        return 200, payload
+
+    def _submit_job(self, body: Any,
+                    trace_id: str) -> Tuple[int, Dict[str, Any]]:
+        specs = self._parse_points(body)  # validate before accepting
+        job_id = uuid.uuid4().hex
+        record: Dict[str, Any] = {
+            "job_id": job_id,
+            "status": "running",
+            "trace_id": trace_id,
+            "submitted_unix": time.time(),
+            "n_points": len(specs),
+            "result": None,
+        }
+        self._jobs[job_id] = record
+        while len(self._jobs) > _MAX_JOBS:
+            self._evict_one_job()
+        self._loop.create_task(self._run_job(record, body, trace_id))
+        self.obs.metrics.add("service.jobs.submitted")
+        return 202, {"job_id": job_id, "status": "running",
+                     "n_points": len(specs), "trace_id": trace_id}
+
+    def _evict_one_job(self) -> None:
+        for job_id, record in self._jobs.items():
+            if record["status"] != "running":
+                del self._jobs[job_id]
+                return
+        self._jobs.popitem(last=False)  # all running: drop the oldest
+
+    async def _run_job(self, record: Dict[str, Any], body: Any,
+                       trace_id: str) -> None:
+        status, payload = await self._simulate(body, trace_id)
+        record["result"] = payload
+        record["status"] = "done" if status == 200 else "failed"
+        record["completed_unix"] = time.time()
+
+    def _job_status(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        record = self._jobs.get(job_id)
+        if record is None:
+            raise ProtocolError(404, protocol.ERROR_NOT_FOUND,
+                                f"unknown job {job_id!r}")
+        payload = {key: record[key] for key in
+                   ("job_id", "status", "n_points", "submitted_unix")}
+        if record["status"] != "running":
+            payload["result"] = record["result"]
+            payload["completed_unix"] = record["completed_unix"]
+        return 200, payload
+
+    def _health_payload(self) -> Dict[str, Any]:
+        cache = self.cache
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": time.time() - self._started_at,
+            "queue_depth": self._queue.qsize(),
+            "inflight_points": self._active_points,
+            "busy_requests": self._busy_requests,
+            "jobs_running": sum(1 for r in self._jobs.values()
+                                if r["status"] == "running"),
+            "pool": {
+                "jobs": cache.jobs,
+                "wave_active": self._wave_active,
+                "waves_run": self._waves_run,
+                "last_wave_error": self._last_wave_error,
+            },
+            "simulations_run": cache.simulations_run,
+            "scale": self._base_scale,
+            "cache_dir": cache.cache_dir,
+            "checkpoint": cache.checkpoint,
+            "workloads": sorted(registry.WORKLOADS),
+            "designs": sorted({protocol.design_slug(name)
+                               for name in protocol.DESIGNS_BY_NAME}),
+        }
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        metrics = self.obs.metrics
+        metrics.set_gauge("service.queue_depth", self._queue.qsize())
+        metrics.set_gauge("service.inflight_points", self._active_points)
+        metrics.set_gauge("service.simulations_run",
+                          self.cache.simulations_run)
+        metrics.set_gauge("service.waves_run", self._waves_run)
+        metrics.set_gauge("service.uptime_seconds",
+                          time.time() - self._started_at)
+        return metrics.snapshot()
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    jobs: int = 1,
+    scale: Optional[float] = None,
+    cache_dir: Optional[str] = None,
+    checkpoint: Optional[str] = None,
+    check_invariants: bool = False,
+    point_timeout: Optional[float] = None,
+    point_retries: int = 2,
+    batch_window: float = 0.01,
+    max_batch: int = 64,
+) -> int:
+    """Build and run a service until SIGTERM/SIGINT drains it (CLI path)."""
+    service = ExperimentService(
+        host=host, port=port, jobs=jobs, scale=scale, cache_dir=cache_dir,
+        checkpoint=checkpoint, check_invariants=check_invariants,
+        point_timeout=point_timeout, point_retries=point_retries,
+        batch_window=batch_window, max_batch=max_batch)
+    return service.serve_forever()

@@ -25,6 +25,8 @@ from repro.memsys.interconnect import InterconnectConfig
 from repro.memsys.iommu import IOMMUConfig
 
 
+__all__ = ["SoCConfig", "l1_cache_config", "l2_cache_config"]
+
 def l1_cache_config() -> CacheConfig:
     """Per-CU 32 KB L1: write-through, no write-allocate (Table 1)."""
     return CacheConfig(

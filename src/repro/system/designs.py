@@ -25,6 +25,24 @@ from repro.memsys.page_table import PageTable
 from repro.system.config import SoCConfig
 from repro.system.physical_hierarchy import PhysicalHierarchy
 
+__all__ = [
+    "BASELINE_16K",
+    "BASELINE_512",
+    "BASELINE_LARGE_PER_CU",
+    "FULL_VC",
+    "IDEAL_MMU",
+    "L1_ONLY_VC",
+    "L1_ONLY_VC_128",
+    "L1_ONLY_VC_32",
+    "MMUDesign",
+    "PHYSICAL",
+    "TABLE2_DESIGNS",
+    "VC_WITHOUT_OPT",
+    "VC_WITH_OPT",
+    "baseline_unlimited_bandwidth",
+    "baseline_with_bandwidth",
+]
+
 PHYSICAL = "physical"
 FULL_VC = "vc"
 L1_ONLY_VC = "l1vc"

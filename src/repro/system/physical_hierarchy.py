@@ -28,6 +28,8 @@ from repro.engine.resources import BankedServer
 from repro.system.config import SoCConfig
 
 
+__all__ = ["PhysicalHierarchy"]
+
 class PhysicalHierarchy:
     """The baseline MMU + physical cache hierarchy."""
 

@@ -24,6 +24,8 @@ from repro.gpu.scratchpad import Scratchpad
 from repro.system.config import SoCConfig
 from repro.workloads.trace import Trace
 
+__all__ = ["SimulationResult", "simulate"]
+
 _TIME_EPS = 1e-9
 
 

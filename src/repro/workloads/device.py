@@ -24,6 +24,15 @@ from repro.memsys.address_space import AddressSpace, Mapping
 from repro.memsys.permissions import Permissions
 from repro.workloads.trace import MemoryInstruction, Trace
 
+__all__ = [
+    "DeviceArray",
+    "LANES",
+    "TraceBuilder",
+    "clamp_indices",
+    "strided_lane_addresses",
+    "warp_chunks",
+]
+
 LANES = 32
 
 

@@ -15,6 +15,18 @@ from dataclasses import dataclass
 import numpy as np
 
 
+__all__ = [
+    "CSRGraph",
+    "edge_positions",
+    "grid_graph",
+    "powerlaw_graph",
+    "segment_max",
+    "segment_min",
+    "uniform_random_graph",
+    "zipf_graph",
+]
+
+
 @dataclass
 class CSRGraph:
     """Compressed-sparse-row adjacency."""

@@ -33,6 +33,19 @@ from repro.workloads.graphs import (
 )
 from repro.workloads.trace import Trace
 
+__all__ = [
+    "LANES",
+    "N_CUS",
+    "bc",
+    "color_max",
+    "color_maxmin",
+    "fw",
+    "fw_block",
+    "mis",
+    "pagerank",
+    "pagerank_spmv",
+]
+
 N_CUS = 16
 LANES = 32
 

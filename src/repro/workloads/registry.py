@@ -20,6 +20,21 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.workloads import pannotia, rodinia
 from repro.workloads.trace import Trace
 
+__all__ = [
+    "HIGH_BANDWIDTH",
+    "LOW_BANDWIDTH",
+    "PANNOTIA",
+    "RODINIA",
+    "WORKLOADS",
+    "WorkloadFactory",
+    "clear_cache",
+    "default_scale",
+    "is_high_bandwidth",
+    "load",
+    "load_fresh",
+    "load_many",
+]
+
 WorkloadFactory = Callable[..., Trace]
 
 PANNOTIA: Dict[str, WorkloadFactory] = {

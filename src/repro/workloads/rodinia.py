@@ -21,6 +21,18 @@ from repro.workloads.device import DeviceArray, TraceBuilder, warp_chunks
 from repro.workloads.pannotia import _GraphKernel, _bfs_levels, _scaled
 from repro.workloads.trace import Trace
 
+__all__ = [
+    "LANES",
+    "N_CUS",
+    "backprop",
+    "bfs",
+    "hotspot",
+    "kmeans",
+    "lud",
+    "nw",
+    "pathfinder",
+]
+
 N_CUS = 16
 LANES = 32
 

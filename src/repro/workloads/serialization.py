@@ -29,6 +29,8 @@ from repro.workloads.trace import (
     validate_trace,
 )
 
+__all__ = ["FORMAT_VERSION", "load_trace", "save_trace"]
+
 FORMAT_VERSION = 1
 
 

@@ -19,6 +19,15 @@ from repro.memsys.permissions import Permissions
 from repro.workloads.device import DeviceArray, TraceBuilder
 from repro.workloads.trace import Trace
 
+__all__ = [
+    "LANES",
+    "MultiProcessWorkload",
+    "N_CUS",
+    "gather_kernel",
+    "multiprocess_homonyms",
+    "synonym_stress",
+]
+
 N_CUS = 16
 LANES = 32
 

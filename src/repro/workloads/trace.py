@@ -23,6 +23,14 @@ from repro.memsys.address_space import AddressSpace
 from repro.memsys.addressing import DEFAULT_LINE_SIZE, PAGE_SIZE, line_address, page_number
 
 
+__all__ = [
+    "MemoryInstruction",
+    "Trace",
+    "TraceValidationError",
+    "round_robin_requests",
+    "validate_trace",
+]
+
 class TraceValidationError(ValueError):
     """A trace (usually deserialized) is structurally invalid."""
 

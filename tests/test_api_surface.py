@@ -1,0 +1,55 @@
+"""The documented-API contract: every public module declares its surface.
+
+Every module under ``src/repro`` must carry a module docstring (ruff
+``D100``/``D104`` enforce the same in CI) and an ``__all__`` whose
+names all resolve on import — so ``from repro.x import *`` and API
+docs agree with the code.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+MODULES = sorted(
+    ".".join(p.relative_to(SRC).with_suffix("").parts).removesuffix(
+        ".__init__")
+    for p in SRC.glob("repro/**/*.py")
+)
+
+
+def _tree(module: str) -> ast.Module:
+    parts = module.split(".")
+    path = SRC.joinpath(*parts)
+    path = path / "__init__.py" if path.is_dir() else path.with_suffix(".py")
+    return ast.parse(path.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("module", MODULES)
+def test_module_has_docstring(module):
+    assert ast.get_docstring(_tree(module)), f"{module} has no docstring"
+
+
+@pytest.mark.parametrize("module", MODULES)
+def test_module_declares_all(module):
+    declares = any(
+        isinstance(node, ast.Assign)
+        and any(isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets)
+        for node in _tree(module).body
+    )
+    assert declares, f"{module} does not declare __all__"
+
+
+@pytest.mark.parametrize("module", MODULES)
+def test_every_all_name_resolves(module):
+    mod = importlib.import_module(module)
+    missing = [name for name in mod.__all__ if not hasattr(mod, name)]
+    assert not missing, f"{module}.__all__ names missing: {missing}"
+    assert len(mod.__all__) == len(set(mod.__all__)), (
+        f"{module}.__all__ has duplicates")

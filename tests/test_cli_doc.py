@@ -1,0 +1,49 @@
+"""docs/CLI.md must match what the argparse parser actually renders.
+
+The committed CLI reference is generated (``python -m
+repro.experiments.cli_doc``); any flag added or changed without
+regenerating the doc fails here with a diff-style message.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+
+from repro.experiments.cli import EXPERIMENTS
+from repro.experiments.cli_doc import EXPERIMENT_DESCRIPTIONS, render_cli_doc
+
+DOC = Path(__file__).resolve().parent.parent / "docs" / "CLI.md"
+
+
+def test_cli_doc_matches_parser():
+    committed = DOC.read_text(encoding="utf-8")
+    rendered = render_cli_doc()
+    if committed != rendered:
+        diff = "\n".join(difflib.unified_diff(
+            committed.splitlines(), rendered.splitlines(),
+            fromfile="docs/CLI.md (committed)",
+            tofile="docs/CLI.md (rendered from the parser)",
+            lineterm="", n=2))
+        raise AssertionError(
+            "docs/CLI.md is stale; regenerate with\n"
+            "  PYTHONPATH=src python -m repro.experiments.cli_doc "
+            "> docs/CLI.md\n" + diff)
+
+
+def test_every_experiment_is_documented():
+    assert set(EXPERIMENT_DESCRIPTIONS) == (
+        set(EXPERIMENTS) | {"all", "bench", "chaos", "serve"})
+
+
+def test_doc_mentions_every_flag():
+    """Belt and braces: no option string is missing from the table."""
+    import argparse
+
+    committed = DOC.read_text(encoding="utf-8")
+    from repro.experiments.cli import build_parser
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._HelpAction):
+            continue  # -h/--help is implicit, not documented in the table
+        for option in action.option_strings:
+            assert option in committed, f"{option} missing from docs/CLI.md"
