@@ -2,8 +2,9 @@
 
 The experiment drivers print text; this module draws them.  It writes
 plain SVG 1.1 by hand (no matplotlib in the offline environment), with
-just the two chart shapes the paper's evaluation uses: grouped bar
-charts (Figures 3, 4, 8, 9, 10, 11) and step-line CDFs (Figure 12).
+the chart shapes the paper's evaluation uses: grouped bar charts
+(Figures 3, 4, 8, 9, 10, 11), step-line CDFs (Figure 12), and
+multi-series line charts (the telemetry dashboard's timelines).
 """
 
 from __future__ import annotations
@@ -12,7 +13,7 @@ import xml.sax.saxutils as saxutils
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["PALETTE", "cdf_chart", "grouped_bar_chart"]
+__all__ = ["PALETTE", "cdf_chart", "grouped_bar_chart", "line_chart"]
 
 PALETTE = ("#31588A", "#C14B42", "#D9A441", "#5B8C5A", "#7B5B8F", "#4E9B9B")
 
@@ -123,6 +124,76 @@ def grouped_bar_chart(
         c.text(x, margin_t + plot_h + 14, cat, size=10, rotate=-35,
                anchor="end")
     # Legend.
+    lx = margin_l
+    ly = height - 16
+    for s_idx, name in enumerate(series):
+        color = PALETTE[s_idx % len(PALETTE)]
+        c.rect(lx, ly - 9, 10, 10, color)
+        c.text(lx + 14, ly, name, size=10, anchor="start")
+        lx += 14 + 7 * len(name) + 24
+    return c.render()
+
+
+def line_chart(
+    title: str,
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 900,
+    height: int = 320,
+    y_max: float = None,
+) -> str:
+    """A multi-series line chart over a shared numeric x axis.
+
+    Each series is a sequence of ``(x, y)`` points (e.g. a
+    :meth:`~repro.obs.Timeline.series` — epoch start vs. per-epoch
+    value).  Series need not share x positions; the x axis spans the
+    union of all points.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    margin_l, margin_r, margin_t, margin_b = 70, 20, 40, 60
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    all_points = [pt for pts in series.values() for pt in pts]
+    if not all_points:
+        raise ValueError("every series is empty")
+    x_lo = min(pt[0] for pt in all_points)
+    x_hi = max(pt[0] for pt in all_points)
+    x_span = max(x_hi - x_lo, 1e-9)
+    data_y_max = max(pt[1] for pt in all_points)
+    y_top = y_max if y_max is not None else data_y_max * 1.08
+    y_top = max(y_top, 1e-9)
+
+    c = _Canvas(width, height)
+    c.text(width / 2, 20, title, size=14)
+    c.line(margin_l, margin_t, margin_l, margin_t + plot_h)
+    c.line(margin_l, margin_t + plot_h, margin_l + plot_w, margin_t + plot_h)
+    for i in range(6):
+        frac = i / 5
+        y = margin_t + plot_h * (1 - frac)
+        if i:
+            c.line(margin_l, y, margin_l + plot_w, y, stroke="#ddd")
+        c.text(margin_l - 6, y + 4, f"{y_top * frac:.3g}", size=10,
+               anchor="end")
+        x = margin_l + plot_w * frac
+        c.text(x, margin_t + plot_h + 16, f"{x_lo + x_span * frac:.3g}",
+               size=10)
+    if x_label:
+        c.text(margin_l + plot_w / 2, height - 12, x_label, size=11)
+    if y_label:
+        c.text(16, margin_t + plot_h / 2, y_label, size=11, rotate=-90)
+
+    for s_idx, (name, points) in enumerate(series.items()):
+        color = PALETTE[s_idx % len(PALETTE)]
+        coords = [
+            (margin_l + plot_w * (x_val - x_lo) / x_span,
+             margin_t + plot_h * (1 - min(y_val, y_top) / y_top))
+            for x_val, y_val in points
+        ]
+        if coords:
+            c.polyline(coords, stroke=color)
+    # Legend along the bottom (same layout as the bar charts).
     lx = margin_l
     ly = height - 16
     for s_idx, name in enumerate(series):

@@ -141,6 +141,9 @@ class L1OnlyVirtualHierarchy:
         self._counters = Counters()
         self.obs = obs
         self._tracer = obs.tracer if obs is not None else None
+        # Windowed time series (obs.metrics.timeline); None unless the
+        # caller enabled a timeline before building the hierarchy.
+        self._timeline = obs.metrics.timeline if obs is not None else None
         self._lpp = lines_per_page(config.line_size)
         # Deferred hot-path event counts (flushed via the ``counters``
         # property; only nonzero counts materialize, matching the
@@ -209,6 +212,8 @@ class L1OnlyVirtualHierarchy:
     def _translate(self, cu_id: int, vpn: int, now: float, asid: int):
         tlb = self.per_cu_tlbs[cu_id]
         self._n_tlb_accesses += 1
+        if self._timeline is not None:
+            self._timeline.record("tlb.probes", now)
         key = (asid << 52) | vpn
         # Inlined TLB.lookup (no lifetime tracker on per-CU TLBs): dict
         # probe + LRU refresh + hit count, skipping the method dispatch.
@@ -225,6 +230,8 @@ class L1OnlyVirtualHierarchy:
             return t, entry.ppn, entry.permissions
         tlb.misses += 1
         self._n_tlb_misses += 1
+        if self._timeline is not None:
+            self._timeline.record("tlb.misses", t)
         if tracing:
             tracer.emit("tlb.miss", t, cu=cu_id, vpn=vpn)
         request_at = t + self.config.interconnect.gpu_to_iommu
@@ -245,6 +252,9 @@ class L1OnlyVirtualHierarchy:
         line_index = vline % self._lpp
         l1 = self.l1s[cu_id]
         self._n_accesses += 1
+        timeline = self._timeline
+        if timeline is not None:
+            timeline.record("vc.accesses", now)
 
         key = (asid << _ASID_SHIFT) | vline
         line = l1.lookup(key)
@@ -252,6 +262,8 @@ class L1OnlyVirtualHierarchy:
             if not line.permissions._value_ & 1:
                 raise PermissionFault(vpn, False, line.permissions)
             self._n_l1_hits += 1
+            if timeline is not None:
+                timeline.record("vc.l1_hits", now)
             tracer = self._tracer
             if tracer is not None and tracer.enabled:
                 tracer.emit("vc.l1_hit", now, cu=cu_id, vpn=vpn)

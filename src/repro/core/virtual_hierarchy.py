@@ -86,6 +86,9 @@ class VirtualCacheHierarchy:
         self._counters = Counters()
         self.obs = obs
         self._tracer = obs.tracer if obs is not None else None
+        # Windowed time series (obs.metrics.timeline); None unless the
+        # caller enabled a timeline before building the hierarchy.
+        self._timeline = obs.metrics.timeline if obs is not None else None
         self._lpp = lines_per_page(config.line_size)
         # Deferred hot-path event counts (flushed via the ``counters``
         # property; only nonzero counts materialize, matching the
@@ -199,6 +202,9 @@ class VirtualCacheHierarchy:
         is_write = request.is_write
 
         self._n_accesses += 1
+        timeline = self._timeline
+        if timeline is not None:
+            timeline.record("vc.accesses", now)
         if self.srts is not None:
             # Dynamic synonym remapping: redirect known synonym pages to
             # their leading address before the L1 lookup (one extra
@@ -214,6 +220,8 @@ class VirtualCacheHierarchy:
             if not line.permissions._value_ & (2 if is_write else 1):
                 raise PermissionFault(vpn, is_write, line.permissions)
             self._n_l1_hits += 1
+            if timeline is not None:
+                timeline.record("vc.l1_hits", now)
             tracer = self._tracer
             if tracer is not None and tracer.enabled:
                 tracer.emit("vc.l1_hit", now, cu=cu_id, vpn=vpn)
@@ -235,6 +243,8 @@ class VirtualCacheHierarchy:
             if not l2_line.permissions._value_ & (2 if is_write else 1):
                 raise PermissionFault(vpn, is_write, l2_line.permissions)
             self._n_l2_hits += 1
+            if timeline is not None:
+                timeline.record("vc.l2_hits", t_hit)
             tracer = self._tracer
             if tracer is not None and tracer.enabled:
                 tracer.emit("vc.l2_hit", t_hit, cu=cu_id, vpn=vpn)
@@ -247,6 +257,8 @@ class VirtualCacheHierarchy:
 
         # Whole-hierarchy miss → translation is finally needed.
         self._n_l2_misses += 1
+        if timeline is not None:
+            timeline.record("vc.l2_misses", t_hit)
         tracer = self._tracer
         if tracer is not None and tracer.enabled:
             tracer.emit("vc.miss", t_hit, cu=cu_id, vpn=vpn)
@@ -297,6 +309,8 @@ class VirtualCacheHierarchy:
             raise PermissionFault(vpn, is_write, outcome.permissions)
 
         t_fbt = outcome.finish + cfg.interconnect.l2_to_fbt + cfg.interconnect.fbt_lookup
+        if self._timeline is not None:
+            self._timeline.record("fbt.lookups", t_fbt)
         check = self.fbt.check_access(
             asid, vpn, outcome.ppn, outcome.permissions, line_index, is_write,
             is_large=outcome.is_large,
@@ -446,6 +460,7 @@ class VirtualCacheHierarchy:
 
         # Non-inclusive L1s: consult each CU's invalidation filter; a hit
         # conservatively flushes that whole (clean, write-through) L1.
+        timeline = self._timeline
         for cu_id, fltr in enumerate(self.filters):
             flush = not self.use_invalidation_filters
             if not flush:
@@ -453,6 +468,12 @@ class VirtualCacheHierarchy:
                     fltr.might_hold(order.asid, order.leading_vpn + subpage)
                     for subpage in range(order.n_subpages)
                 )
+            if timeline is not None:
+                timeline.record("filter.checks", now)
+                if not flush:
+                    # The invalidation filter proved this L1 clean of
+                    # the page, saving a conservative whole-L1 flush.
+                    timeline.record("filter.filtered", now)
             if flush:
                 self.l1s[cu_id].invalidate_all()
                 fltr.clear()

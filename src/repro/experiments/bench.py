@@ -11,7 +11,7 @@ points, so it is the number this repo tracks across PRs::
 
     repro-experiment bench                          # print + write BENCH json
     repro-experiment bench --scale 0.05             # tiny CI smoke scale
-    repro-experiment bench --bench-compare BENCH_PR3.json
+    repro-experiment bench --bench-compare benchmarks/perf/BENCH_PR3.json
     repro-experiment bench --bench-baseline benchmarks/perf/BENCH_SEED.json
 
 ``--bench-baseline`` embeds a previously recorded run (e.g. the
@@ -154,13 +154,38 @@ def run_bench(
     repeats: int = 3,
     points: Sequence[tuple] = DEFAULT_POINTS,
     config: Optional[SoCConfig] = None,
+    obs=None,
 ) -> Dict[str, object]:
-    """Run every benchmark point and return the report dict."""
+    """Run every benchmark point and return the report dict.
+
+    ``obs`` is telemetry *about* the benchmark, never *inside* it: the
+    timed simulate loop stays unobserved (observing it would distort
+    the tracked requests/sec), and each point instead yields one
+    ``bench.point`` span plus ``bench.*`` metrics after its best run.
+    """
     config = config if config is not None else SoCConfig()
+    trace_ctx = None
+    if obs is not None and obs.tracing:
+        from repro.obs.trace_context import TraceContext
+
+        trace_ctx = TraceContext.new()
     results: List[PointResult] = []
     for figure, workload, design in points:
-        results.append(
-            _bench_point(figure, workload, design, config, scale, repeats))
+        point = _bench_point(figure, workload, design, config, scale, repeats)
+        results.append(point)
+        if obs is not None:
+            obs.metrics.add("bench.points")
+            obs.metrics.histogram("bench.simulate_seconds").record(
+                point.simulate_seconds)
+            obs.metrics.histogram("bench.requests_per_sec").record(
+                point.requests_per_sec)
+            if trace_ctx is not None:
+                obs.tracer.emit(
+                    "span", time.time(), name="bench.point",
+                    dur=point.simulate_seconds, point=point.name,
+                    requests=point.requests,
+                    requests_per_sec=round(point.requests_per_sec, 1),
+                    **trace_ctx.child().span_fields())
     total_requests = sum(r.requests for r in results)
     total_seconds = sum(r.simulate_seconds for r in results)
     return {
@@ -253,6 +278,8 @@ def main(
     baseline_path: Optional[str] = None,
     compare_path: Optional[str] = None,
     tolerance: float = 0.30,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
 ) -> int:
     """CLI entry (wired to ``repro-experiment bench``); returns exit code."""
     # Read the reference files up front so a bad path fails cleanly
@@ -273,12 +300,32 @@ def main(
         else:
             recorded = loaded
 
-    report = run_bench(scale=scale, repeats=repeats)
+    obs = None
+    if trace_out or metrics_out:
+        from repro.obs import JsonLinesTracer, Observability
+
+        tracer = JsonLinesTracer(trace_out) if trace_out else None
+        obs = Observability(tracer=tracer)
+    report = run_bench(scale=scale, repeats=repeats, obs=obs)
     if baseline is not None:
         attach_baseline(report, baseline)
     print(render(report))
+    if obs is not None:
+        obs.close()
+        if metrics_out:
+            from repro.obs.manifest import build_manifest, write_manifest
+
+            manifest = build_manifest(
+                config=SoCConfig(), metrics=obs.metrics,
+                extra={"experiments": ["bench"], "scale": scale,
+                       "bench_total": report["total"]})
+            print(f"wrote {write_manifest(metrics_out, manifest)}")
+        if trace_out:
+            print(f"wrote {trace_out} ({obs.tracer.events_emitted} events)")
     if out is not None:
         try:
+            parent = Path(out).resolve().parent
+            parent.mkdir(parents=True, exist_ok=True)
             Path(out).write_text(
                 json.dumps(report, indent=2, sort_keys=True) + "\n")
         except OSError as exc:

@@ -20,11 +20,13 @@ memoized traces.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.analysis.report import section
 from repro.experiments.common import GLOBAL_CACHE, resolve_workloads
+from repro.obs.trace_context import TraceContext
 from repro.robustness.fault_plan import FaultInjector, FaultPlan
 from repro.robustness.invariants import InvariantViolation
 from repro.system.config import SoCConfig
@@ -116,21 +118,35 @@ def _run_point(
     seed: int,
     scale: Optional[float],
     invariant_interval: int,
+    obs=None,
+    trace_ctx=None,
 ) -> ChaosPoint:
     # Fresh trace: the injector mutates this trace's page table.
     trace = registry.load_fresh(workload, scale=scale)
     page_tables = {0: trace.address_space.page_table}
-    hierarchy = design.build(config, page_tables)
+    point_ctx = None
+    point_obs = obs
+    if obs is not None and obs.tracing and trace_ctx is not None:
+        # One span per grid point; the injected faults and the
+        # simulation's fine-grained events all join this trace.
+        point_ctx = trace_ctx.child()
+        point_obs = obs.with_fields(**point_ctx.fields())
+    hierarchy = design.build(config, page_tables, obs=point_obs)
     plan = FaultPlan.for_trace(trace, rate, seed=seed)
-    injector = FaultInjector(hierarchy, plan, trace.address_space)
+    injector = FaultInjector(
+        hierarchy, plan, trace.address_space,
+        tracer=(point_obs.tracer if point_obs is not None
+                and point_obs.tracing else None),
+        trace_ctx=point_ctx)
     violation = None
     audits = 0
     cycles = 0.0
+    wall_start = time.perf_counter()
     try:
         result = simulate(
             trace, injector, design.soc_config(config),
             design=design.name, check_invariants=True,
-            invariant_interval=invariant_interval,
+            invariant_interval=invariant_interval, obs=point_obs,
         )
     except InvariantViolation as exc:
         violation = str(exc)
@@ -138,6 +154,12 @@ def _run_point(
         audits = int(result.counters.get("invariants.audits", 0))
         cycles = result.cycles
     applied = int(injector.counters.as_dict().get("chaos.events", 0))
+    if point_ctx is not None:
+        obs.tracer.emit(
+            "span", time.time(), name="chaos.point",
+            dur=time.perf_counter() - wall_start, workload=workload,
+            design=design.name, rate=rate, events_applied=applied,
+            ok=violation is None, **point_ctx.span_fields())
     return ChaosPoint(
         workload=workload, design=design.name, rate=rate,
         n_events=len(plan), events_applied=applied, audits=audits,
@@ -155,17 +177,26 @@ def run(
     # instructions) get several mid-run audits, not just the final one.
     invariant_interval: int = 64,
     designs=DESIGNS,
+    obs=None,
 ) -> ChaosReport:
-    """Run the chaos grid; never raises on a violation (it's reported)."""
+    """Run the chaos grid; never raises on a violation (it's reported).
+
+    With a tracing ``obs``, the whole grid becomes one trace: a
+    ``chaos.point`` span per grid point with each injected fault as a
+    zero-duration child span, plus the simulation's per-request events.
+    """
     config = config if config is not None else GLOBAL_CACHE.config
     scale = scale if scale is not None else GLOBAL_CACHE.effective_scale()
     names = resolve_workloads(workloads, DEFAULT_WORKLOADS)
     for rate in rates:
         if rate < 0:
             raise ValueError("fault rates must be nonnegative")
+    trace_ctx = None
+    if obs is not None and obs.tracing:
+        trace_ctx = TraceContext.new()
     points = [
         _run_point(config, workload, design, rate, seed, scale,
-                   invariant_interval)
+                   invariant_interval, obs=obs, trace_ctx=trace_ctx)
         for workload in names
         for design in designs
         for rate in rates
@@ -178,9 +209,30 @@ def main(
     rates: Tuple[float, ...] = DEFAULT_RATES,
     seed: int = 0,
     scale: Optional[float] = None,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
 ) -> int:
-    report = run(workloads=workloads, rates=rates, seed=seed, scale=scale)
+    obs = None
+    if trace_out or metrics_out:
+        from repro.obs import JsonLinesTracer, Observability
+
+        tracer = JsonLinesTracer(trace_out) if trace_out else None
+        obs = Observability(tracer=tracer)
+    report = run(workloads=workloads, rates=rates, seed=seed, scale=scale,
+                 obs=obs)
     print(report.render())
+    if obs is not None:
+        obs.close()
+        if metrics_out:
+            from repro.obs.manifest import build_manifest, write_manifest
+
+            manifest = build_manifest(
+                config=GLOBAL_CACHE.config, metrics=obs.metrics,
+                extra={"experiments": ["chaos"], "seed": seed,
+                       "rates": list(rates)})
+            print(f"wrote {write_manifest(metrics_out, manifest)}")
+        if trace_out:
+            print(f"wrote {trace_out} ({obs.tracer.events_emitted} events)")
     return 0 if report.ok else 1
 
 

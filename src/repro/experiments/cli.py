@@ -43,7 +43,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import GLOBAL_CACHE
 
-__all__ = ["EXPERIMENTS", "build_parser", "main"]
+__all__ = ["EXPERIMENTS", "EXTRA_COMMANDS", "build_parser", "main"]
 
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": lambda: tables.render_table1(),
@@ -75,8 +75,13 @@ def _validate() -> str:
     return render_report(collect_measurements(GLOBAL_CACHE))
 
 
+#: Subcommands dispatched outside the figure/table registry.
+EXTRA_COMMANDS = ("all", "bench", "chaos", "dashboard", "loadtest",
+                  "serve", "trace")
+
+
 def _experiment_listing() -> str:
-    return "\n".join(sorted(EXPERIMENTS) + ["all", "bench", "chaos", "serve"])
+    return "\n".join(sorted(EXPERIMENTS) + list(EXTRA_COMMANDS))
 
 
 def _preflight_cache_dir(cache_dir: str) -> str:
@@ -127,6 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="which artefact to regenerate (see --list), or 'all'",
     )
     parser.add_argument(
+        "action", nargs="?", metavar="ACTION",
+        help="subaction for the 'trace' command (only 'show': render a "
+             "JSON-lines trace file as a span tree)",
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="print the valid experiment names and exit",
     )
@@ -168,8 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench options (only with the 'bench' experiment)")
     bench_group.add_argument(
         "--bench-out", metavar="PATH", default=None,
-        help="write the benchmark report JSON to PATH (default: BENCH_PR3.json "
-             "in the current directory)",
+        help="write the benchmark report JSON to PATH (default: "
+             "benchmarks/perf/BENCH_PR3.json)",
     )
     bench_group.add_argument(
         "--bench-repeats", type=int, default=3, metavar="N",
@@ -248,6 +258,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-batch", type=int, default=64, metavar="N",
         help="maximum distinct points batched into one wave (default: 64)",
     )
+    loadtest_group = parser.add_argument_group(
+        "loadtest options (only with the 'loadtest' experiment)")
+    loadtest_group.add_argument(
+        "--lt-target", metavar="HOST:PORT", default=None,
+        help="load-test an already-running service at HOST:PORT "
+             "(default: spawn a private in-process service)",
+    )
+    loadtest_group.add_argument(
+        "--lt-clients", metavar="N1,N2,...", default="1,2,4,8",
+        help="comma-separated concurrency levels to sweep "
+             "(default: 1,2,4,8)",
+    )
+    loadtest_group.add_argument(
+        "--lt-requests", type=int, default=8, metavar="N",
+        help="requests each client issues per level (default: 8)",
+    )
+    loadtest_group.add_argument(
+        "--lt-points", metavar="W/D,...", default="bfs/baseline-512",
+        help="comma-separated workload/design points each request asks "
+             "for (default: bfs/baseline-512)",
+    )
+    loadtest_group.add_argument(
+        "--lt-out", metavar="PATH", default=None,
+        help="write the per-level latency/throughput report JSON to PATH",
+    )
+    dash_group = parser.add_argument_group(
+        "dashboard options (only with the 'dashboard' experiment)")
+    dash_group.add_argument(
+        "--dash-out", metavar="PATH", default="dashboard.html",
+        help="HTML file to write (default: dashboard.html)",
+    )
+    dash_group.add_argument(
+        "--dash-workload", metavar="NAME", default="bfs",
+        help="workload driven through every dashboard design "
+             "(default: bfs)",
+    )
+    dash_group.add_argument(
+        "--dash-service-metrics", metavar="PATH", default=None,
+        help="a service /metrics JSON snapshot to render the cache-tier "
+             "provenance panel from (optional)",
+    )
+    dash_group.add_argument(
+        "--dash-epoch-cycles", type=float, default=1024.0, metavar="N",
+        help="timeline epoch width in simulated cycles (default: 1024)",
+    )
+    trace_group = parser.add_argument_group(
+        "trace options (only with the 'trace show' command)")
+    trace_group.add_argument(
+        "--trace-in", metavar="PATH", default=None,
+        help="the JSON-lines trace file to render (from --trace-out)",
+    )
+    trace_group.add_argument(
+        "--trace-id", metavar="ID", default=None,
+        help="render only this trace id (default: every trace in the file)",
+    )
     return parser
 
 
@@ -263,11 +328,102 @@ def main(argv=None) -> int:
         print("repro-experiment: error: no experiment given "
               "(use --list to see the choices)", file=sys.stderr)
         return 2
+    if args.action is not None and args.experiment != "trace":
+        print(f"repro-experiment: error: {args.experiment!r} takes no "
+              f"subaction (got {args.action!r})", file=sys.stderr)
+        return 2
     if args.cache_dir is not None:
         # Fail before any simulation, not after hours of compute.
         problem = _preflight_cache_dir(args.cache_dir)
         if problem:
             print(f"repro-experiment: error: {problem}", file=sys.stderr)
+            return 2
+    if args.experiment == "trace":
+        from repro.obs.trace_view import load_events, render_traces
+
+        if args.action != "show":
+            print("repro-experiment: error: the trace command needs the "
+                  "'show' subaction (repro-experiment trace show "
+                  "--trace-in PATH)", file=sys.stderr)
+            return 2
+        if args.trace_in is None:
+            print("repro-experiment: error: trace show requires "
+                  "--trace-in PATH", file=sys.stderr)
+            return 2
+        try:
+            events = load_events(args.trace_in)
+        except (OSError, ValueError) as exc:
+            print(f"repro-experiment: error: cannot load --trace-in "
+                  f"{args.trace_in!r}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            print(render_traces(events, args.trace_id))
+        except ValueError as exc:  # --trace-id not present in the file
+            print(f"repro-experiment: error: {exc}", file=sys.stderr)
+            return 2
+        except BrokenPipeError:
+            # Piping into `head` is normal for large traces; a closed
+            # pipe is not an error.
+            import os
+
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    if args.experiment == "loadtest":
+        from repro.experiments import loadtest
+
+        try:
+            levels = tuple(
+                int(n) for n in args.lt_clients.split(",") if n.strip())
+        except ValueError:
+            print(f"repro-experiment: error: --lt-clients "
+                  f"{args.lt_clients!r} is not a comma-separated list of "
+                  f"integers", file=sys.stderr)
+            return 2
+        if not levels or any(n < 1 for n in levels):
+            print("repro-experiment: error: --lt-clients needs at least "
+                  "one positive level", file=sys.stderr)
+            return 2
+        if args.lt_requests < 1:
+            print("repro-experiment: error: --lt-requests must be >= 1",
+                  file=sys.stderr)
+            return 2
+        points = []
+        for chunk in args.lt_points.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            workload, sep, design = chunk.partition("/")
+            if not sep or not workload or not design:
+                print(f"repro-experiment: error: --lt-points entry "
+                      f"{chunk!r} is not WORKLOAD/DESIGN", file=sys.stderr)
+                return 2
+            points.append((workload, design))
+        if not points:
+            print("repro-experiment: error: --lt-points needs at least "
+                  "one WORKLOAD/DESIGN point", file=sys.stderr)
+            return 2
+        return loadtest.main(
+            target=args.lt_target, levels=levels,
+            requests_per_client=args.lt_requests, points=points,
+            scale=args.scale, jobs=args.jobs, out=args.lt_out,
+        )
+    if args.experiment == "dashboard":
+        from repro.experiments import dashboard
+
+        if args.dash_epoch_cycles <= 0:
+            print("repro-experiment: error: --dash-epoch-cycles must be "
+                  "positive", file=sys.stderr)
+            return 2
+        try:
+            return dashboard.main(
+                workload=args.dash_workload, scale=args.scale,
+                out=args.dash_out,
+                service_metrics=args.dash_service_metrics,
+                epoch_cycles=args.dash_epoch_cycles,
+            )
+        except KeyError as exc:
+            print(f"repro-experiment: error: {exc.args[0]}",
+                  file=sys.stderr)
             return 2
     if args.experiment == "serve":
         from repro.service.server import run_server
@@ -296,6 +452,7 @@ def main(argv=None) -> int:
             point_timeout=args.point_timeout,
             point_retries=args.point_retries,
             batch_window=args.batch_window, max_batch=args.max_batch,
+            trace_out=args.trace_out, metrics_out=args.metrics_out,
         )
     if args.experiment == "chaos":
         from repro.experiments import chaos
@@ -317,7 +474,8 @@ def main(argv=None) -> int:
         try:
             return chaos.main(
                 workloads=workloads, rates=rates, seed=args.chaos_seed,
-                scale=args.scale,
+                scale=args.scale, trace_out=args.trace_out,
+                metrics_out=args.metrics_out,
             )
         except KeyError as exc:
             print(f"repro-experiment: error: {exc.args[0]}", file=sys.stderr)
@@ -332,10 +490,13 @@ def main(argv=None) -> int:
         return bench.main(
             scale=args.scale if args.scale is not None else 0.1,
             repeats=args.bench_repeats,
-            out=args.bench_out if args.bench_out is not None else "BENCH_PR3.json",
+            out=(args.bench_out if args.bench_out is not None
+                 else "benchmarks/perf/BENCH_PR3.json"),
             baseline_path=args.bench_baseline,
             compare_path=args.bench_compare,
             tolerance=args.bench_tolerance,
+            trace_out=args.trace_out,
+            metrics_out=args.metrics_out,
         )
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(f"repro-experiment: error: unknown experiment "

@@ -17,7 +17,7 @@ import os
 import sys
 from typing import Dict, List
 
-from repro.experiments.cli import EXPERIMENTS, build_parser
+from repro.experiments.cli import EXPERIMENTS, EXTRA_COMMANDS, build_parser
 
 __all__ = ["EXPERIMENT_DESCRIPTIONS", "main", "render_cli_doc"]
 
@@ -50,6 +50,15 @@ EXPERIMENT_DESCRIPTIONS: Dict[str, str] = {
     "serve": "Long-running simulation service over HTTP: batching, "
              "single-flight coalescing, cache-tier provenance, /metrics "
              "and /healthz (see the serve options below).",
+    "dashboard": "Render the translation-bandwidth telemetry dashboard "
+                 "(IOMMU queue-depth / filter-rate timelines, traffic "
+                 "breakdown) as a self-contained HTML page (see the "
+                 "dashboard options below).",
+    "loadtest": "Concurrency sweep against the simulation service: "
+                "p50/p95/p99 latency, throughput, and the saturation "
+                "knee (see the loadtest options below).",
+    "trace": "Render a JSON-lines trace file as a span tree "
+             "('trace show', see the trace options below).",
 }
 
 
@@ -107,7 +116,7 @@ def render_cli_doc() -> str:
     """Render the complete markdown CLI reference."""
     parser = build_parser()
     documented = set(EXPERIMENT_DESCRIPTIONS)
-    actual = set(EXPERIMENTS) | {"all", "bench", "chaos", "serve"}
+    actual = set(EXPERIMENTS) | set(EXTRA_COMMANDS)
     if documented != actual:
         missing = sorted(actual - documented)
         stale = sorted(documented - actual)
@@ -144,7 +153,7 @@ def render_cli_doc() -> str:
     lines.append("")
     lines.append("| Experiment | What it runs |")
     lines.append("|---|---|")
-    ordered = sorted(EXPERIMENTS) + ["all", "bench", "chaos", "serve"]
+    ordered = sorted(EXPERIMENTS) + list(EXTRA_COMMANDS)
     for name in ordered:
         lines.append(f"| `{name}` | {EXPERIMENT_DESCRIPTIONS[name]} |")
     lines.append("")

@@ -24,6 +24,7 @@ Two opt-in layers sit on top of the in-process memo:
 
 from __future__ import annotations
 
+import os
 import time as _time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
@@ -106,16 +107,23 @@ def _simulate_point(
     track_lifetimes: bool,
     collect_metrics: bool,
     check_invariants: bool = False,
-) -> Tuple[SimulationResult, Optional[object]]:
+    trace_ctx: Optional[Dict[str, object]] = None,
+) -> Tuple[SimulationResult, Optional[object], List[Dict[str, object]]]:
     """Run one design point from scratch (executes inside a pool worker).
 
     Module-level so ``ProcessPoolExecutor`` can pickle it.  Builds the
     same fresh trace/hierarchy the serial path builds, so the result is
-    bit-identical to an in-process run.  Returns the slim result plus
-    the worker's metrics registry (for parent-side merging) when the
-    parent had observability attached.
+    bit-identical to an in-process run.  Returns the slim result, the
+    worker's metrics registry (for parent-side merging) when the parent
+    had observability attached, and — when ``trace_ctx`` (a
+    :meth:`~repro.obs.TraceContext.to_wire` dict) is given — the span
+    records the worker produced, for the parent to re-emit into its
+    own trace stream.  Only coarse span records cross the process
+    boundary; per-request events stay worker-local (streaming millions
+    of events through pickling would dwarf the simulation itself).
     """
     obs = Observability() if collect_metrics else None
+    wall_start = _time.perf_counter()
     trace = registry.load(workload, scale=scale)
     page_tables = {0: trace.address_space.page_table}
     hierarchy = design.build(config, page_tables,
@@ -123,7 +131,20 @@ def _simulate_point(
     result = simulate(trace, hierarchy, design.soc_config(config),
                       design=design.name, obs=obs,
                       check_invariants=check_invariants)
-    return result, (obs.metrics if obs is not None else None)
+    spans: List[Dict[str, object]] = []
+    if trace_ctx is not None:
+        from repro.obs.trace_context import TraceContext
+
+        ctx = TraceContext.from_wire(trace_ctx)
+        span: Dict[str, object] = {
+            "ev": "span", "t": _time.time(), "name": "worker.simulate",
+            "workload": workload, "design": design.name,
+            "dur": _time.perf_counter() - wall_start,
+            "cycles": result.cycles, "pid": os.getpid(), "mode": "pool",
+        }
+        span.update(ctx.span_fields())
+        spans.append(span)
+    return result, (obs.metrics if obs is not None else None), spans
 
 
 @dataclass
@@ -269,6 +290,7 @@ class ResultCache:
 
     def run_many(
         self, points: Iterable[Point], jobs: Optional[int] = None,
+        trace_ctx=None,
     ) -> List[SimulationResult]:
         """Run (or fetch) many design points, fanning misses out over processes.
 
@@ -276,9 +298,20 @@ class ResultCache:
         ``(workload, design, track_lifetimes)`` tuples; the returned
         list matches their order.  ``jobs`` defaults to ``self.jobs``;
         with one job (or at most one miss) everything runs serially
-        in-process, exactly as :meth:`run`.  Per-request tracing forces
-        the serial path — a worker process cannot stream events into
-        the parent's trace file.
+        in-process, exactly as :meth:`run`.
+
+        ``trace_ctx`` (a :class:`~repro.obs.TraceContext`) threads a
+        caller's trace through the sweep: every simulated point gets a
+        child span (``worker.simulate``), and in the serial path the
+        per-request events a traced hierarchy emits are bound to that
+        span too, so one service request stitches into a single trace.
+
+        Per-request tracing *without* a trace context forces the serial
+        path — a worker process cannot stream fine-grained events into
+        the parent's trace file.  With a context attached the parallel
+        path stays parallel: workers return coarse span records (not
+        event streams) and the parent re-emits them in deterministic
+        submission order.
 
         The parallel path is fault tolerant: a point whose worker
         crashes, is killed, or exceeds ``point_timeout`` is retried (in
@@ -292,7 +325,9 @@ class ResultCache:
         jobs = self.jobs if jobs is None else jobs
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
-        if self.obs is not None and getattr(self.obs, "tracing", False):
+        tracing = self.obs is not None and getattr(self.obs, "tracing", False)
+        use_ctx = trace_ctx if tracing else None
+        if tracing and use_ctx is None:
             jobs = 1
 
         store = None
@@ -329,15 +364,51 @@ class ResultCache:
 
         if jobs == 1 or len(missing) <= 1:
             for key, workload, design, track_lifetimes, fingerprint in missing:
-                result = self._simulate_into_cache(
-                    key, workload, design, track_lifetimes)
+                if use_ctx is not None:
+                    result = self._simulate_traced(
+                        key, workload, design, track_lifetimes, use_ctx)
+                else:
+                    result = self._simulate_into_cache(
+                        key, workload, design, track_lifetimes)
                 if store is not None:
                     store.append(fingerprint, result)
         elif missing:
-            self._run_missing_parallel(missing, jobs, store)
+            self._run_missing_parallel(missing, jobs, store, use_ctx)
+        if use_ctx is not None and missing:
+            self.obs.tracer.emit(
+                "span", _time.time(), name="cache.run_many",
+                n_points=len(missing), **use_ctx.span_fields())
         return [
             self._results[self._key(w, d, tl)] for w, d, tl in normalized
         ]
+
+    def _simulate_traced(
+        self, key: CacheKey, workload: str, design: MMUDesign,
+        track_lifetimes: bool, ctx,
+    ) -> SimulationResult:
+        """Serial simulation under a child span of ``ctx``.
+
+        The cache's obs bundle is temporarily swapped for a view whose
+        tracer binds the child span's identity, so every per-request
+        event the hierarchy emits joins the caller's trace; the span
+        record itself is emitted afterwards with wall-clock timing.
+        """
+        point_ctx = ctx.child()
+        saved_obs = self.obs
+        self.obs = saved_obs.with_fields(**point_ctx.fields())
+        wall_start = _time.perf_counter()
+        try:
+            result = self._simulate_into_cache(
+                key, workload, design, track_lifetimes)
+        finally:
+            self.obs = saved_obs
+        saved_obs.tracer.emit(
+            "span", _time.time(), name="worker.simulate",
+            workload=workload, design=design.name,
+            dur=_time.perf_counter() - wall_start,
+            cycles=result.cycles, pid=os.getpid(), mode="serial",
+            **point_ctx.span_fields())
+        return result
 
     #: How long to wait for stragglers once the pool has been torn down
     #: after a timeout (completed futures return instantly; running ones
@@ -347,7 +418,7 @@ class ResultCache:
     _MAX_BACKOFF = 30.0
 
     def _run_missing_parallel(
-        self, missing: List[_Missing], jobs: int, store=None,
+        self, missing: List[_Missing], jobs: int, store=None, trace_ctx=None,
     ) -> None:
         # Generate traces in the parent first: forked workers then
         # inherit the memoized traces instead of regenerating one per
@@ -360,6 +431,11 @@ class ResultCache:
         disk = self._disk_cache()
         workers = min(jobs, len(missing))
         metrics_by_key: Dict[CacheKey, object] = {}
+        # One child span per point, minted up front so a retried point
+        # keeps its span identity across rounds.
+        ctx_by_key: Dict[CacheKey, object] = {}
+        if trace_ctx is not None:
+            ctx_by_key = {entry[0]: trace_ctx.child() for entry in missing}
         attempts: Dict[CacheKey, int] = {entry[0]: 0 for entry in missing}
         pending: List[_Missing] = list(missing)
         round_number = 0
@@ -373,7 +449,7 @@ class ResultCache:
                         _time.sleep(delay)
                 pending = self._run_one_round(
                     pending, min(jobs, len(pending)), collect_metrics, scale,
-                    disk, store, metrics_by_key, attempts)
+                    disk, store, metrics_by_key, attempts, ctx_by_key)
         # Merge worker metrics in the original submission order so
         # parent-side aggregation is deterministic run to run, no matter
         # which retry round completed each point.
@@ -393,6 +469,7 @@ class ResultCache:
         store,
         metrics_by_key: Dict[CacheKey, object],
         attempts: Dict[CacheKey, int],
+        ctx_by_key: Optional[Dict[CacheKey, object]] = None,
     ) -> List[_Missing]:
         """Run one retry round in a fresh pool; return the points to retry.
 
@@ -403,6 +480,7 @@ class ResultCache:
         retried in the next pool.
         """
         failures: List[Tuple[_Missing, str]] = []
+        ctx_by_key = ctx_by_key or {}
         pool = ProcessPoolExecutor(max_workers=workers)
         pool_killed = False
         try:
@@ -410,7 +488,9 @@ class ResultCache:
                 (entry,
                  pool.submit(_simulate_point, self.config, scale, entry[1],
                              entry[2], entry[3], collect_metrics,
-                             self.check_invariants))
+                             self.check_invariants,
+                             (ctx_by_key[entry[0]].to_wire()
+                              if entry[0] in ctx_by_key else None)))
                 for entry in pending
             ]
             for entry, future in futures:
@@ -418,7 +498,7 @@ class ResultCache:
                 timeout = (self._POOL_DRAIN_TIMEOUT if pool_killed
                            else self.point_timeout)
                 try:
-                    result, metrics = future.result(timeout=timeout)
+                    result, metrics, spans = future.result(timeout=timeout)
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except FuturesTimeout:
@@ -436,6 +516,14 @@ class ResultCache:
                 self._results[key] = result
                 if metrics is not None:
                     metrics_by_key[key] = metrics
+                if spans and self.obs is not None:
+                    # Harvested in submission order, so the re-emitted
+                    # worker spans land deterministically in the trace.
+                    tracer = self.obs.tracer
+                    for span in spans:
+                        fields = dict(span)
+                        tracer.emit(fields.pop("ev"), fields.pop("t"),
+                                    **fields)
                 if disk is not None:
                     disk.store(fingerprint, result)
                 if store is not None:

@@ -141,6 +141,9 @@ class IOMMU:
         self._queue_hist = None
         self._walk_hist = None
         self._translate_hist = None
+        # Windowed time series (obs.metrics.timeline); None unless the
+        # caller enabled a timeline before building the hierarchy.
+        self._timeline = obs.metrics.timeline if obs is not None else None
         if obs is not None:
             metrics = obs.metrics
             self._queue_hist = metrics.histogram("iommu.queue_delay")
@@ -216,6 +219,19 @@ class IOMMU:
         self.queue_cycles += service_start - now
         if self._queue_hist is not None:
             self._queue_hist.record(service_start - now)
+        timeline = self._timeline
+        if timeline is not None:
+            timeline.record("iommu.accesses", now)
+            wait = service_start - now
+            if wait:
+                # Summed waits per epoch; epoch-mean queue depth follows
+                # by Little's law (sum / epoch_cycles) at render time.
+                timeline.record("iommu.queue_wait", now, wait)
+            if not self.unlimited_bandwidth:
+                # Port occupancy: each accepted access holds its
+                # (banked) port for 1/rate cycles.
+                timeline.record("iommu.busy", service_start,
+                                1.0 / self.config.bandwidth)
         tracer = self._tracer
         tracing = tracer is not None and tracer.enabled
         if tracing:
@@ -228,6 +244,8 @@ class IOMMU:
         entry = self.shared_tlb.lookup(key, t)
         if entry is not None:
             self._n_tlb_hits += 1
+            if timeline is not None:
+                timeline.record("iommu.tlb_hits", t)
             if self._translate_hist is not None:
                 self._translate_hist.record(t - now)
             if tracing:
@@ -248,6 +266,8 @@ class IOMMU:
             if hit is not None:
                 ppn, permissions = hit
                 self._n_fbt_hits += 1
+                if timeline is not None:
+                    timeline.record("iommu.fbt_hits", t)
                 if self._translate_hist is not None:
                     self._translate_hist.record(t - now)
                 if tracing:
@@ -263,6 +283,8 @@ class IOMMU:
             tracer.emit("walk.start", t, vpn=vpn, asid=asid)
         walk = self._walkers[asid].walk(vpn, t)
         self._n_walks += 1
+        if timeline is not None:
+            timeline.record("iommu.walks", t)
         if self._walk_hist is not None:
             self._walk_hist.record(walk.finish - t)
         if self._translate_hist is not None:

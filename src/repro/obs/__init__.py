@@ -39,6 +39,9 @@ from repro.obs.manifest import (
 )
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry, MetricsScope
 from repro.obs.profiler import Profiler, Span
+from repro.obs.promexp import render_prometheus, validate_exposition
+from repro.obs.timeline import Timeline
+from repro.obs.trace_context import ContextTracer, TraceContext
 from repro.obs.tracer import (
     NULL_TRACER,
     JsonLinesTracer,
@@ -48,6 +51,7 @@ from repro.obs.tracer import (
 
 __all__ = [
     "NULL_TRACER",
+    "ContextTracer",
     "JsonLinesTracer",
     "LatencyHistogram",
     "MetricsRegistry",
@@ -57,9 +61,13 @@ __all__ = [
     "Profiler",
     "RecordingTracer",
     "Span",
+    "Timeline",
+    "TraceContext",
     "build_manifest",
     "git_sha",
     "load_manifest",
+    "render_prometheus",
+    "validate_exposition",
     "write_manifest",
 ]
 
@@ -87,6 +95,23 @@ class Observability:
     def tracing(self) -> bool:
         """True when the attached tracer actually records events."""
         return self.tracer.enabled
+
+    def with_fields(self, **fields) -> "Observability":
+        """A view whose tracer stamps ``fields`` onto every event.
+
+        Metrics and profiler are *shared* with this bundle — only the
+        tracer is wrapped (see :class:`~repro.obs.trace_context.ContextTracer`),
+        which is how a trace context binds to the events a simulation
+        emits.  When tracing is off this returns ``self`` unchanged,
+        preserving the zero-overhead path.
+        """
+        if not fields or not self.tracer.enabled:
+            return self
+        return Observability(
+            tracer=ContextTracer(self.tracer, **fields),
+            metrics=self.metrics,
+            profiler=self.profiler,
+        )
 
     def close(self) -> None:
         """Release the tracer's sink (flushes a file-backed trace)."""

@@ -19,6 +19,7 @@ import math
 from typing import Any, Dict, Optional
 
 from repro.engine.stats import Counters
+from repro.obs.timeline import Timeline
 
 
 __all__ = ["LatencyHistogram", "MetricsRegistry", "MetricsScope"]
@@ -153,6 +154,23 @@ class MetricsRegistry:
         self.counters = counters if counters is not None else Counters()
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, LatencyHistogram] = {}
+        #: Optional per-epoch time series (see :meth:`enable_timeline`).
+        #: Instrumented components capture this reference at
+        #: construction, so leaving it ``None`` costs nothing per event.
+        self.timeline: Optional[Timeline] = None
+
+    def enable_timeline(
+        self, epoch_cycles: float = 1024.0, max_epochs: int = 512
+    ) -> Timeline:
+        """Attach (or return the existing) windowed timeline.
+
+        Must be called before the hierarchy is built — components grab
+        ``metrics.timeline`` in their constructors.
+        """
+        if self.timeline is None:
+            self.timeline = Timeline(epoch_cycles=epoch_cycles,
+                                     max_epochs=max_epochs)
+        return self.timeline
 
     # -- instruments ------------------------------------------------------
     def add(self, name: str, amount: int = 1) -> None:
@@ -187,6 +205,12 @@ class MetricsRegistry:
             self._gauges[name] = value
         for name, hist in other.histograms().items():
             self.histogram(name, hist.sub_buckets_per_octave).merge(hist)
+        if other.timeline is not None:
+            if self.timeline is None:
+                self.timeline = Timeline(
+                    epoch_cycles=other.timeline.epoch_cycles,
+                    max_epochs=other.timeline.max_epochs)
+            self.timeline.merge(other.timeline)
 
     # -- export -----------------------------------------------------------
     def gauges(self) -> Dict[str, float]:
@@ -196,20 +220,29 @@ class MetricsRegistry:
         return dict(sorted(self._histograms.items()))
 
     def snapshot(self) -> Dict[str, Any]:
-        """One JSON-ready dict of everything, with deterministic key order."""
-        return {
+        """One JSON-ready dict of everything, with deterministic key order.
+
+        The ``timeline`` key appears only when a timeline is attached,
+        keeping snapshots byte-identical for runs that never opt in.
+        """
+        out: Dict[str, Any] = {
             "counters": self.counters.as_dict(),
             "gauges": self.gauges(),
             "histograms": {
                 name: hist.as_dict() for name, hist in self.histograms().items()
             },
         }
+        if self.timeline is not None:
+            out["timeline"] = self.timeline.as_dict()
+        return out
 
     def reset(self) -> None:
         self.counters.reset()
         self._gauges.clear()
         for hist in self._histograms.values():
             hist.reset()
+        if self.timeline is not None:
+            self.timeline.reset()
 
 
 class MetricsScope:

@@ -1,0 +1,238 @@
+"""Prometheus text exposition for a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Renders the registry's counters, gauges, and log-scale latency
+histograms in the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(version 0.0.4) that every Prometheus-compatible scraper understands,
+so the experiment service's ``/metrics`` endpoint can feed a real
+monitoring stack without new dependencies.
+
+Mapping rules:
+
+* Dot-namespaced names become underscore metric names with a
+  ``repro_`` prefix: ``service.tier.memo`` → ``repro_service_tier_memo``.
+  Counters additionally get the conventional ``_total`` suffix.
+* :class:`~repro.obs.metrics.LatencyHistogram`'s geometric buckets are
+  exported cumulatively.  Each occupied bucket with index ``i`` has
+  upper bound ``exp((i + 1) * log(2)/sub_buckets_per_octave)``; the
+  dedicated zero bucket exports as ``le="0"``, and ``le="+Inf"``
+  always equals ``_count``.  ``_sum`` is the histogram's exact total.
+* HELP text and label values are escaped per the format's rules
+  (backslash, newline, and — for label values — double quote).
+
+:func:`validate_exposition` is a strict line-level parser used by the
+tests and the CI telemetry smoke job to prove the endpoint emits
+well-formed exposition (including bucket cumulativity).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "histogram_buckets",
+    "prometheus_name",
+    "render_prometheus",
+    "validate_exposition",
+]
+
+#: The Content-Type a conforming scrape response carries.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)(?: [0-9]+)?$"
+)
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """Map a dot-namespaced instrument name to a Prometheus metric name."""
+    flat = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    candidate = f"{prefix}_{flat}" if prefix else flat
+    if not _NAME_OK.match(candidate):
+        candidate = "_" + candidate
+    return candidate
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def histogram_buckets(hist: LatencyHistogram) -> List[Tuple[float, int]]:
+    """Cumulative ``(upper_bound, count)`` pairs for one histogram.
+
+    Bounds are the exact geometric bucket upper edges the histogram
+    already uses, so exposition loses no precision beyond the bucket
+    width itself.  The terminal ``(inf, count)`` entry is always
+    present.
+    """
+    out: List[Tuple[float, int]] = []
+    cumulative = 0
+    if hist._zero_count:
+        cumulative += hist._zero_count
+        out.append((0.0, cumulative))
+    for index in sorted(hist._buckets):
+        cumulative += hist._buckets[index]
+        out.append((math.exp((index + 1) * hist._log_growth), cumulative))
+    out.append((math.inf, hist.count))
+    return out
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    help_text: Optional[Dict[str, str]] = None,
+) -> str:
+    """The whole registry as one exposition document (trailing newline).
+
+    ``help_text`` optionally maps *original* (dot-namespaced)
+    instrument names to HELP strings; instruments without an entry get
+    a generic one naming their origin.
+    """
+    helps = help_text or {}
+    lines: List[str] = []
+
+    for name, value in registry.counters.as_dict().items():
+        metric = prometheus_name(name) + "_total"
+        help_line = helps.get(name, f"Counter {name} from the repro simulator.")
+        lines.append(f"# HELP {metric} {_escape_help(help_line)}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, value in registry.gauges().items():
+        metric = prometheus_name(name)
+        help_line = helps.get(name, f"Gauge {name} from the repro simulator.")
+        lines.append(f"# HELP {metric} {_escape_help(help_line)}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, hist in registry.histograms().items():
+        metric = prometheus_name(name)
+        help_line = helps.get(
+            name, f"Latency histogram {name} from the repro simulator.")
+        lines.append(f"# HELP {metric} {_escape_help(help_line)}")
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in histogram_buckets(hist):
+            le = _escape_label_value(_format_value(bound))
+            lines.append(
+                f'{metric}_bucket{{le="{le}"}} {_format_value(cumulative)}')
+        lines.append(f"{metric}_sum {_format_value(hist.total)}")
+        lines.append(f"{metric}_count {_format_value(hist.count)}")
+
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(raw: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    pattern = re.compile(
+        r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"\s*(?:,|$)')
+    pos = 0
+    while pos < len(raw):
+        match = pattern.match(raw, pos)
+        if match is None:
+            raise ValueError(f"malformed label set: {raw!r}")
+        value = match.group("val")
+        value = (
+            value.replace("\\\\", "\x00")
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\x00", "\\")
+        )
+        labels[match.group("key")] = value
+        pos = match.end()
+    return labels
+
+
+def validate_exposition(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse exposition text strictly; raise ``ValueError`` on any defect.
+
+    Checks the line grammar, that every sample is preceded by a TYPE
+    declaration for its family, that histogram ``_bucket`` series are
+    cumulative in increasing ``le`` order and end with ``+Inf`` equal
+    to ``_count``.  Returns ``{family: {"type": ..., "samples":
+    {name_or_le: value}}}`` for follow-on assertions.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 and parts[1] == "TYPE":
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            if parts[1] == "TYPE":
+                family, kind = parts[2], parts[3]
+                if kind not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                    raise ValueError(
+                        f"line {lineno}: unknown metric type {kind!r}")
+                families[family] = {"type": kind, "samples": {}}
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group("name")
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        owner = families.get(name) and name or family
+        if owner not in families and name not in families:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no TYPE declaration")
+        target = families.get(name, families.get(family))
+        labels = _parse_labels(match.group("labels") or "")
+        raw_value = match.group("value")
+        value = float(raw_value) if raw_value not in ("+Inf", "-Inf", "NaN") \
+            else {"+Inf": math.inf, "-Inf": -math.inf, "NaN": math.nan}[raw_value]
+        key = labels.get("le", name)
+        samples: Dict[str, float] = target["samples"]  # type: ignore[assignment]
+        if key in samples and "le" in labels:
+            raise ValueError(f"line {lineno}: duplicate bucket le={key!r}")
+        samples[key] = value
+
+    for family, info in families.items():
+        if info["type"] != "histogram":
+            continue
+        samples: Dict[str, float] = info["samples"]  # type: ignore[assignment]
+        bounds = [k for k in samples if k not in (f"{family}_sum",
+                                                  f"{family}_count")]
+        if "+Inf" not in bounds:
+            raise ValueError(f"{family}: histogram missing +Inf bucket")
+        ordered = sorted(bounds, key=lambda k: float(k.replace("+Inf", "inf")))
+        last = -math.inf
+        for le in ordered:
+            if samples[le] < last:
+                raise ValueError(
+                    f"{family}: bucket le={le} not cumulative "
+                    f"({samples[le]} < {last})")
+            last = samples[le]
+        count = samples.get(f"{family}_count")
+        if count is not None and samples["+Inf"] != count:
+            raise ValueError(
+                f"{family}: +Inf bucket {samples['+Inf']} != _count {count}")
+    return families

@@ -1,0 +1,159 @@
+"""Windowed time-series counters sampled per simulated-cycle epoch.
+
+End-of-run counters say the virtual hierarchy filtered 66% of private
+TLB misses; they cannot say *when* the IOMMU queue was deep or whether
+the filter rate degraded as the working set grew.  A :class:`Timeline`
+records named series bucketed into fixed-width epochs of simulated
+cycles, so a dashboard can plot IOMMU queue depth, service occupancy,
+and L1/L2 virtual-hit filter rate against simulated time.
+
+Design constraints mirror the rest of ``obs``:
+
+* **Bounded memory.**  Epochs start at ``epoch_cycles`` wide and the
+  whole timeline automatically coarsens (doubling the epoch width and
+  pairwise-merging buckets) whenever any series would exceed
+  ``max_epochs`` buckets, so arbitrarily long runs keep O(max_epochs)
+  storage per series.
+* **Cheap hot path.**  ``record`` is one floor-divide and one dict
+  update; instrumented components hold a direct ``Timeline`` reference
+  (or ``None``) captured at construction, so runs without a timeline
+  pay a single ``is None`` test.
+* **Mergeable.**  Two timelines with power-of-two-related epoch widths
+  merge exactly (the finer one is coarsened first), matching the
+  parallel-run aggregation story of :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Series values are *sums per epoch*.  Rates and averages are derived at
+render time: e.g. mean IOMMU queue depth over an epoch is, by Little's
+law, the summed queue-wait cycles divided by the epoch width.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+__all__ = ["Timeline"]
+
+
+class Timeline:
+    """Named per-epoch accumulators over simulated time."""
+
+    def __init__(self, epoch_cycles: float = 1024.0, max_epochs: int = 512) -> None:
+        if epoch_cycles <= 0:
+            raise ValueError("epoch_cycles must be positive")
+        if max_epochs < 2:
+            raise ValueError("need at least two epochs")
+        self.epoch_cycles = float(epoch_cycles)
+        self.max_epochs = max_epochs
+        self._series: Dict[str, Dict[int, float]] = {}
+
+    def record(self, name: str, t: float, amount: float = 1.0) -> None:
+        """Add ``amount`` to series ``name`` in the epoch containing ``t``."""
+        buckets = self._series.get(name)
+        if buckets is None:
+            buckets = self._series[name] = {}
+        index = int(t // self.epoch_cycles)
+        buckets[index] = buckets.get(index, 0.0) + amount
+        if len(buckets) > self.max_epochs:
+            self._coarsen()
+
+    def _coarsen(self) -> None:
+        """Double the epoch width, pairwise-merging every series' buckets."""
+        self.epoch_cycles *= 2.0
+        for name, buckets in self._series.items():
+            merged: Dict[int, float] = {}
+            for index, value in buckets.items():
+                half = index >> 1
+                merged[half] = merged.get(half, 0.0) + value
+            self._series[name] = merged
+
+    def coarsen_to(self, epoch_cycles: float) -> None:
+        """Coarsen until the epoch width reaches ``epoch_cycles``.
+
+        Only power-of-two multiples of the current width are reachable;
+        anything else raises ``ValueError`` (exactness over convenience —
+        resampling to unrelated widths would smear counts).
+        """
+        if epoch_cycles < self.epoch_cycles:
+            raise ValueError("cannot refine a timeline, only coarsen")
+        while self.epoch_cycles < epoch_cycles:
+            self._coarsen()
+        if self.epoch_cycles != epoch_cycles:
+            raise ValueError(
+                f"epoch width {epoch_cycles} is not a power-of-two multiple "
+                f"of {self.epoch_cycles / 2.0}"
+            )
+
+    # -- export -----------------------------------------------------------
+    def names(self) -> List[str]:
+        """All recorded series names, sorted."""
+        return sorted(self._series)
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """Series ``name`` as sorted ``(epoch_start_cycles, sum)`` pairs."""
+        buckets = self._series.get(name, {})
+        return [
+            (index * self.epoch_cycles, buckets[index])
+            for index in sorted(buckets)
+        ]
+
+    def rate_series(
+        self, numerator: str, denominator: str
+    ) -> List[Tuple[float, float]]:
+        """Per-epoch ``numerator/denominator`` ratio (epochs with data only).
+
+        The workhorse for filter-rate plots: e.g. the virtual-cache
+        filter rate is ``1 - rate(vc.l2_misses, vc.accesses)`` per
+        epoch.  Epochs where the denominator is absent or zero are
+        skipped.
+        """
+        num = self._series.get(numerator, {})
+        den = self._series.get(denominator, {})
+        out: List[Tuple[float, float]] = []
+        for index in sorted(den):
+            total = den[index]
+            if total:
+                out.append(
+                    (index * self.epoch_cycles, num.get(index, 0.0) / total)
+                )
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form: epoch width plus ``[[t, sum], ...]`` per series."""
+        return {
+            "epoch_cycles": self.epoch_cycles,
+            "series": {
+                name: [[t, v] for t, v in self.series(name)]
+                for name in self.names()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Timeline":
+        """Rebuild a timeline exported by :meth:`as_dict`."""
+        timeline = cls(epoch_cycles=float(payload["epoch_cycles"]))
+        width = timeline.epoch_cycles
+        for name, points in payload.get("series", {}).items():  # type: ignore[union-attr]
+            buckets = timeline._series.setdefault(name, {})
+            for t, value in points:
+                buckets[int(round(float(t) / width))] = float(value)
+        return timeline
+
+    def merge(self, other: "Timeline") -> None:
+        """Fold another timeline in, coarsening to the wider epoch first."""
+        if other.epoch_cycles > self.epoch_cycles:
+            self.coarsen_to(other.epoch_cycles)
+        elif other.epoch_cycles < self.epoch_cycles:
+            # Coarsen a scratch copy; merging must not mutate ``other``.
+            scratch = Timeline.from_dict(other.as_dict())
+            scratch.max_epochs = other.max_epochs
+            scratch.coarsen_to(self.epoch_cycles)
+            other = scratch
+        for name, buckets in other._series.items():
+            mine = self._series.setdefault(name, {})
+            for index, value in buckets.items():
+                mine[index] = mine.get(index, 0.0) + value
+
+    def reset(self) -> None:
+        """Drop every series (epoch width is kept)."""
+        self._series.clear()

@@ -1,0 +1,169 @@
+"""Trace propagation: contexts, span identity, and field-binding tracers.
+
+A *trace* is the set of events emitted on behalf of one logical
+request, stitched together by a shared ``trace`` id.  Within a trace,
+*spans* name units of work (the HTTP request, the queue wait, a pool
+worker's simulation) and nest via ``parent`` links, so a JSON-lines
+trace file can be rebuilt into a tree by ``repro-experiment trace
+show`` (see :mod:`repro.obs.trace_view`).
+
+:class:`TraceContext` is the propagation token: an immutable
+(trace id, span id, parent id) triple that travels from
+:class:`~repro.service.client.ServiceClient` as HTTP headers, through
+the server's inflight bookkeeping, into
+:meth:`~repro.experiments.common.ResultCache.run_many` and its pool
+workers.  :class:`ContextTracer` wraps any tracer and stamps the bound
+``trace``/``span`` fields onto every emitted event, so instrumented
+components (IOMMU, caches, ``simulate()``) join the trace without
+knowing it exists.
+
+Span records are ordinary events with ``ev="span"`` plus ``name``,
+``dur`` (seconds or cycles, per the emitter), ``span`` (own id) and
+``parent``; they are emitted when the unit of work finishes.
+"""
+
+from __future__ import annotations
+
+import string
+import uuid
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional
+
+
+__all__ = [
+    "ContextTracer",
+    "TRACE_HEADER",
+    "PARENT_HEADER",
+    "TraceContext",
+    "new_span_id",
+    "valid_trace_id",
+]
+
+#: HTTP header carrying the trace id (client → server).
+TRACE_HEADER = "X-Trace-Id"
+#: HTTP header carrying the caller's span id (client → server).
+PARENT_HEADER = "X-Parent-Span"
+
+_HEX = set(string.hexdigits)
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-char span id."""
+    return uuid.uuid4().hex[:8]
+
+
+def valid_trace_id(value: Any) -> bool:
+    """True for a plausible propagated id: 1-32 hex chars.
+
+    The server validates inbound headers with this before adopting a
+    caller-supplied trace id, so a malformed header degrades to a
+    server-generated id instead of polluting the trace stream.
+    """
+    return (
+        isinstance(value, str)
+        and 0 < len(value) <= 32
+        and all(c in _HEX for c in value)
+    )
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """An immutable propagation token: trace id + span id + parent link."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """A fresh root context (new trace, new root span, no parent)."""
+        return cls(trace_id=uuid.uuid4().hex[:16], span_id=new_span_id())
+
+    @classmethod
+    def from_headers(cls, headers: Mapping[str, str]) -> "TraceContext":
+        """Adopt a caller's context from HTTP headers, or mint a root one.
+
+        Header names are matched case-insensitively.  An invalid or
+        missing trace id yields a brand-new root context.
+        """
+        folded = {k.lower(): v for k, v in headers.items()}
+        trace_id = folded.get(TRACE_HEADER.lower())
+        if not valid_trace_id(trace_id):
+            return cls.new()
+        parent = folded.get(PARENT_HEADER.lower())
+        if not valid_trace_id(parent):
+            parent = None
+        return cls(trace_id=trace_id, span_id=new_span_id(), parent_id=parent)
+
+    def child(self) -> "TraceContext":
+        """A new span in the same trace, parented to this one."""
+        return replace(self, span_id=new_span_id(), parent_id=self.span_id)
+
+    def headers(self) -> Dict[str, str]:
+        """The outbound HTTP headers propagating this context."""
+        return {TRACE_HEADER: self.trace_id, PARENT_HEADER: self.span_id}
+
+    def fields(self) -> Dict[str, str]:
+        """Event fields binding an emission to this context's span."""
+        return {"trace": self.trace_id, "span": self.span_id}
+
+    def span_fields(self) -> Dict[str, Any]:
+        """Event fields identifying this context *as* a span record."""
+        out: Dict[str, Any] = {"trace": self.trace_id, "span": self.span_id}
+        if self.parent_id is not None:
+            out["parent"] = self.parent_id
+        return out
+
+    def to_wire(self) -> Dict[str, Any]:
+        """A picklable/JSON-able form for crossing process boundaries."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "TraceContext":
+        """Rebuild a context serialized by :meth:`to_wire`."""
+        return cls(
+            trace_id=payload["trace_id"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+        )
+
+
+class ContextTracer:
+    """A tracer wrapper that stamps bound fields onto every event.
+
+    Instrumented components keep calling ``tracer.emit(ev, t, ...)``;
+    the wrapper adds the bound ``trace``/``span`` (or any other)
+    fields before forwarding to the inner sink.  Explicit fields in an
+    ``emit`` call win over bound ones, so span records can carry their
+    own ``span``/``parent`` identity through a bound tracer.
+    """
+
+    enabled = True
+
+    def __init__(self, inner, **bound: Any) -> None:
+        self._inner = inner
+        self._bound = bound
+
+    @property
+    def inner(self):
+        """The wrapped sink (for unwrap-and-rebind)."""
+        return self._inner
+
+    @property
+    def bound(self) -> Dict[str, Any]:
+        """A copy of the bound fields."""
+        return dict(self._bound)
+
+    def emit(self, event: str, t: float, **fields: Any) -> None:
+        """Forward the event with bound fields merged in (explicit wins)."""
+        merged = dict(self._bound)
+        merged.update(fields)
+        self._inner.emit(event, t, **merged)
+
+    def close(self) -> None:
+        """Close the wrapped sink."""
+        self._inner.close()

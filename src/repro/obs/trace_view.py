@@ -1,0 +1,180 @@
+"""Trace stitching and rendering for ``repro-experiment trace show``.
+
+The telemetry pipeline writes JSON-lines trace files where every event
+may carry ``trace``/``span``/``parent`` fields (see
+:mod:`repro.obs.trace_context`).  This module rebuilds those flat
+streams into per-trace span trees and renders them as an ASCII
+outline:
+
+.. code-block:: text
+
+    trace 4f2a9c01d3e88ab2 · 3 spans · 41 events
+    └── service.request POST /v1/simulate  dur=0.1841s
+        └── service.point bfs/baseline-512 [computed]  dur=0.1792s
+            └── worker.simulate bfs/baseline-512  dur=0.1714s  · 38 events
+
+Span records are events with ``ev == "span"``; all other events are
+attached to their enclosing span (via the ``span`` field) and shown as
+aggregate counts, keeping the output readable even for million-event
+simulation traces.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
+
+
+__all__ = [
+    "load_events",
+    "render_trace",
+    "render_traces",
+    "stitch",
+]
+
+#: Trace id bucket for events that carry no ``trace`` field.
+UNTRACED = "-"
+
+
+def load_events(source: Union[str, IO[str]]) -> List[Dict[str, Any]]:
+    """Read a JSON-lines trace file (path or file-like) into event dicts.
+
+    Blank lines are skipped; a malformed line raises ``ValueError``
+    naming the line number, so a truncated trace fails loudly instead
+    of rendering a silently incomplete tree.
+    """
+    if hasattr(source, "read"):
+        fh: IO[str] = source
+        owns = False
+    else:
+        fh = open(source, "r", encoding="utf-8")
+        owns = True
+    events: List[Dict[str, Any]] = []
+    try:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"line {lineno}: not valid JSON: {line[:80]!r}") from exc
+            if not isinstance(record, dict) or "ev" not in record:
+                raise ValueError(f"line {lineno}: not a trace event: {line[:80]!r}")
+            events.append(record)
+    finally:
+        if owns:
+            fh.close()
+    return events
+
+
+def stitch(events: Iterable[Dict[str, Any]]) -> Dict[str, List[Dict[str, Any]]]:
+    """Group events by trace id (events without one land under ``"-"``)."""
+    traces: Dict[str, List[Dict[str, Any]]] = {}
+    for event in events:
+        traces.setdefault(str(event.get("trace", UNTRACED)), []).append(event)
+    return traces
+
+
+_SPAN_IDENTITY_KEYS = ("ev", "t", "trace", "span", "parent", "name", "dur")
+
+
+def _span_label(span: Dict[str, Any]) -> str:
+    parts = [str(span.get("name", "span"))]
+    for key in ("method", "path", "workload", "design", "tier", "status"):
+        if key in span:
+            parts.append(str(span[key]))
+    label = " ".join(parts)
+    extras = []
+    if "dur" in span:
+        extras.append(f"dur={float(span['dur']):.4g}s")
+    for key in sorted(span):
+        if key in _SPAN_IDENTITY_KEYS or key in (
+                "method", "path", "workload", "design", "tier", "status"):
+            continue
+        extras.append(f"{key}={span[key]}")
+    if extras:
+        label += "  " + "  ".join(extras)
+    return label
+
+
+def render_trace(trace_id: str, events: List[Dict[str, Any]]) -> str:
+    """One trace as an ASCII span tree with per-span event summaries."""
+    spans = [e for e in events if e.get("ev") == "span" and "span" in e]
+    plain = [e for e in events if e.get("ev") != "span"]
+    by_id = {str(s["span"]): s for s in spans}
+
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent")
+        key = str(parent) if parent is not None and str(parent) in by_id else None
+        children.setdefault(key, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: (float(s.get("t", 0.0)), str(s.get("span"))))
+
+    attached: Dict[str, Counter] = {}
+    loose = Counter()
+    for event in plain:
+        owner = str(event.get("span", ""))
+        if owner in by_id:
+            attached.setdefault(owner, Counter())[str(event["ev"])] += 1
+        else:
+            loose[str(event["ev"])] += 1
+
+    lines = [
+        f"trace {trace_id} · {len(spans)} span{'s' if len(spans) != 1 else ''}"
+        f" · {len(events)} events"
+    ]
+
+    def summarize(counter: Counter) -> str:
+        top = counter.most_common(4)
+        bits = [f"{name}×{n}" for name, n in top]
+        if len(counter) > 4:
+            bits.append(f"+{len(counter) - 4} more")
+        return ", ".join(bits)
+
+    def walk(span: Dict[str, Any], prefix: str, is_last: bool) -> None:
+        branch = "└── " if is_last else "├── "
+        label = _span_label(span)
+        own = attached.get(str(span["span"]))
+        if own:
+            label += f"  · {sum(own.values())} events ({summarize(own)})"
+        lines.append(prefix + branch + label)
+        deeper = prefix + ("    " if is_last else "│   ")
+        kids = children.get(str(span["span"]), [])
+        for i, kid in enumerate(kids):
+            walk(kid, deeper, i == len(kids) - 1)
+
+    roots = children.get(None, [])
+    for i, root in enumerate(roots):
+        walk(root, "", i == len(roots) - 1)
+    if loose:
+        lines.append(
+            f"(unparented) {sum(loose.values())} events ({summarize(loose)})")
+    return "\n".join(lines)
+
+
+def render_traces(
+    events: Iterable[Dict[str, Any]], trace_id: Optional[str] = None
+) -> str:
+    """Render every trace in the stream (or just ``trace_id``)."""
+    traces = stitch(events)
+    if trace_id is not None:
+        if trace_id not in traces:
+            known = ", ".join(sorted(traces)) or "(none)"
+            raise ValueError(f"trace {trace_id!r} not found; traces: {known}")
+        picked = {trace_id: traces[trace_id]}
+    else:
+        picked = traces
+    blocks = [
+        render_trace(tid, evs)
+        for tid, evs in sorted(picked.items())
+        if tid != UNTRACED or trace_id == UNTRACED
+    ]
+    untraced = traces.get(UNTRACED)
+    if trace_id is None and untraced:
+        blocks.append(
+            f"(no trace id) {len(untraced)} events not part of any trace")
+    return "\n\n".join(blocks) + "\n"

@@ -138,7 +138,7 @@ class FaultInjector:
     MAX_OS_RETRIES = 8
 
     def __init__(self, hierarchy, plan: FaultPlan, address_space,
-                 asid: int = 0) -> None:
+                 asid: int = 0, tracer=None, trace_ctx=None) -> None:
         self._inner = hierarchy
         self.audit_target = hierarchy
         self.plan = plan
@@ -152,6 +152,10 @@ class FaultInjector:
         self._paged_out: Dict[Tuple[int, int], Permissions] = {}
         self._downgraded: Dict[Tuple[int, int], Permissions] = {}
         self._default_asid = asid
+        # Optional telemetry: every applied fault becomes a span in the
+        # trace stream (child of ``trace_ctx`` when one is given).
+        self._tracer = tracer
+        self._trace_ctx = trace_ctx
 
     def __getattr__(self, name):
         inner = self.__dict__.get("_inner")
@@ -217,6 +221,14 @@ class FaultInjector:
     def _apply(self, event: FaultEvent, now: float) -> None:
         self._chaos.add("chaos.events")
         kind, vpn, asid = event.kind, event.vpn, event.asid
+        if self._tracer is not None:
+            fields: Dict[str, object] = {
+                "name": f"chaos.{kind}", "dur": 0.0, "kind": kind,
+                "vpn": vpn, "asid": asid, "index": event.index,
+            }
+            if self._trace_ctx is not None:
+                fields.update(self._trace_ctx.child().span_fields())
+            self._tracer.emit("span", now, **fields)
         key = (asid, vpn)
         page_table = self._space.page_table
 

@@ -25,6 +25,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+from repro.obs.trace_context import TraceContext
+
 __all__ = [
     "HealthReport",
     "JobReply",
@@ -151,10 +153,18 @@ class ServiceClient:
     """Blocking HTTP client for the simulation service (stdlib only)."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8000,
-                 timeout: float = 600.0) -> None:
+                 timeout: float = 600.0,
+                 trace_ctx: Optional[TraceContext] = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: When set, every request carries this trace's id (each request
+        #: becomes a child span); when None each request starts a fresh
+        #: server-side trace.
+        self.trace_ctx = trace_ctx
+        #: The trace id of the most recent request (from the server's
+        #: ``X-Trace-Id`` response header) — stitch with ``trace show``.
+        self.last_trace_id: Optional[str] = None
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- plumbing ---------------------------------------------------------
@@ -164,10 +174,15 @@ class ServiceClient:
                 self.host, self.port, timeout=self.timeout)
         return self._conn
 
-    def _request(self, method: str, path: str,
-                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        payload = None if body is None else json.dumps(body).encode("utf-8")
-        headers = {"Content-Type": "application/json"} if payload else {}
+    def _trace_headers(self) -> Dict[str, str]:
+        if self.trace_ctx is None:
+            return {}
+        return self.trace_ctx.headers()
+
+    def _raw_request(self, method: str, path: str,
+                     payload: Optional[bytes],
+                     headers: Dict[str, str]):
+        """One HTTP exchange with a single stale-keepalive retry."""
         for attempt in (1, 2):
             conn = self._connection()
             try:
@@ -181,6 +196,18 @@ class ServiceClient:
                 self.close()
                 if attempt == 2:
                     raise
+        trace_id = response.getheader("X-Trace-Id")
+        if trace_id and trace_id != "-":
+            self.last_trace_id = trace_id
+        return response, raw
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload else {}
+        headers["Accept"] = "application/json"
+        headers.update(self._trace_headers())
+        response, raw = self._raw_request(method, path, payload, headers)
         try:
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -280,6 +307,16 @@ class ServiceClient:
     def metrics(self) -> Dict[str, Any]:
         """The server's full metrics snapshot (counters/gauges/histograms)."""
         return self._request("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        headers = {"Accept": "text/plain"}
+        headers.update(self._trace_headers())
+        response, raw = self._raw_request("GET", "/metrics", None, headers)
+        if response.status >= 400:
+            raise ServiceError(response.status, "error",
+                               f"HTTP {response.status} from /metrics")
+        return raw.decode("utf-8")
 
     def drain(self) -> None:
         """Ask the server to drain gracefully (same path as SIGTERM)."""

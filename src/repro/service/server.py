@@ -30,8 +30,10 @@ Endpoints:
 
 * ``POST /v1/simulate`` — run/fetch points, blocking until the wave lands.
 * ``POST /v1/jobs`` / ``GET /v1/jobs/<id>`` — submit → poll → fetch.
-* ``GET /metrics`` — the :class:`~repro.obs.MetricsRegistry` snapshot
-  (per-tier latency histograms, tier counters, queue gauges).
+* ``GET /metrics`` — Prometheus text exposition of the
+  :class:`~repro.obs.MetricsRegistry` (per-tier latency histograms,
+  tier counters, queue gauges); ``Accept: application/json`` returns
+  the raw JSON snapshot instead.
 * ``GET /healthz`` — queue depth, in-flight points, pool liveness.
 * ``POST /v1/drain`` — programmatic graceful drain (same path as SIGTERM).
 
@@ -55,6 +57,9 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.experiments.common import ResultCache, SweepError
 from repro.experiments.disk_cache import config_fingerprint
 from repro.obs import Observability
+from repro.obs.promexp import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from repro.obs.promexp import render_prometheus
+from repro.obs.trace_context import TraceContext
 from repro.service import protocol
 from repro.service.protocol import PointSpec, ProtocolError
 from repro.workloads import registry
@@ -83,15 +88,27 @@ _REASONS = {
 }
 
 
+class _Raw:
+    """A non-JSON response body (e.g. Prometheus text exposition)."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: bytes, content_type: str) -> None:
+        self.body = body
+        self.content_type = content_type
+
+
 class _InflightPoint:
     """One unique point travelling from the queue through a wave."""
 
-    __slots__ = ("spec", "future", "enqueued_at")
+    __slots__ = ("spec", "future", "enqueued_at", "ctx")
 
-    def __init__(self, spec: PointSpec, future: "asyncio.Future") -> None:
+    def __init__(self, spec: PointSpec, future: "asyncio.Future",
+                 ctx: Optional[TraceContext] = None) -> None:
         self.spec = spec
         self.future = future
         self.enqueued_at = time.perf_counter()
+        self.ctx = ctx
 
 
 class _PointFailed(RuntimeError):
@@ -291,7 +308,9 @@ class ExperimentService:
         return 0
 
     # -- single-flight + batching -----------------------------------------
-    def _enqueue(self, spec: PointSpec) -> Tuple[_InflightPoint, bool]:
+    def _enqueue(self, spec: PointSpec,
+                 ctx: Optional[TraceContext] = None
+                 ) -> Tuple[_InflightPoint, bool]:
         """Get the in-flight entry for a point, creating one if needed.
 
         Returns ``(entry, coalesced)``; ``coalesced`` is True when the
@@ -301,7 +320,9 @@ class ExperimentService:
         if entry is not None:
             self.obs.metrics.add("service.points.coalesced")
             return entry, True
-        entry = _InflightPoint(spec, self._loop.create_future())
+        point_ctx = (ctx.child()
+                     if ctx is not None and self.obs.tracing else None)
+        entry = _InflightPoint(spec, self._loop.create_future(), point_ctx)
         self._inflight[spec.fingerprint] = entry
         self._active_points += 1
         self._queue.put_nowait(entry)
@@ -379,10 +400,16 @@ class ExperimentService:
             sweep_failures: Dict[Tuple[str, str], str] = {}
             wave_error: Optional[str] = None
             if to_compute:
+                # One wave-level span context: the pool workers' spans
+                # nest under the first traced point's span.
+                wave_ctx = next(
+                    (e.ctx for e in to_compute if e.ctx is not None), None)
                 try:
                     cache.run_many(
                         [(e.spec.workload, e.spec.design,
-                          e.spec.track_lifetimes) for e in to_compute])
+                          e.spec.track_lifetimes) for e in to_compute],
+                        trace_ctx=(wave_ctx.child()
+                                   if wave_ctx is not None else None))
                 except SweepError as exc:
                     self._last_wave_error = str(exc)
                     sweep_failures = {
@@ -429,6 +456,13 @@ class ExperimentService:
             metrics.add(f"service.tier.{tier}")
             metrics.histogram(f"service.latency.{tier}").record(latency)
             entry.future.set_result((result, tier))
+        if entry.ctx is not None and self.obs.tracing:
+            self.obs.tracer.emit(
+                "span", time.time(), name="service.point", dur=latency,
+                workload=entry.spec.workload,
+                design=entry.spec.design.name,
+                tier=tier if exc is None else "failed",
+                **entry.ctx.span_fields())
 
     # -- HTTP layer -------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
@@ -442,14 +476,15 @@ class ExperimentService:
                 method, path, headers, body = request
                 self._busy_requests += 1
                 try:
-                    status, payload = await self._route(method, path, body)
+                    status, payload, trace_id = await self._route(
+                        method, path, headers, body)
                     # Established connections stay alive through a drain
                     # (so clients see a clean 503, not a reset); _drain()
                     # force-closes them once the last response is written.
                     keep_alive = (headers.get("connection", "").lower()
                                   != "close")
                     await self._write_response(
-                        writer, status, payload, keep_alive)
+                        writer, status, payload, keep_alive, trace_id)
                 finally:
                     self._busy_requests -= 1
                 if not keep_alive:
@@ -497,29 +532,35 @@ class ExperimentService:
         return method, target.split("?", 1)[0], headers, body
 
     async def _write_response(self, writer: asyncio.StreamWriter, status: int,
-                              payload: Dict[str, Any],
-                              keep_alive: bool) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+                              payload: Any, keep_alive: bool,
+                              trace_id: str = "-") -> None:
+        if isinstance(payload, _Raw):
+            body, content_type = payload.body, payload.content_type
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"X-Trace-Id: {payload.get('trace_id', '-')}\r\n"
+            f"X-Trace-Id: {trace_id}\r\n"
             f"\r\n"
         ).encode("ascii")
         writer.write(head + body)
         await writer.drain()
 
-    async def _route(self, method: str, path: str,
-                     body: bytes) -> Tuple[int, Dict[str, Any]]:
-        trace_id = uuid.uuid4().hex[:16]
+    async def _route(self, method: str, path: str, headers: Dict[str, str],
+                     body: bytes) -> Tuple[int, Any, str]:
+        # Adopt the caller's trace context (X-Trace-Id/X-Parent-Span)
+        # when present; otherwise this request starts a fresh trace.
+        ctx = TraceContext.from_headers(headers)
         metrics = self.obs.metrics
         metrics.add("service.requests")
         started = time.perf_counter()
         try:
             status, payload = await self._dispatch(
-                method, path, body, trace_id)
+                method, path, headers, body, ctx)
         except ProtocolError as exc:
             status, payload = exc.status, exc.body()
         except (KeyboardInterrupt, SystemExit):
@@ -530,32 +571,39 @@ class ExperimentService:
                 "error": protocol.ERROR_INTERNAL,
                 "message": f"{type(exc).__name__}: {exc}",
             }
-        payload.setdefault("trace_id", trace_id)
+        if isinstance(payload, dict):
+            payload.setdefault("trace_id", ctx.trace_id)
         metrics.add(f"service.http.{status}")
-        metrics.histogram("service.request_seconds").record(
-            time.perf_counter() - started)
+        dur = time.perf_counter() - started
+        metrics.histogram("service.request_seconds").record(dur)
         if self.obs.tracing:
             self.obs.tracer.emit(
-                "service.request", time.time(), trace_id=trace_id,
-                method=method, path=path, status=status)
-        return status, payload
+                "span", time.time(), name="service.request", dur=dur,
+                method=method, path=path, status=status,
+                **ctx.span_fields())
+        return status, payload, ctx.trace_id
 
-    async def _dispatch(self, method: str, path: str, body: bytes,
-                        trace_id: str) -> Tuple[int, Dict[str, Any]]:
+    async def _dispatch(self, method: str, path: str,
+                        headers: Dict[str, str], body: bytes,
+                        ctx: TraceContext) -> Tuple[int, Any]:
         if path == "/healthz":
             self._require(method, "GET")
             return 200, self._health_payload()
         if path == "/metrics":
             self._require(method, "GET")
-            return 200, self._metrics_payload()
+            snapshot = self._metrics_payload()
+            if "application/json" in headers.get("accept", ""):
+                return 200, snapshot
+            text = render_prometheus(self.obs.metrics)
+            return 200, _Raw(text.encode("utf-8"), _PROM_CONTENT_TYPE)
         if path == "/v1/simulate":
             self._require(method, "POST")
             self._reject_if_draining()
-            return await self._simulate(self._decode(body), trace_id)
+            return await self._simulate(self._decode(body), ctx)
         if path == "/v1/jobs":
             self._require(method, "POST")
             self._reject_if_draining()
-            return self._submit_job(self._decode(body), trace_id)
+            return self._submit_job(self._decode(body), ctx)
         if path.startswith("/v1/jobs/"):
             self._require(method, "GET")
             return self._job_status(path[len("/v1/jobs/"):])
@@ -596,12 +644,12 @@ class ExperimentService:
             check_invariants=self.cache.check_invariants)
 
     async def _simulate(self, body: Any,
-                        trace_id: str) -> Tuple[int, Dict[str, Any]]:
+                        ctx: TraceContext) -> Tuple[int, Dict[str, Any]]:
         specs = self._parse_points(body)
         include_counters = bool(isinstance(body, dict)
                                 and body.get("include_counters"))
         started = time.perf_counter()
-        entries = [self._enqueue(spec) for spec in specs]
+        entries = [self._enqueue(spec, ctx) for spec in specs]
         outcomes = await asyncio.gather(
             *(entry.future for entry, _ in entries), return_exceptions=True)
         points: List[Dict[str, Any]] = []
@@ -628,7 +676,7 @@ class ExperimentService:
                     spec, result, tier, coalesced,
                     include_counters=include_counters))
         payload: Dict[str, Any] = {
-            "trace_id": trace_id,
+            "trace_id": ctx.trace_id,
             "points": points,
             "wall_seconds": time.perf_counter() - started,
             "simulations_run_total": self.cache.simulations_run,
@@ -642,13 +690,13 @@ class ExperimentService:
         return 200, payload
 
     def _submit_job(self, body: Any,
-                    trace_id: str) -> Tuple[int, Dict[str, Any]]:
+                    ctx: TraceContext) -> Tuple[int, Dict[str, Any]]:
         specs = self._parse_points(body)  # validate before accepting
         job_id = uuid.uuid4().hex
         record: Dict[str, Any] = {
             "job_id": job_id,
             "status": "running",
-            "trace_id": trace_id,
+            "trace_id": ctx.trace_id,
             "submitted_unix": time.time(),
             "n_points": len(specs),
             "result": None,
@@ -656,10 +704,10 @@ class ExperimentService:
         self._jobs[job_id] = record
         while len(self._jobs) > _MAX_JOBS:
             self._evict_one_job()
-        self._loop.create_task(self._run_job(record, body, trace_id))
+        self._loop.create_task(self._run_job(record, body, ctx))
         self.obs.metrics.add("service.jobs.submitted")
         return 202, {"job_id": job_id, "status": "running",
-                     "n_points": len(specs), "trace_id": trace_id}
+                     "n_points": len(specs), "trace_id": ctx.trace_id}
 
     def _evict_one_job(self) -> None:
         for job_id, record in self._jobs.items():
@@ -669,8 +717,8 @@ class ExperimentService:
         self._jobs.popitem(last=False)  # all running: drop the oldest
 
     async def _run_job(self, record: Dict[str, Any], body: Any,
-                       trace_id: str) -> None:
-        status, payload = await self._simulate(body, trace_id)
+                       ctx: TraceContext) -> None:
+        status, payload = await self._simulate(body, ctx)
         record["result"] = payload
         record["status"] = "done" if status == 200 else "failed"
         record["completed_unix"] = time.time()
@@ -736,11 +784,33 @@ def run_server(
     point_retries: int = 2,
     batch_window: float = 0.01,
     max_batch: int = 64,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
 ) -> int:
-    """Build and run a service until SIGTERM/SIGINT drains it (CLI path)."""
+    """Build and run a service until SIGTERM/SIGINT drains it (CLI path).
+
+    ``trace_out`` streams every request/point/worker span to a
+    JSON-lines file (view with ``repro-experiment trace show``);
+    ``metrics_out`` writes the final metrics snapshot on drain.
+    """
+    obs = None
+    if trace_out or metrics_out:
+        from repro.obs import JsonLinesTracer
+
+        tracer = JsonLinesTracer(trace_out) if trace_out else None
+        obs = Observability(tracer=tracer)
     service = ExperimentService(
         host=host, port=port, jobs=jobs, scale=scale, cache_dir=cache_dir,
         checkpoint=checkpoint, check_invariants=check_invariants,
         point_timeout=point_timeout, point_retries=point_retries,
-        batch_window=batch_window, max_batch=max_batch)
-    return service.serve_forever()
+        batch_window=batch_window, max_batch=max_batch, obs=obs)
+    try:
+        return service.serve_forever()
+    finally:
+        if obs is not None:
+            obs.close()
+        if metrics_out:
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(service.obs.metrics.snapshot(), handle,
+                          indent=2, sort_keys=True)
+                handle.write("\n")

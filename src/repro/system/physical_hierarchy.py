@@ -47,6 +47,9 @@ class PhysicalHierarchy:
         self._counters = Counters()
         self.obs = obs
         self._tracer = obs.tracer if obs is not None else None
+        # Windowed time series (obs.metrics.timeline); None unless the
+        # caller enabled a timeline before building the hierarchy.
+        self._timeline = obs.metrics.timeline if obs is not None else None
         # Deferred hot-path event counts (flushed via the ``counters``
         # property; only nonzero counts materialize, matching the
         # key-presence semantics of per-event ``Counters.add``).
@@ -147,6 +150,8 @@ class PhysicalHierarchy:
 
         tlb.misses += 1
         self._n_tlb_misses += 1
+        if self._timeline is not None:
+            self._timeline.record("tlb.misses", t)
         if tracing:
             tracer.emit("tlb.miss", t, cu=cu_id, vpn=vpn)
         if self.ideal:
@@ -182,6 +187,8 @@ class PhysicalHierarchy:
         lpp = self._lpp
         line_index = request.line_addr % lpp
         self._n_tlb_accesses += 1
+        if self._timeline is not None:
+            self._timeline.record("tlb.probes", now)
 
         # Fast path: with no lifetime tracking and no tracer, a TLB hit
         # followed by an L1 read hit is a pair of dict probes — handle

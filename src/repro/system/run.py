@@ -211,6 +211,7 @@ def simulate(
     tracer = obs.tracer if obs is not None else None
     tracing = tracer is not None and tracer.enabled
     req_hist = obs.metrics.histogram("request.latency") if obs is not None else None
+    timeline = obs.metrics.timeline if obs is not None else None
     if tracing:
         tracer.emit("run.start", start_time, workload=trace.name, design=design)
     streams = trace.per_cu
@@ -297,6 +298,10 @@ def simulate(
             total_requests += 1
             if req_hist is not None:
                 req_hist.record(completion - issue)
+                if timeline is not None:
+                    timeline.record("requests.issued", issue)
+                    timeline.record("requests.latency", issue,
+                                    completion - issue)
             if tracing:
                 tracer.emit("request.complete", completion, cu=cu_id,
                             line=request.line_addr, latency=completion - issue)

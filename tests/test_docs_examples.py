@@ -13,11 +13,11 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.cli import EXPERIMENTS, build_parser, main
+from repro.experiments.cli import EXPERIMENTS, EXTRA_COMMANDS, build_parser, main
 
 ROOT = Path(__file__).resolve().parent.parent
 DOCS = ["README.md", "EXPERIMENTS.md"]
-VALID_EXPERIMENTS = set(EXPERIMENTS) | {"all", "bench", "chaos", "serve"}
+VALID_EXPERIMENTS = set(EXPERIMENTS) | set(EXTRA_COMMANDS)
 #: Experiments cheap enough to run for real during the test.
 CHEAP = {"table1", "table2"}
 
