@@ -19,10 +19,20 @@ Mapping rules:
   always equals ``_count``.  ``_sum`` is the histogram's exact total.
 * HELP text and label values are escaped per the format's rules
   (backslash, newline, and — for label values — double quote).
+* Instrument names may carry an inline label set in brackets —
+  ``gateway.forwarded[replica=r0]`` — which renders as a labelled
+  sample of the ``repro_gateway_forwarded_total`` family.  This is how
+  the sharding gateway exports per-replica counters and latency
+  histograms from one flat :class:`MetricsRegistry`.
+
+:func:`merge_expositions` stitches several exposition documents into
+one, stamping extra labels onto every sample — the gateway uses it to
+re-export each replica's scrape under a ``replica="..."`` label next to
+its own metrics.
 
 :func:`validate_exposition` is a strict line-level parser used by the
-tests and the CI telemetry smoke job to prove the endpoint emits
-well-formed exposition (including bucket cumulativity).
+tests and the CI telemetry/shard smoke jobs to prove the endpoints emit
+well-formed exposition (including per-label-set bucket cumulativity).
 """
 
 from __future__ import annotations
@@ -37,8 +47,10 @@ from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 __all__ = [
     "CONTENT_TYPE",
     "histogram_buckets",
+    "merge_expositions",
     "prometheus_name",
     "render_prometheus",
+    "split_instrument_labels",
     "validate_exposition",
 ]
 
@@ -51,6 +63,28 @@ _SAMPLE = re.compile(
     r"(?:\{(?P<labels>.*)\})?"
     r" (?P<value>[^ ]+)(?: [0-9]+)?$"
 )
+
+
+_BRACKET_LABELS = re.compile(r"^(?P<base>[^\[\]]+)\[(?P<labels>[^\]]*)\]$")
+
+
+def split_instrument_labels(name: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``base[k=v,...]`` into ``(base, labels)``.
+
+    Instrument names without a bracket suffix return ``(name, {})``, so
+    this is safe to apply to every registry entry.  Label values are
+    taken verbatim (no quoting inside the brackets).
+    """
+    match = _BRACKET_LABELS.match(name)
+    if match is None:
+        return name, {}
+    labels: Dict[str, str] = {}
+    for part in match.group("labels").split(","):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        labels[key.strip()] = value.strip()
+    return match.group("base"), labels
 
 
 def prometheus_name(name: str, prefix: str = "repro") -> str:
@@ -104,45 +138,74 @@ def histogram_buckets(hist: LatencyHistogram) -> List[Tuple[float, int]]:
     return out
 
 
+def _render_labels(labels: Dict[str, str], le: Optional[str] = None) -> str:
+    """``{k="v",...}`` with ``le`` forced last, or ``""`` when empty."""
+    pairs = [(k, labels[k]) for k in sorted(labels) if k != "le"]
+    if le is not None:
+        pairs.append(("le", le))
+    elif "le" in labels:
+        pairs.append(("le", labels["le"]))
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
 def render_prometheus(
     registry: MetricsRegistry,
     help_text: Optional[Dict[str, str]] = None,
 ) -> str:
     """The whole registry as one exposition document (trailing newline).
 
-    ``help_text`` optionally maps *original* (dot-namespaced)
-    instrument names to HELP strings; instruments without an entry get
-    a generic one naming their origin.
+    ``help_text`` optionally maps *original* (dot-namespaced, without
+    any bracket label suffix) instrument names to HELP strings;
+    instruments without an entry get a generic one naming their origin.
+    Instruments named ``base[k=v,...]`` collapse into one family per
+    ``base`` with the bracket content as sample labels (HELP/TYPE
+    emitted once, at the family's first sample).
     """
     helps = help_text or {}
     lines: List[str] = []
+    declared: set = set()
+
+    def _declare(metric: str, kind: str, help_line: str) -> None:
+        if metric in declared:
+            return
+        declared.add(metric)
+        lines.append(f"# HELP {metric} {_escape_help(help_line)}")
+        lines.append(f"# TYPE {metric} {kind}")
 
     for name, value in registry.counters.as_dict().items():
-        metric = prometheus_name(name) + "_total"
-        help_line = helps.get(name, f"Counter {name} from the repro simulator.")
-        lines.append(f"# HELP {metric} {_escape_help(help_line)}")
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_format_value(value)}")
+        base, labels = split_instrument_labels(name)
+        metric = prometheus_name(base) + "_total"
+        _declare(metric, "counter",
+                 helps.get(base, f"Counter {base} from the repro simulator."))
+        lines.append(
+            f"{metric}{_render_labels(labels)} {_format_value(value)}")
 
     for name, value in registry.gauges().items():
-        metric = prometheus_name(name)
-        help_line = helps.get(name, f"Gauge {name} from the repro simulator.")
-        lines.append(f"# HELP {metric} {_escape_help(help_line)}")
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_format_value(value)}")
+        base, labels = split_instrument_labels(name)
+        metric = prometheus_name(base)
+        _declare(metric, "gauge",
+                 helps.get(base, f"Gauge {base} from the repro simulator."))
+        lines.append(
+            f"{metric}{_render_labels(labels)} {_format_value(value)}")
 
     for name, hist in registry.histograms().items():
-        metric = prometheus_name(name)
-        help_line = helps.get(
-            name, f"Latency histogram {name} from the repro simulator.")
-        lines.append(f"# HELP {metric} {_escape_help(help_line)}")
-        lines.append(f"# TYPE {metric} histogram")
+        base, labels = split_instrument_labels(name)
+        metric = prometheus_name(base)
+        _declare(metric, "histogram",
+                 helps.get(base,
+                           f"Latency histogram {base} from the repro "
+                           f"simulator."))
+        label_text = _render_labels(labels)
         for bound, cumulative in histogram_buckets(hist):
             le = _escape_label_value(_format_value(bound))
+            bucket_labels = _render_labels(labels, le=le)
             lines.append(
-                f'{metric}_bucket{{le="{le}"}} {_format_value(cumulative)}')
-        lines.append(f"{metric}_sum {_format_value(hist.total)}")
-        lines.append(f"{metric}_count {_format_value(hist.count)}")
+                f"{metric}_bucket{bucket_labels} {_format_value(cumulative)}")
+        lines.append(f"{metric}_sum{label_text} {_format_value(hist.total)}")
+        lines.append(f"{metric}_count{label_text} {_format_value(hist.count)}")
 
     return "\n".join(lines) + "\n"
 
@@ -168,16 +231,17 @@ def _parse_labels(raw: str) -> Dict[str, str]:
     return labels
 
 
-def validate_exposition(text: str) -> Dict[str, Dict[str, object]]:
-    """Parse exposition text strictly; raise ``ValueError`` on any defect.
+def _parse_document(text: str):
+    """Parse exposition text into ordered family records.
 
-    Checks the line grammar, that every sample is preceded by a TYPE
-    declaration for its family, that histogram ``_bucket`` series are
-    cumulative in increasing ``le`` order and end with ``+Inf`` equal
-    to ``_count``.  Returns ``{family: {"type": ..., "samples":
-    {name_or_le: value}}}`` for follow-on assertions.
+    Each record is ``{"type": ..., "help": ..., "samples": [(name,
+    labels, value_text), ...]}``; samples attach to the histogram base
+    family when a ``_bucket``/``_sum``/``_count`` suffix matches a
+    declared histogram, otherwise to their own name.  Raises
+    ``ValueError`` on grammar defects; semantic checks (cumulativity
+    etc.) live in :func:`validate_exposition`.
     """
-    families: Dict[str, Dict[str, object]] = {}
+    families: "Dict[str, Dict[str, object]]" = {}
     for lineno, line in enumerate(text.split("\n"), start=1):
         if not line:
             continue
@@ -185,13 +249,18 @@ def validate_exposition(text: str) -> Dict[str, Dict[str, object]]:
             parts = line.split(" ", 3)
             if len(parts) < 4 and parts[1] == "TYPE":
                 raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            family = parts[2]
+            record = families.setdefault(
+                family, {"type": None, "help": None, "samples": []})
             if parts[1] == "TYPE":
-                family, kind = parts[2], parts[3]
+                kind = parts[3]
                 if kind not in ("counter", "gauge", "histogram", "summary",
                                 "untyped"):
                     raise ValueError(
                         f"line {lineno}: unknown metric type {kind!r}")
-                families[family] = {"type": kind, "samples": {}}
+                record["type"] = kind
+            else:
+                record["help"] = parts[3] if len(parts) > 3 else ""
             continue
         if line.startswith("#"):
             continue  # comment
@@ -199,40 +268,142 @@ def validate_exposition(text: str) -> Dict[str, Dict[str, object]]:
         if match is None:
             raise ValueError(f"line {lineno}: malformed sample: {line!r}")
         name = match.group("name")
-        family = re.sub(r"_(bucket|sum|count)$", "", name)
-        owner = families.get(name) and name or family
-        if owner not in families and name not in families:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name in families and families[name]["type"] is not None:
+            family = name
+        elif base in families and families[base]["type"] == "histogram":
+            family = base
+        else:
             raise ValueError(
                 f"line {lineno}: sample {name!r} has no TYPE declaration")
-        target = families.get(name, families.get(family))
         labels = _parse_labels(match.group("labels") or "")
-        raw_value = match.group("value")
-        value = float(raw_value) if raw_value not in ("+Inf", "-Inf", "NaN") \
-            else {"+Inf": math.inf, "-Inf": -math.inf, "NaN": math.nan}[raw_value]
-        key = labels.get("le", name)
-        samples: Dict[str, float] = target["samples"]  # type: ignore[assignment]
-        if key in samples and "le" in labels:
-            raise ValueError(f"line {lineno}: duplicate bucket le={key!r}")
-        samples[key] = value
-
-    for family, info in families.items():
-        if info["type"] != "histogram":
-            continue
-        samples: Dict[str, float] = info["samples"]  # type: ignore[assignment]
-        bounds = [k for k in samples if k not in (f"{family}_sum",
-                                                  f"{family}_count")]
-        if "+Inf" not in bounds:
-            raise ValueError(f"{family}: histogram missing +Inf bucket")
-        ordered = sorted(bounds, key=lambda k: float(k.replace("+Inf", "inf")))
-        last = -math.inf
-        for le in ordered:
-            if samples[le] < last:
-                raise ValueError(
-                    f"{family}: bucket le={le} not cumulative "
-                    f"({samples[le]} < {last})")
-            last = samples[le]
-        count = samples.get(f"{family}_count")
-        if count is not None and samples["+Inf"] != count:
-            raise ValueError(
-                f"{family}: +Inf bucket {samples['+Inf']} != _count {count}")
+        families[family]["samples"].append(
+            (name, labels, match.group("value")))
     return families
+
+
+def merge_expositions(
+    parts: List[Tuple[str, Dict[str, str]]],
+) -> str:
+    """Stitch several exposition documents into one, stamping labels.
+
+    ``parts`` is ``[(text, extra_labels), ...]``; every sample of a
+    part gets its ``extra_labels`` merged in (overriding same-named
+    sample labels, which a well-behaved scrape never carries).  The
+    gateway uses this to export each replica's ``/metrics`` scrape
+    under ``replica="..."`` next to its own families.  Families that
+    appear in several parts keep the first HELP text and must agree on
+    their TYPE (``ValueError`` otherwise).
+    """
+    merged: "Dict[str, Dict[str, object]]" = {}
+    order: List[str] = []
+    for text, extra in parts:
+        for family, record in _parse_document(text).items():
+            target = merged.get(family)
+            if target is None:
+                target = {"type": record["type"], "help": record["help"],
+                          "samples": []}
+                merged[family] = target
+                order.append(family)
+            else:
+                if (record["type"] is not None
+                        and target["type"] is not None
+                        and record["type"] != target["type"]):
+                    raise ValueError(
+                        f"family {family}: conflicting types "
+                        f"{target['type']!r} vs {record['type']!r}")
+                if target["type"] is None:
+                    target["type"] = record["type"]
+                if target["help"] is None:
+                    target["help"] = record["help"]
+            for name, labels, value in record["samples"]:
+                stamped = dict(labels)
+                if extra:
+                    stamped.update(extra)
+                target["samples"].append((name, stamped, value))
+    lines: List[str] = []
+    for family in order:
+        record = merged[family]
+        if record["help"] is not None:
+            lines.append(f"# HELP {family} {record['help']}")
+        lines.append(f"# TYPE {family} {record['type'] or 'untyped'}")
+        for name, labels, value in record["samples"]:
+            lines.append(f"{name}{_render_labels(labels)} {value}")
+    return "\n".join(lines) + "\n"
+
+
+def validate_exposition(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse exposition text strictly; raise ``ValueError`` on any defect.
+
+    Checks the line grammar, that every sample is preceded by a TYPE
+    declaration for its family, and that histogram ``_bucket`` series
+    — *per distinct non-``le`` label set* — are cumulative in
+    increasing ``le`` order and end with ``+Inf`` equal to the matching
+    ``_count``.  Returns ``{family: {"type": ..., "samples":
+    {name_or_le: value}, "labels": {(key, value), ...}}}`` for
+    follow-on assertions; ``samples`` is the legacy flat view (last
+    sample wins when label sets collide), ``labels`` collects every
+    non-``le`` label pair seen on the family.
+    """
+    parsed = _parse_document(text)
+    families: Dict[str, Dict[str, object]] = {}
+    for family, record in parsed.items():
+        if record["type"] is None:
+            continue  # HELP-only stray; no samples can have attached
+        samples: Dict[str, float] = {}
+        label_pairs: set = set()
+        series: Dict[Tuple, Dict[str, float]] = {}
+        scalars: Dict[Tuple, float] = {}
+        for name, labels, raw_value in record["samples"]:
+            value = (float(raw_value)
+                     if raw_value not in ("+Inf", "-Inf", "NaN")
+                     else {"+Inf": math.inf, "-Inf": -math.inf,
+                           "NaN": math.nan}[raw_value])
+            sig = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            label_pairs.update(sig)
+            if (name.endswith("_bucket") and record["type"] == "histogram"
+                    and "le" in labels):
+                group = series.setdefault(sig, {})
+                le = labels["le"]
+                if le in group:
+                    raise ValueError(f"duplicate bucket le={le!r}"
+                                     f" in {family}")
+                group[le] = value
+            else:
+                key = (name, sig)
+                if key in scalars:
+                    raise ValueError(
+                        f"duplicate sample {name!r} labels {dict(sig)!r}")
+                scalars[key] = value
+            samples[labels.get("le", name)] = value
+        info: Dict[str, object] = {
+            "type": record["type"], "samples": samples,
+            "labels": label_pairs,
+        }
+        families[family] = info
+        if record["type"] != "histogram":
+            continue
+        if record["samples"] and not series:
+            raise ValueError(f"{family}: histogram missing +Inf bucket")
+        for sig, group in series.items():
+            if "+Inf" not in group:
+                raise ValueError(
+                    f"{family}: histogram missing +Inf bucket "
+                    f"(labels {dict(sig)!r})")
+            ordered = sorted(
+                group, key=lambda k: float(k.replace("+Inf", "inf")))
+            last = -math.inf
+            for le in ordered:
+                if group[le] < last:
+                    raise ValueError(
+                        f"{family}: bucket le={le} not cumulative "
+                        f"({group[le]} < {last})")
+                last = group[le]
+            count = scalars.get((f"{family}_count", sig))
+            if count is not None and group["+Inf"] != count:
+                raise ValueError(
+                    f"{family}: +Inf bucket {group['+Inf']} != _count "
+                    f"{count}")
+    return families
+

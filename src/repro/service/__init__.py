@@ -18,6 +18,13 @@ genuine misses reach the simulation pool.
   ``/healthz`` endpoints, and graceful drain on SIGTERM.
 * :mod:`repro.service.client` — :class:`ServiceClient`, a stdlib-only
   typed client (submit/poll/fetch and synchronous simulate).
+* :mod:`repro.service.http11` — the shared HTTP/1.1 framing both the
+  server and the gateway speak.
+* :mod:`repro.service.gateway` — :class:`ShardGateway`, a
+  consistent-hash front door that shards the point-fingerprint
+  keyspace across N replicas (``repro-experiment serve --replicas N``),
+  health-checks and evicts/re-admits them, and hedges in-flight points
+  to the rebuilt ring so a killed replica costs zero client failures.
 
 Start a server with ``repro-experiment serve --port 8000 --jobs 4
 --cache-dir ~/.cache/repro``, or embed one in-process::
@@ -41,6 +48,18 @@ from repro.service.client import (
     ServiceClient,
     ServiceError,
     SimulateReply,
+    parse_target,
+)
+from repro.service.gateway import (
+    HashRing,
+    Replica,
+    ReplicaError,
+    ShardGateway,
+    launch_local_gateway,
+    replicas_from_urls,
+    run_gateway,
+    spawn_subprocess_replicas,
+    spawn_thread_replicas,
 )
 from repro.service.protocol import (
     DESIGNS_BY_NAME,
@@ -54,14 +73,24 @@ from repro.service.server import ExperimentService
 __all__ = [
     "DESIGNS_BY_NAME",
     "ExperimentService",
+    "HashRing",
     "HealthReport",
     "JobReply",
     "PointReply",
     "PointSpec",
     "ProtocolError",
+    "Replica",
+    "ReplicaError",
     "ServiceClient",
     "ServiceError",
+    "ShardGateway",
     "SimulateReply",
     "design_slug",
+    "launch_local_gateway",
+    "parse_target",
+    "replicas_from_urls",
     "resolve_design",
+    "run_gateway",
+    "spawn_subprocess_replicas",
+    "spawn_thread_replicas",
 ]

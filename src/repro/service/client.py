@@ -34,7 +34,50 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "SimulateReply",
+    "parse_target",
 ]
+
+
+def parse_target(target: str) -> "tuple[str, int]":
+    """Parse ``HOST:PORT`` (IPv6 as ``[ADDR]:PORT``) into ``(host, port)``.
+
+    Accepts an optional ``http://`` prefix and trailing slash so a
+    pasted URL works too.  Bracketed IPv6 literals lose their brackets
+    (``[::1]:8000`` → ``("::1", 8000)``), which is what both
+    :class:`ServiceClient` and :mod:`http.client` expect.  Raises
+    ``ValueError`` with a human-readable reason on anything else —
+    including a bare host with no port, the historical foot-gun
+    ``rpartition(":")`` silently mangled.
+    """
+    text = target.strip()
+    for prefix in ("http://", "https://"):
+        if text.startswith(prefix):
+            text = text[len(prefix):]
+            break
+    text = text.rstrip("/")
+    if text.startswith("["):  # bracketed IPv6 literal
+        addr, bracket, rest = text[1:].partition("]")
+        if not bracket or not addr:
+            raise ValueError(f"{target!r}: unterminated '[' in host")
+        if not rest.startswith(":"):
+            raise ValueError(f"{target!r}: missing ':PORT' after {addr!r}")
+        host, port_text = addr, rest[1:]
+    else:
+        host, sep, port_text = text.rpartition(":")
+        if not sep:
+            raise ValueError(
+                f"{target!r}: missing ':PORT' (expected HOST:PORT)")
+        if ":" in host:
+            raise ValueError(
+                f"{target!r}: IPv6 hosts must be bracketed, "
+                f"like [{host}]:{port_text}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"{target!r}: port {port_text!r} is not an integer")
+    if not 1 <= port <= 65535:
+        raise ValueError(f"{target!r}: port {port} out of range 1-65535")
+    return host or "127.0.0.1", port
 
 
 class ServiceError(RuntimeError):

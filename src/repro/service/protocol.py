@@ -44,6 +44,7 @@ __all__ = [
     "ERROR_DRAINING",
     "ERROR_INTERNAL",
     "ERROR_NOT_FOUND",
+    "ERROR_NO_REPLICAS",
     "ERROR_SWEEP_FAILED",
     "PointSpec",
     "ProtocolError",
@@ -60,6 +61,8 @@ ERROR_NOT_FOUND = "not_found"
 ERROR_DRAINING = "draining"
 ERROR_SWEEP_FAILED = "sweep_failed"
 ERROR_INTERNAL = "internal_error"
+#: The sharding gateway ran out of healthy replicas for a request.
+ERROR_NO_REPLICAS = "no_replicas"
 
 #: Hard cap on points per request: a service request is an experiment
 #: wave, not an unbounded sweep (run those through the CLI).

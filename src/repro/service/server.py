@@ -9,7 +9,10 @@ Architecture (one request's life)::
         │ duplicate concurrent points join the existing future
         ▼
     batch queue ──> batcher task: collects points for ``batch_window``
-        │           seconds (or ``max_batch``), then runs one *wave*
+        │           seconds (or ``max_batch``), then runs one *wave*;
+        │           at most one wave is admitted per ``batch_window``,
+        │           so ``max_batch / batch_window`` is the service's
+        │           steady-state admission budget under backlog
         ▼
     wave (executor thread): each point resolved through the cache tiers
         memo  — already in the in-process memo           (0 work)
@@ -60,7 +63,8 @@ from repro.obs import Observability
 from repro.obs.promexp import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from repro.obs.promexp import render_prometheus
 from repro.obs.trace_context import TraceContext
-from repro.service import protocol
+from repro.service import http11, protocol
+from repro.service.http11 import Raw as _Raw
 from repro.service.protocol import PointSpec, ProtocolError
 from repro.workloads import registry
 
@@ -76,26 +80,8 @@ TIER_MEMO = "memo"
 TIER_DISK = "disk"
 TIER_COMPUTED = "computed"
 
-_MAX_BODY_BYTES = 8 * 1024 * 1024
-_MAX_HEADER_LINES = 100
 #: Completed job records kept for polling before the oldest are evicted.
 _MAX_JOBS = 1024
-
-_REASONS = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    500: "Internal Server Error", 503: "Service Unavailable",
-}
-
-
-class _Raw:
-    """A non-JSON response body (e.g. Prometheus text exposition)."""
-
-    __slots__ = ("body", "content_type")
-
-    def __init__(self, body: bytes, content_type: str) -> None:
-        self.body = body
-        self.content_type = content_type
 
 
 class _InflightPoint:
@@ -335,8 +321,9 @@ class ExperimentService:
             entry = await self._queue.get()
             if entry is None:
                 return
+            wave_started = loop.time()
             batch = [entry]
-            deadline = loop.time() + self.batch_window
+            deadline = wave_started + self.batch_window
             while len(batch) < self.max_batch:
                 remaining = deadline - loop.time()
                 if remaining <= 0:
@@ -361,6 +348,17 @@ class ExperimentService:
             finally:
                 self._wave_active = False
                 self._waves_run += 1
+            # Pace wave admission: a backlog that fills batches
+            # instantly used to fire waves back-to-back, so the
+            # configured window never actually bounded admitted load
+            # and the server saturated on per-request overhead instead
+            # of its wave budget.  Holding the next wave until the
+            # window elapses makes max_batch/batch_window a real
+            # admission cap (what the sharded loadtest measures);
+            # an idle server is unaffected.
+            cooldown = wave_started + self.batch_window - loop.time()
+            if cooldown > 0:
+                await asyncio.sleep(cooldown)
 
     # -- wave execution (runs on an executor thread) ----------------------
     def _execute_wave(self, batch: List[_InflightPoint]) -> None:
@@ -499,56 +497,15 @@ class ExperimentService:
             except Exception:
                 pass
 
-    @staticmethod
-    async def _read_request(
-        reader: asyncio.StreamReader,
-    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-        line = await reader.readline()
-        if not line:
-            return None
-        try:
-            method, target, _version = line.decode("ascii").split(None, 2)
-        except (UnicodeDecodeError, ValueError):
-            return None
-        headers: Dict[str, str] = {}
-        for _ in range(_MAX_HEADER_LINES):
-            raw = await reader.readline()
-            if raw in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = raw.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        else:
-            return None
-        body = b""
-        length = headers.get("content-length")
-        if length is not None:
-            try:
-                n = int(length)
-            except ValueError:
-                return None
-            if not 0 <= n <= _MAX_BODY_BYTES:
-                return None
-            body = await reader.readexactly(n)
-        return method, target.split("?", 1)[0], headers, body
+    # Shared HTTP/1.1 framing (also spoken by the sharding gateway).
+    _read_request = staticmethod(http11.read_request)
 
-    async def _write_response(self, writer: asyncio.StreamWriter, status: int,
+    @staticmethod
+    async def _write_response(writer: asyncio.StreamWriter, status: int,
                               payload: Any, keep_alive: bool,
                               trace_id: str = "-") -> None:
-        if isinstance(payload, _Raw):
-            body, content_type = payload.body, payload.content_type
-        else:
-            body = json.dumps(payload, sort_keys=True).encode("utf-8")
-            content_type = "application/json"
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"X-Trace-Id: {trace_id}\r\n"
-            f"\r\n"
-        ).encode("ascii")
-        writer.write(head + body)
-        await writer.drain()
+        await http11.write_response(writer, status, payload, keep_alive,
+                                    trace_id)
 
     async def _route(self, method: str, path: str, headers: Dict[str, str],
                      body: bytes) -> Tuple[int, Any, str]:

@@ -522,6 +522,71 @@ def test_find_knee_flags_first_non_scaling_step():
     assert find_knee([_level(1, 0.0), _level(2, 50.0)]) is None
 
 
+def test_find_knee_zero_throughput_successor_reports_last_nonzero():
+    # A level that collapses to zero throughput is the strongest
+    # possible saturation signal; the old ratio test divided into it
+    # and reported no knee at all.
+    assert find_knee([_level(1, 100.0), _level(2, 180.0),
+                      _level(4, 0.0)]) == 2
+    assert find_knee([_level(1, 100.0), _level(2, 0.0)]) == 1
+    # A zero in the middle still anchors to the last non-zero level.
+    assert find_knee([_level(1, 100.0), _level(2, 0.0),
+                      _level(4, 0.0)]) == 1
+    # All-zero sweeps genuinely have no knee to report.
+    assert find_knee([_level(1, 0.0), _level(2, 0.0)]) is None
+
+
+def test_parse_target_accepts_urls_and_bracketed_ipv6():
+    from repro.service.client import parse_target
+
+    assert parse_target("127.0.0.1:8000") == ("127.0.0.1", 8000)
+    assert parse_target("http://localhost:9/") == ("localhost", 9)
+    assert parse_target("[::1]:8000") == ("::1", 8000)
+    assert parse_target(":8000") == ("127.0.0.1", 8000)
+    with pytest.raises(ValueError, match="missing ':PORT'"):
+        parse_target("localhost")
+    with pytest.raises(ValueError, match="must be bracketed"):
+        parse_target("::1:8000")
+    with pytest.raises(ValueError, match="unterminated"):
+        parse_target("[::1.8000")
+    with pytest.raises(ValueError, match="not an integer"):
+        parse_target("host:port")
+    with pytest.raises(ValueError, match="out of range"):
+        parse_target("host:0")
+
+
+def test_loadtest_cli_rejects_bad_targets_with_exit_2(capsys):
+    from repro.experiments.cli import main
+
+    # A bare host used to be silently mangled by rpartition(':');
+    # now it is a usage error before any service is touched.
+    assert main(["loadtest", "--lt-target", "localhost"]) == 2
+    err = capsys.readouterr().out + capsys.readouterr().err
+    assert "missing ':PORT'" in err
+    assert main(["loadtest", "--lt-target", "[::1]:notaport"]) == 2
+    assert main(["loadtest", "--lt-target", "127.0.0.1:1",
+                 "--lt-replicas", "1"]) == 2
+    assert main(["loadtest", "--lt-replicas", "one,two"]) == 2
+    assert main(["loadtest", "--lt-cold-every", "-1"]) == 2
+    assert main(["loadtest", "--lt-cold-points", "not-a-point"]) == 2
+
+
+def test_loadtest_warmup_failure_exits_1_not_traceback(capsys):
+    # Nothing listens on this port: the warm-up simulate must surface
+    # as a clean exit-1 diagnostic, not an unhandled ConnectionError.
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()  # free the port again; nobody is listening now
+    rc = loadtest.main(target=f"127.0.0.1:{port}", levels=(1,),
+                       requests_per_client=1)
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "load test against" in out and "failed" in out
+
+
 def test_loadtest_report_render_names_the_knee():
     report = loadtest.LoadtestReport(
         target="127.0.0.1:1", points=[("bfs", "baseline-512")],
@@ -557,6 +622,32 @@ def test_loadtest_against_live_service(tmp_path):
     assert as_dict["levels"][0]["p99_ms"] == pytest.approx(
         report.levels[0].p99_ms, rel=1e-2)
     assert "req/s" in report.render()
+
+
+def test_shard_sweep_scales_replica_counts_over_shared_cache(tmp_path):
+    hot = [("bfs", "baseline-512"), ("kmeans", "vc-with-opt"),
+           ("pagerank", "ideal-mmu"), ("hotspot", "baseline-512")]
+    cold = [("nw", "baseline-512"), ("pathfinder", "vc-w-o-opt")]
+    report = loadtest.shard_sweep(
+        replica_counts=(1, 2), levels=(1, 2), requests_per_client=2,
+        points=hot, cold_points=cold, cold_every=4, scale=SCALE,
+        batch_window=0.005, max_batch=2, replica_mode="thread",
+        cache_dir=str(tmp_path / "cache"))
+    assert report.ok
+    assert sorted(report.reports) == [1, 2]
+    for count, sub in report.reports.items():
+        assert sub.cold_every == 4
+        assert all(lv.failures == 0 for lv in sub.levels)
+        assert report.best_throughput(count) > 0
+    speedups = report.speedups()
+    assert speedups[1] == pytest.approx(1.0)
+    assert speedups[2] > 0
+    rendered = report.render()
+    assert "replicas" in rendered and "speedup" in rendered
+    as_dict = report.as_dict()
+    assert as_dict["replica_counts"] == [1, 2]
+    assert as_dict["speedup_vs_first"]["1"] == pytest.approx(1.0)
+    assert "2" in as_dict["knee_concurrency"]
 
 
 # -- dashboard ------------------------------------------------------------
