@@ -53,9 +53,13 @@ class InvalidationOrder:
     n_subpages: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessCheck:
-    """Outcome of the FBT consultation on an L2 virtual-cache miss."""
+    """Outcome of the FBT consultation on an L2 virtual-cache miss.
+
+    ``slots=True``: allocated once per L2 miss, so it carries no
+    per-instance ``__dict__``.
+    """
 
     status: str  # "new_leading" | "leading" | "synonym"
     entry: BTEntry

@@ -215,15 +215,23 @@ class L1OnlyVirtualHierarchy:
         if self._timeline is not None:
             self._timeline.record("tlb.probes", now)
         key = (asid << 52) | vpn
-        # Inlined TLB.lookup (no lifetime tracker on per-CU TLBs): dict
-        # probe + LRU refresh + hit count, skipping the method dispatch.
-        entries = tlb._entries
-        entry = entries.get(key)
+        # Inlined TLB.lookup (no lifetime tracker on per-CU TLBs): a
+        # last-translation micro-memo tag compare, falling back to the
+        # dict probe + LRU refresh, skipping the method dispatch.  The
+        # memo hit skips the refresh safely: the memoized key is MRU.
         t = now + self.config.per_cu_tlb_latency
         tracer = self._tracer
         tracing = tracer is not None and tracer.enabled
+        if key == tlb._memo_key:
+            entry = tlb._memo_entry
+        else:
+            entries = tlb._entries
+            entry = entries.get(key)
+            if entry is not None:
+                entries.move_to_end(key)
+                tlb._memo_key = key
+                tlb._memo_entry = entry
         if entry is not None:
-            entries.move_to_end(key)
             tlb.hits += 1
             if tracing:
                 tracer.emit("tlb.hit", t, cu=cu_id, vpn=vpn)

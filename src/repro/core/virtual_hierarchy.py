@@ -30,7 +30,7 @@ from repro.core.synonym_remap import SynonymRemapTable
 from repro.engine.resources import BankedServer
 from repro.engine.stats import Counters
 from repro.gpu.coalescer import CoalescedRequest
-from repro.memsys.cache import Cache
+from repro.memsys.cache import Cache, CacheLine
 from repro.memsys.directory import CoherenceProbe
 from repro.memsys.dram import DRAM
 from repro.memsys.iommu import IOMMU
@@ -90,10 +90,17 @@ class VirtualCacheHierarchy:
         # caller enabled a timeline before building the hierarchy.
         self._timeline = obs.metrics.timeline if obs is not None else None
         self._lpp = lines_per_page(config.line_size)
+        # Per-access scalar latencies, hoisted out of the (frozen)
+        # config's nested dataclasses for the access fast path.
+        self._l1_latency = config.l1_latency
+        self._l2_latency = config.l2_latency
+        self._l1_to_l2 = config.interconnect.l1_to_l2
         # Deferred hot-path event counts (flushed via the ``counters``
         # property; only nonzero counts materialize, matching the
         # key-presence semantics of per-event ``Counters.add``).
-        self._n_accesses = 0
+        # ``vc.accesses`` is not counted per access: every access makes
+        # exactly one L1 probe (synonym replays re-probe only the L2),
+        # so it is derived at flush time from the L1s' hit/miss totals.
         self._n_srt_remaps = 0
         self._n_l1_hits = 0
         self._n_l2_hits = 0
@@ -146,6 +153,14 @@ class VirtualCacheHierarchy:
         if enable_synonym_remapping:
             self.srts = [SynonymRemapTable(srt_entries, name=f"cu{i}-srt")
                          for i in range(config.n_cus)]
+        if obs is None:
+            # Uninstrumented build: shadow the access method with the
+            # closure-compiled fast path (bit-identical; see fastpath).
+            from repro.system.fastpath import compile_virtual_access
+
+            fast = compile_virtual_access(self)
+            if fast is not None:
+                self.access = fast
 
     # -- counters ---------------------------------------------------------
     @property
@@ -156,9 +171,9 @@ class VirtualCacheHierarchy:
 
     def _flush_counters(self) -> None:
         counters = self._counters
-        if self._n_accesses:
-            counters.add("vc.accesses", self._n_accesses)
-            self._n_accesses = 0
+        probes = sum(l1.hits + l1.misses for l1 in self.l1s)
+        if probes:
+            counters.set("vc.accesses", probes)
         if self._n_srt_remaps:
             counters.add("vc.srt_remaps", self._n_srt_remaps)
             self._n_srt_remaps = 0
@@ -198,10 +213,8 @@ class VirtualCacheHierarchy:
         vpn = request.vpn
         lpp = self._lpp
         line_index = vline % lpp
-        cfg = self.config
         is_write = request.is_write
 
-        self._n_accesses += 1
         timeline = self._timeline
         if timeline is not None:
             timeline.record("vc.accesses", now)
@@ -215,8 +228,14 @@ class VirtualCacheHierarchy:
                 vline = vpn * lpp + line_index
                 self._n_srt_remaps += 1
         key = (asid << _ASID_SHIFT) | vline
-        line = self.l1s[cu_id].lookup(key)
+        # Inlined Cache.lookup for the virtual L1 (and the L2 below):
+        # set select is a bitmask, a hit is a dict probe + LRU refresh.
+        l1 = self.l1s[cu_id]
+        l1_set = l1._sets[key & l1._set_mask]
+        line = l1_set.get(key)
         if line is not None:
+            l1_set.move_to_end(key)
+            l1.hits += 1
             if not line.permissions._value_ & (2 if is_write else 1):
                 raise PermissionFault(vpn, is_write, line.permissions)
             self._n_l1_hits += 1
@@ -229,17 +248,21 @@ class VirtualCacheHierarchy:
                 # Write-through: the write still flows to the L2 and the
                 # store occupies the CU window until it lands there.
                 return self._l2_write(cu_id, asid, vpn, vline, line_index,
-                                      now + cfg.l1_latency)
-            return now + cfg.l1_latency
+                                      now + self._l1_latency)
+            return now + self._l1_latency
+        l1.misses += 1
 
         # L1 miss → virtual L2.  (bank_of returns an in-range index, so
         # the bank's server is addressed directly.)
-        t_l2 = now + cfg.l1_latency + cfg.interconnect.l1_to_l2
+        t_l2 = now + self._l1_latency + self._l1_to_l2
         l2 = self.l2
         start = self.l2_banks.banks[l2.bank_of(key)].request(t_l2)
-        t_hit = start + cfg.l2_latency
-        l2_line = l2.lookup(key)
+        t_hit = start + self._l2_latency
+        l2_set = l2._sets[key & l2._set_mask]
+        l2_line = l2_set.get(key)
         if l2_line is not None:
+            l2_set.move_to_end(key)
+            l2.hits += 1
             if not l2_line.permissions._value_ & (2 if is_write else 1):
                 raise PermissionFault(vpn, is_write, l2_line.permissions)
             self._n_l2_hits += 1
@@ -249,11 +272,12 @@ class VirtualCacheHierarchy:
             if tracer is not None and tracer.enabled:
                 tracer.emit("vc.l2_hit", t_hit, cu=cu_id, vpn=vpn)
             if is_write:
-                l2.mark_dirty(key)
+                l2_line.dirty = True
                 self.fbt.note_write(asid, vpn)
                 return t_hit
             self._fill_l1(cu_id, asid, vpn, key, l2_line.permissions)
-            return t_hit + cfg.interconnect.l1_to_l2
+            return t_hit + self._l1_to_l2
+        l2.misses += 1
 
         # Whole-hierarchy miss → translation is finally needed.
         self._n_l2_misses += 1
@@ -276,19 +300,24 @@ class VirtualCacheHierarchy:
         now: float,
     ) -> float:
         """Write-through from an L1 write hit: update/allocate in the L2."""
-        cfg = self.config
         key = (asid << _ASID_SHIFT) | vline
-        t_l2 = now + cfg.interconnect.l1_to_l2
-        start = self.l2_banks.banks[self.l2.bank_of(key)].request(t_l2)
-        if self.l2.lookup(key) is not None:
-            self.l2.mark_dirty(key)
+        t_l2 = now + self._l1_to_l2
+        l2 = self.l2
+        start = self.l2_banks.banks[l2.bank_of(key)].request(t_l2)
+        l2_set = l2._sets[key & l2._set_mask]
+        line = l2_set.get(key)
+        if line is not None:
+            l2_set.move_to_end(key)
+            l2.hits += 1
+            line.dirty = True
             self.fbt.note_write(asid, vpn)
-            return start + cfg.l2_latency
+            return start + self._l2_latency
+        l2.misses += 1
         # Non-inclusive hierarchy: the L1 held the line but the L2 did
         # not.  The write allocates in the write-back L2, which needs an
         # FBT consultation (translation) to keep inclusion tracking.
         return self._miss_path(cu_id, asid, vpn, vline, line_index, True,
-                               start + cfg.l2_latency, fill_l1=False)
+                               start + self._l2_latency, fill_l1=False)
 
     def _miss_path(
         self,
@@ -402,16 +431,44 @@ class VirtualCacheHierarchy:
         return t_mem + cfg.interconnect.l1_to_l2
 
     # -- fills -------------------------------------------------------------
+    # Both fills inline ``Cache.insert`` and *recycle* the evicted victim
+    # line in place of allocating a fresh CacheLine: same field values,
+    # same LRU/dict ordering, one allocation less per fill.  They run on
+    # every L2 read hit (L1 fill) and every whole-hierarchy miss (L2
+    # fill), which makes them the hottest allocation sites of the VC.
+
     def _fill_l1(
         self, cu_id: int, asid: int, vpn: int, key: int, permissions: Permissions
     ) -> None:
-        victim = self.l1s[cu_id].insert(key, permissions=permissions,
-                                        page=(asid << _ASID_SHIFT) | vpn)
+        l1 = self.l1s[cu_id]
+        cache_set = l1._sets[key & l1._set_mask]
+        pkey = (asid << _ASID_SHIFT) | vpn
         fltr = self.filters[cu_id]
-        if victim is not None and victim.page is not None:
+        existing = cache_set.get(key)
+        if existing is not None:
+            # A synonym replay can refill a leading line that is already
+            # resident (the original probe used the synonym key).
+            existing.permissions = permissions
+            cache_set.move_to_end(key)
+            fltr.on_fill(asid, vpn)
+            return
+        if len(cache_set) >= l1._associativity:
+            _, victim = cache_set.popitem(last=False)
             victim_page = victim.page
-            fltr.on_evict(victim_page >> _ASID_SHIFT,
-                          victim_page & ((1 << _ASID_SHIFT) - 1))
+            if victim_page is not None:
+                l1._forget_page_line(victim)
+                fltr.on_evict(victim_page >> _ASID_SHIFT,
+                              victim_page & ((1 << _ASID_SHIFT) - 1))
+            victim.line_addr = key
+            victim.dirty = False
+            victim.permissions = permissions
+            victim.page = pkey
+            cache_set[key] = victim
+        else:
+            cache_set[key] = CacheLine(key, False, permissions, pkey)
+            l1._n_resident += 1
+        page_lines = l1._page_lines
+        page_lines[pkey] = page_lines.get(pkey, 0) + 1
         fltr.on_fill(asid, vpn)
 
     def _fill_l2(
@@ -424,16 +481,41 @@ class VirtualCacheHierarchy:
         permissions: Permissions,
         now: float,
     ) -> None:
-        key = (asid << _ASID_SHIFT) | (vpn * self._lpp + line_index)
-        victim = self.l2.insert(key, dirty=dirty, permissions=permissions,
-                                page=(asid << _ASID_SHIFT) | vpn)
-        if victim is not None:
-            if victim.dirty:
-                self.dram.access_line(now)
-                self._n_l2_writebacks += 1
-            if victim.page is not None:
-                v_asid, v_vpn = split_page_key(victim.page)
-                self.fbt.note_l2_eviction(v_asid, v_vpn, victim.line_addr % self._lpp)
+        lpp = self._lpp
+        key = (asid << _ASID_SHIFT) | (vpn * lpp + line_index)
+        pkey = (asid << _ASID_SHIFT) | vpn
+        l2 = self.l2
+        cache_set = l2._sets[key & l2._set_mask]
+        existing = cache_set.get(key)
+        if existing is not None:
+            # Refill of a resident line: refresh LRU, merge the dirty
+            # bit (write-back cache), no victim.
+            existing.dirty = existing.dirty or dirty
+            existing.permissions = permissions
+            cache_set.move_to_end(key)
+        else:
+            if len(cache_set) >= l2._associativity:
+                _, victim = cache_set.popitem(last=False)
+                if victim.dirty:
+                    self.dram.access_line(now)  # write-back traffic
+                    self._n_l2_writebacks += 1
+                victim_page = victim.page
+                if victim_page is not None:
+                    l2._forget_page_line(victim)
+                    self.fbt.note_l2_eviction(
+                        victim_page >> _ASID_SHIFT,
+                        victim_page & ((1 << _ASID_SHIFT) - 1),
+                        victim.line_addr % lpp)
+                victim.line_addr = key
+                victim.dirty = dirty
+                victim.permissions = permissions
+                victim.page = pkey
+                cache_set[key] = victim
+            else:
+                cache_set[key] = CacheLine(key, dirty, permissions, pkey)
+                l2._n_resident += 1
+            page_lines = l2._page_lines
+            page_lines[pkey] = page_lines.get(pkey, 0) + 1
         self.fbt.note_l2_fill(ppn, line_index)
 
     # -- invalidation machinery ---------------------------------------------

@@ -57,7 +57,7 @@ __all__ = [
     "run_bench",
 ]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: The tracked points: the fig4 smoke sweep (one workload under the
 #: three baseline MMUs) plus a fig9 virtual-cache point.  ``bfs`` is a
@@ -85,12 +85,14 @@ class PointResult:
     instructions: int
     cycles: float
     requests_per_sec: float
+    trace_source: str = "generated"
 
     def as_dict(self) -> Dict[str, object]:
         return {
             "name": self.name,
             "workload": self.workload,
             "design": self.design,
+            "trace_source": self.trace_source,
             "trace_seconds": round(self.trace_seconds, 6),
             "build_seconds": round(self.build_seconds, 6),
             "simulate_seconds": round(self.simulate_seconds, 6),
@@ -114,11 +116,21 @@ def _bench_point(
     Each repeat builds a fresh hierarchy (state never carries over), so
     repeats measure the same work; best-of-N suppresses host noise.
     The trace is memoized by the registry — its synthesis cost is the
-    cold first load, reported separately from the simulate loop.
+    cold first load, reported separately from the simulate loop.  When
+    a compiled-trace store is active the first load may instead mmap a
+    prior compilation; ``trace_source`` records which happened.
     """
+    before = registry.trace_cache_stats()
     t0 = time.perf_counter()
     trace = registry.load(workload, scale=scale)
     trace_seconds = time.perf_counter() - t0
+    after = registry.trace_cache_stats()
+    if after["hits"] > before["hits"]:
+        trace_source = "compiled"
+    elif after["misses"] > before["misses"]:
+        trace_source = "generated"
+    else:
+        trace_source = "memoized" if trace_seconds < 0.001 else "generated"
 
     best = None
     build_seconds = 0.0
@@ -146,6 +158,7 @@ def _bench_point(
         instructions=result.instructions,
         cycles=result.cycles,
         requests_per_sec=result.requests / elapsed if elapsed > 0 else 0.0,
+        trace_source=trace_source,
     )
 
 
@@ -155,6 +168,7 @@ def run_bench(
     points: Sequence[tuple] = DEFAULT_POINTS,
     config: Optional[SoCConfig] = None,
     obs=None,
+    trace_cache: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run every benchmark point and return the report dict.
 
@@ -162,8 +176,14 @@ def run_bench(
     timed simulate loop stays unobserved (observing it would distort
     the tracked requests/sec), and each point instead yields one
     ``bench.point`` span plus ``bench.*`` metrics after its best run.
+
+    ``trace_cache`` names a compiled-trace store directory: a warm
+    rerun mmaps prior compilations (trace stage ≈ 0) and the report's
+    ``trace_cache`` block records the hit/miss/store traffic.
     """
     config = config if config is not None else SoCConfig()
+    if trace_cache is not None:
+        registry.set_trace_cache(trace_cache)
     trace_ctx = None
     if obs is not None and obs.tracing:
         from repro.obs.trace_context import TraceContext
@@ -188,10 +208,20 @@ def run_bench(
                     **trace_ctx.child().span_fields())
     total_requests = sum(r.requests for r in results)
     total_seconds = sum(r.simulate_seconds for r in results)
+    total_trace_seconds = sum(r.trace_seconds for r in results)
+    stats = registry.trace_cache_stats()
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "scale": scale,
         "repeats": repeats,
+        "trace_cache": {
+            "enabled": trace_cache is not None,
+            "dir": trace_cache,
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "stores": stats["stores"],
+            "trace_seconds": round(total_trace_seconds, 6),
+        },
         "host": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
@@ -262,6 +292,13 @@ def render(report: Dict[str, object]) -> str:
         f"{'TOTAL':38s} {total['simulate_seconds']:9.3f} "
         f"{total['requests']:10d} {total['requests_per_sec']:10.0f}"
     )
+    cache = report.get("trace_cache")
+    if cache and cache.get("enabled"):
+        lines.append(
+            f"trace cache: {cache['hits']} hit(s), {cache['misses']} "
+            f"miss(es), {cache['stores']} store(s); trace stage "
+            f"{cache['trace_seconds']:.3f}s"
+        )
     speedup = report.get("speedup_vs_baseline")
     if speedup:
         lines.append("")
@@ -280,6 +317,7 @@ def main(
     tolerance: float = 0.30,
     trace_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
+    trace_cache: Optional[str] = None,
 ) -> int:
     """CLI entry (wired to ``repro-experiment bench``); returns exit code."""
     # Read the reference files up front so a bad path fails cleanly
@@ -306,7 +344,8 @@ def main(
 
         tracer = JsonLinesTracer(trace_out) if trace_out else None
         obs = Observability(tracer=tracer)
-    report = run_bench(scale=scale, repeats=repeats, obs=obs)
+    report = run_bench(scale=scale, repeats=repeats, obs=obs,
+                       trace_cache=trace_cache)
     if baseline is not None:
         attach_baseline(report, baseline)
     print(render(report))

@@ -162,6 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
              "change to those re-simulates",
     )
     parser.add_argument(
+        "--trace-cache", metavar="DIR", default=None,
+        help="store compiled (precoalesced, mmap-able) traces under DIR "
+             "and reuse them across processes; defaults to "
+             "CACHE_DIR/traces when --cache-dir is given; chaos runs "
+             "never read it (fault injection mutates page tables)",
+    )
+    parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="write a JSON-lines trace of every simulated request to PATH",
     )
@@ -179,7 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_group.add_argument(
         "--bench-out", metavar="PATH", default=None,
         help="write the benchmark report JSON to PATH (default: "
-             "benchmarks/perf/BENCH_PR3.json)",
+             "benchmarks/perf/BENCH_PR8.json)",
     )
     bench_group.add_argument(
         "--bench-repeats", type=int, default=3, metavar="N",
@@ -383,6 +390,15 @@ def main(argv=None) -> int:
         if problem:
             print(f"repro-experiment: error: {problem}", file=sys.stderr)
             return 2
+    trace_cache = args.trace_cache
+    if trace_cache is None and args.cache_dir is not None:
+        trace_cache = str(Path(args.cache_dir) / "traces")
+    if trace_cache is not None:
+        # Safe to enable globally: chaos loads via load_fresh, which
+        # never consults the store.
+        from repro.workloads import registry
+
+        registry.set_trace_cache(trace_cache)
     if args.experiment == "trace":
         from repro.obs.trace_view import load_events, render_traces
 
@@ -607,12 +623,13 @@ def main(argv=None) -> int:
             scale=args.scale if args.scale is not None else 0.1,
             repeats=args.bench_repeats,
             out=(args.bench_out if args.bench_out is not None
-                 else "benchmarks/perf/BENCH_PR3.json"),
+                 else "benchmarks/perf/BENCH_PR8.json"),
             baseline_path=args.bench_baseline,
             compare_path=args.bench_compare,
             tolerance=args.bench_tolerance,
             trace_out=args.trace_out,
             metrics_out=args.metrics_out,
+            trace_cache=trace_cache,
         )
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(f"repro-experiment: error: unknown experiment "

@@ -220,6 +220,14 @@ class ResultCache:
             self._disk = DiskCache(
                 self.cache_dir,
                 counters=getattr(metrics, "counters", None))
+            # A persistent result cache implies a persistent trace
+            # cache: cache misses regenerate workloads, and those
+            # compilations should be shared across processes too.
+            # (Idempotent; respects an explicit earlier set_trace_cache
+            # to the same directory, and exports REPRO_TRACE_CACHE so
+            # spawned pool workers resolve the same store.)
+            if os.environ.get("REPRO_TRACE_CACHE") is None:
+                registry.set_trace_cache(Path(self.cache_dir) / "traces")
         return self._disk
 
     # -- running ----------------------------------------------------------

@@ -14,7 +14,7 @@ from typing import List, Sequence
 
 from repro.memsys.addressing import DEFAULT_LINE_SIZE, PAGE_SIZE
 
-__all__ = ["CoalescedRequest", "Coalescer"]
+__all__ = ["CoalescedRequest", "Coalescer", "coalesce_arrays"]
 
 _LINES_PER_PAGE = PAGE_SIZE // DEFAULT_LINE_SIZE
 
@@ -90,3 +90,60 @@ class Coalescer:
     def mean_divergence(self) -> float:
         """Average requests per coalesced instruction so far."""
         return self.requests / self.instructions if self.instructions else 0.0
+
+
+def coalesce_arrays(lanes, lane_counts, line_size: int = DEFAULT_LINE_SIZE):
+    """Batch-coalesce many instructions' lane addresses at once.
+
+    ``lanes`` concatenates every instruction's lane addresses;
+    ``lane_counts[i]`` says how many of them belong to instruction
+    ``i``.  Returns NumPy arrays ``(req_line, req_lanes,
+    inst_req_counts)`` — the coalesced line addresses and their lane
+    counts, concatenated in instruction order, plus the number of
+    requests each instruction produced.
+
+    Order and counts match :meth:`Coalescer.coalesce` exactly (distinct
+    lines in first-appearance order, each annotated with the number of
+    lanes it serves): per-instruction dict insertion order is the order
+    of each line's first lane, which the group-boundary construction
+    below reproduces with two ``lexsort`` passes instead of one Python
+    dict per instruction.
+    """
+    import numpy as np
+
+    if line_size <= 0:
+        raise ValueError("line size must be positive")
+    lanes = np.asarray(lanes, dtype=np.int64)
+    lane_counts = np.asarray(lane_counts, dtype=np.int64)
+    n_insts = len(lane_counts)
+    if int(lane_counts.sum()) != lanes.size:
+        raise ValueError(
+            f"lane array holds {lanes.size} addresses but lane_counts "
+            f"claims {int(lane_counts.sum())}")
+    if lanes.size == 0:
+        return (np.zeros(0, np.int64), np.zeros(0, np.int64),
+                np.zeros(n_insts, np.int64))
+    inst_id = np.repeat(np.arange(n_insts, dtype=np.int64), lane_counts)
+    lines = lanes // line_size
+    lane_idx = np.arange(lanes.size, dtype=np.int64)
+    # Sort lanes by (instruction, line, arrival); each (instruction,
+    # line) run is then one coalesced request whose first element is
+    # the line's first-appearing lane.
+    order = np.lexsort((lane_idx, lines, inst_id))
+    s_inst = inst_id[order]
+    s_line = lines[order]
+    s_idx = lane_idx[order]
+    boundary = np.empty(lanes.size, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (s_inst[1:] != s_inst[:-1]) | (s_line[1:] != s_line[:-1])
+    starts = np.flatnonzero(boundary)
+    group_counts = np.diff(np.append(starts, lanes.size))
+    # Restore first-appearance order within each instruction by sorting
+    # the groups on (instruction, first lane arrival).
+    first_arrival = s_idx[starts]
+    order2 = np.lexsort((first_arrival, s_inst[starts]))
+    req_line = s_line[starts][order2]
+    req_lanes = group_counts[order2]
+    inst_req_counts = np.bincount(
+        s_inst[starts], minlength=n_insts).astype(np.int64)
+    return req_line, req_lanes, inst_req_counts

@@ -62,9 +62,14 @@ class IOMMUConfig:
             raise ValueError("bank_select must be 'low' or 'high'")
 
 
-@dataclass
+@dataclass(slots=True)
 class TranslationOutcome:
-    """A completed translation, with timing and provenance."""
+    """A completed translation, with timing and provenance.
+
+    ``slots=True``: one outcome is allocated per IOMMU translation —
+    the whole-hierarchy-miss hot path — so it carries no per-instance
+    ``__dict__``.
+    """
 
     vpn: int
     ppn: int
@@ -101,9 +106,15 @@ class IOMMU:
         self.shared_tlb = TLB(capacity=config.shared_tlb_entries, name="iommu-tlb")
         if config.n_banks > 1:
             self.port = BankedServer(config.n_banks, rate_per_bank=config.bandwidth)
+            self._port_banks = self.port.banks
         else:
             self.port = ThroughputServer(rate=config.bandwidth)
+            self._port_banks = None
         self.unlimited_bandwidth = config.bandwidth == float("inf")
+        # Hot-path scalars, hoisted out of the config for ``translate``.
+        self._n_port_banks = config.n_banks
+        self._bank_select_low = config.bank_select == "low"
+        self._tlb_latency = config.tlb_latency
         self.pwc = PageWalkCache(
             size_bytes=config.pwc_size_bytes,
             hit_latency=config.pwc_hit_latency,
@@ -207,13 +218,41 @@ class IOMMU:
         Raises :class:`PageFault` for unmapped pages (handled by the CPU
         in the real system).
         """
-        self.access_sampler.record(now)
+        (ppn, permissions, finish, source, is_large, large_base_vpn,
+         large_base_ppn) = self.translate_parts(vpn, now, asid)
+        return TranslationOutcome(
+            vpn=vpn, ppn=ppn, permissions=permissions, source=source,
+            arrival=now, finish=finish, is_large=is_large,
+            large_base_vpn=large_base_vpn, large_base_ppn=large_base_ppn,
+        )
+
+    def translate_parts(self, vpn: int, now: float, asid: int = 0) -> tuple:
+        """:meth:`translate` without the outcome object.
+
+        Returns ``(ppn, permissions, finish, source, is_large,
+        large_base_vpn, large_base_ppn)``; the compiled access closures
+        consume the tuple directly, skipping one allocation per
+        whole-hierarchy miss.
+        """
+        # Inlined ``access_sampler.record(now)`` — one dict upsert per
+        # translation is hot enough to skip the method dispatch.
+        sampler = self.access_sampler
+        window = int(now // sampler.interval_cycles)
+        counts = sampler._window_counts
+        counts[window] = counts.get(window, 0) + 1
+        if window > sampler._max_window:
+            sampler._max_window = window
         self._n_accesses += 1
         self._ever_translated = True
         if self.unlimited_bandwidth:
             service_start = now
-        elif self.config.n_banks > 1:
-            service_start = self.port.request(now, self._bank_of(vpn))
+        elif self._port_banks is not None:
+            # Inlined ``_bank_of`` + ``BankedServer.request`` dispatch.
+            if self._bank_select_low:
+                bank = vpn % self._n_port_banks
+            else:
+                bank = (vpn >> 9) % self._n_port_banks
+            service_start = self._port_banks[bank].request(now)
         else:
             service_start = self.port.request(now)
         self.queue_cycles += service_start - now
@@ -238,10 +277,28 @@ class IOMMU:
             tracer.emit("iommu.enter", now, vpn=vpn, asid=asid)
             tracer.emit("iommu.dequeue", service_start, vpn=vpn,
                         wait=service_start - now)
-        t = service_start + self.config.tlb_latency
+        t = service_start + self._tlb_latency
 
+        # Inlined ``shared_tlb.lookup`` (micro-memo + LRU probe); the
+        # counter and memo updates mirror :meth:`TLB.lookup` exactly.
         key = (asid << 52) | vpn
-        entry = self.shared_tlb.lookup(key, t)
+        tlb = self.shared_tlb
+        if key == tlb._memo_key:
+            tlb.hits += 1
+            entry = tlb._memo_entry
+            if tlb.lifetimes is not None:
+                tlb.lifetimes.on_access(key, t)
+        else:
+            entry = tlb._entries.get(key)
+            if entry is None:
+                tlb.misses += 1
+            else:
+                tlb._entries.move_to_end(key)
+                tlb.hits += 1
+                tlb._memo_key = key
+                tlb._memo_entry = entry
+                if tlb.lifetimes is not None:
+                    tlb.lifetimes.on_access(key, t)
         if entry is not None:
             self._n_tlb_hits += 1
             if timeline is not None:
@@ -250,13 +307,21 @@ class IOMMU:
                 self._translate_hist.record(t - now)
             if tracing:
                 tracer.emit("iommu.tlb_hit", t, vpn=vpn)
-            return TranslationOutcome(
-                vpn=vpn, ppn=entry.ppn, permissions=entry.permissions,
-                source="shared_tlb", arrival=now, finish=t,
-                is_large=entry.is_large,
-                large_base_vpn=entry.large_base_vpn,
-                large_base_ppn=entry.large_base_ppn,
-            )
+            return (entry.ppn, entry.permissions, t, "shared_tlb",
+                    entry.is_large, entry.large_base_vpn,
+                    entry.large_base_ppn)
+        return self._translate_miss_parts(key, vpn, t, now, asid)
+
+    def _translate_miss_parts(self, key: int, vpn: int, t: float, now: float,
+                              asid: int) -> tuple:
+        """Shared-TLB-miss tail of :meth:`translate_parts`.
+
+        Split out so compiled hot paths can inline the (far more common)
+        shared-TLB-hit prologue and only pay a method call on a miss.
+        """
+        timeline = self._timeline
+        tracer = self._tracer
+        tracing = tracer is not None and tracer.enabled
         self._n_tlb_misses += 1
 
         if self.second_level is not None:
@@ -273,10 +338,7 @@ class IOMMU:
                 if tracing:
                     tracer.emit("iommu.fbt_hit", t, vpn=vpn)
                 self.shared_tlb.insert(key, ppn, permissions, t)
-                return TranslationOutcome(
-                    vpn=vpn, ppn=ppn, permissions=permissions,
-                    source="fbt", arrival=now, finish=t,
-                )
+                return (ppn, permissions, t, "fbt", False, 0, 0)
             self._n_fbt_misses += 1
 
         if tracing:
@@ -298,13 +360,9 @@ class IOMMU:
             large_base_vpn=walk.result.large_base_vpn,
             large_base_ppn=walk.result.large_base_ppn,
         )
-        return TranslationOutcome(
-            vpn=vpn, ppn=walk.result.ppn, permissions=walk.result.permissions,
-            source="walk", arrival=now, finish=walk.finish,
-            is_large=walk.result.is_large,
-            large_base_vpn=walk.result.large_base_vpn,
-            large_base_ppn=walk.result.large_base_ppn,
-        )
+        result = walk.result
+        return (result.ppn, result.permissions, walk.finish, "walk",
+                result.is_large, result.large_base_vpn, result.large_base_ppn)
 
     # -- shootdown ------------------------------------------------------------
     def invalidate(self, vpn: int, asid: int = 0) -> bool:

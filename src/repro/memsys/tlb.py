@@ -61,6 +61,19 @@ class TLB:
     (insertion → eviction), which the Appendix (Figure 12) compares
     against cache-data lifetimes to explain why virtual caches filter
     TLB misses.
+
+    A direct-mapped *last-translation micro-memo* (``_memo_key`` /
+    ``_memo_entry``) sits in front of the full probe: a single tag
+    compare against the most recently used key.  The memo is exactly one
+    entry — never wider — because a memo hit skips the LRU refresh, and
+    only the MRU key can do that without perturbing eviction order (it
+    is already at the recency-list tail, so ``move_to_end`` would be a
+    no-op).  Every hit and fill path updates the memo and every
+    invalidation path clears it, so the invariant "the memo holds the
+    MRU key, or nothing" holds even when shootdowns bypass the hierarchy
+    (the chaos fault injector invalidates TLBs directly).  Counters are
+    attributed identically on memo and full-probe hits, so simulation
+    outputs stay bit-identical.
     """
 
     def __init__(
@@ -77,6 +90,9 @@ class TLB:
         self._entries: OrderedDict[int, TLBEntry] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # Keys are nonnegative ASID-qualified page numbers; -1 never matches.
+        self._memo_key = -1
+        self._memo_entry: Optional[TLBEntry] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -87,12 +103,21 @@ class TLB:
     # -- access path ----------------------------------------------------
     def lookup(self, vpn: int, now: float = 0.0) -> Optional[TLBEntry]:
         """Translate ``vpn``: LRU-refreshing hit, or None on miss."""
+        if vpn == self._memo_key:
+            # Memo hit: the key is already MRU, so the LRU refresh is
+            # skipped as a provable no-op; counters unchanged vs a probe.
+            self.hits += 1
+            if self.lifetimes is not None:
+                self.lifetimes.on_access(vpn, now)
+            return self._memo_entry
         entry = self._entries.get(vpn)
         if entry is None:
             self.misses += 1
             return None
         self._entries.move_to_end(vpn)
         self.hits += 1
+        self._memo_key = vpn
+        self._memo_entry = entry
         if self.lifetimes is not None:
             self.lifetimes.on_access(vpn, now)
         return entry
@@ -116,23 +141,37 @@ class TLB:
             existing.large_base_vpn = large_base_vpn
             existing.large_base_ppn = large_base_ppn
             self._entries.move_to_end(vpn)
+            self._memo_key = vpn
+            self._memo_entry = existing
             return None
         victim = None
         if self.capacity is not None and len(self._entries) >= self.capacity:
             _, victim = self._entries.popitem(last=False)
             if self.lifetimes is not None:
                 self.lifetimes.on_evict(victim.vpn, now)
-        self._entries[vpn] = TLBEntry(vpn=vpn, ppn=ppn, permissions=permissions,
-                                      is_large=is_large,
-                                      large_base_vpn=large_base_vpn,
-                                      large_base_ppn=large_base_ppn)
+        entry = TLBEntry(vpn=vpn, ppn=ppn, permissions=permissions,
+                         is_large=is_large,
+                         large_base_vpn=large_base_vpn,
+                         large_base_ppn=large_base_ppn)
+        self._entries[vpn] = entry
+        # The fill is the new MRU; this also covers the capacity-1 case
+        # where the evicted victim was the memoized key.
+        self._memo_key = vpn
+        self._memo_entry = entry
         if self.lifetimes is not None:
             self.lifetimes.on_insert(vpn, now)
         return victim
 
     # -- shootdown ------------------------------------------------------
     def invalidate(self, vpn: int, now: float = 0.0) -> bool:
-        """Single-entry shootdown; True if an entry was dropped."""
+        """Single-entry shootdown; True if an entry was dropped.
+
+        Clears the micro-memo when it holds the shot-down key, so a
+        remap/unmap can never be served a stale memoized translation.
+        """
+        if vpn == self._memo_key:
+            self._memo_key = -1
+            self._memo_entry = None
         entry = self._entries.pop(vpn, None)
         if entry is None:
             return False
@@ -142,6 +181,8 @@ class TLB:
 
     def invalidate_all(self, now: float = 0.0) -> int:
         """All-entry shootdown; returns the number of entries dropped."""
+        self._memo_key = -1
+        self._memo_entry = None
         dropped = len(self._entries)
         if self.lifetimes is not None:
             for vpn in self._entries:

@@ -26,6 +26,7 @@ from repro.memsys.permissions import PageFault, PermissionFault
 from repro.memsys.tlb import TLB
 from repro.engine.resources import BankedServer
 from repro.system.config import SoCConfig
+from repro.system.fastpath import compile_physical_access
 
 
 __all__ = ["PhysicalHierarchy"]
@@ -53,7 +54,9 @@ class PhysicalHierarchy:
         # Deferred hot-path event counts (flushed via the ``counters``
         # property; only nonzero counts materialize, matching the
         # key-presence semantics of per-event ``Counters.add``).
-        self._n_tlb_accesses = 0
+        # ``tlb.accesses`` is not counted per access: every access makes
+        # exactly one per-CU TLB probe, so it is derived at flush time
+        # from the TLBs' own hit/miss totals.
         self._n_tlb_misses = 0
         self._n_miss_l1_hit = 0
         self._n_miss_l2_hit = 0
@@ -92,6 +95,12 @@ class PhysicalHierarchy:
         if obs is not None:
             self.l2_banks.attach_delay_histogram(
                 obs.metrics.histogram("l2.bank_queue_delay"))
+        elif not track_lifetimes:
+            # Uninstrumented build: shadow the access method with the
+            # closure-compiled fast path (bit-identical; see fastpath).
+            fast = compile_physical_access(self)
+            if fast is not None:
+                self.access = fast
 
     # -- counters ---------------------------------------------------------
     @property
@@ -102,9 +111,9 @@ class PhysicalHierarchy:
 
     def _flush_counters(self) -> None:
         counters = self._counters
-        if self._n_tlb_accesses:
-            counters.add("tlb.accesses", self._n_tlb_accesses)
-            self._n_tlb_accesses = 0
+        probes = sum(t.hits + t.misses for t in self.per_cu_tlbs)
+        if probes:
+            counters.set("tlb.accesses", probes)
         if self._n_tlb_misses:
             counters.add("tlb.misses", self._n_tlb_misses)
             self._n_tlb_misses = 0
@@ -125,22 +134,29 @@ class PhysicalHierarchy:
     def _translate(self, cu_id: int, vpn: int, now: float, asid: int):
         """Per-CU TLB, then IOMMU on a miss.  Returns (ready_time, ppn, perms, tlb_hit).
 
-        The ``tlb.accesses`` event is counted by the caller (``access``),
-        which may satisfy a TLB hit without entering this method at all.
+        The ``tlb.accesses`` event is derived at counter-flush time from
+        the TLBs' hit/miss totals (one probe per access), so neither
+        this method nor ``access`` counts it per request.
         """
         tlb = self.per_cu_tlbs[cu_id]
         key = (asid << 52) | vpn
         # Inlined TLB.lookup: the per-CU TLBs are built without a
-        # lifetime tracker, so a hit is a dict probe, an LRU refresh,
-        # and a hit count — worth skipping the method dispatch for on
-        # the single hottest translation path.
-        entries = tlb._entries
-        entry = entries.get(key)
+        # lifetime tracker, so a hit is a micro-memo tag compare (or a
+        # dict probe + LRU refresh) and a hit count — worth skipping the
+        # method dispatch for on the single hottest translation path.
         t = now + self.config.per_cu_tlb_latency
         tracer = self._tracer
         tracing = tracer is not None and tracer.enabled
+        if key == tlb._memo_key:
+            entry = tlb._memo_entry
+        else:
+            entries = tlb._entries
+            entry = entries.get(key)
+            if entry is not None:
+                entries.move_to_end(key)
+                tlb._memo_key = key
+                tlb._memo_entry = entry
         if entry is not None:
-            entries.move_to_end(key)
             tlb.hits += 1
             if self.lifetimes is not None:
                 self.lifetimes["tlb"].on_access((cu_id, key), now)
@@ -186,21 +202,32 @@ class PhysicalHierarchy:
         is_write = request.is_write
         lpp = self._lpp
         line_index = request.line_addr % lpp
-        self._n_tlb_accesses += 1
         if self._timeline is not None:
             self._timeline.record("tlb.probes", now)
 
         # Fast path: with no lifetime tracking and no tracer, a TLB hit
         # followed by an L1 read hit is a pair of dict probes — handle
-        # both inline and skip three method dispatches per request.
+        # both inline and skip three method dispatches per request.  The
+        # last-translation micro-memo short-circuits even the dict probe
+        # when the request stays on the MRU page (coalesced requests
+        # from one instruction usually do), and skipping its LRU refresh
+        # is a no-op because the memoized key is by construction MRU.
         tracer = self._tracer
         if self.lifetimes is None and (tracer is None or not tracer.enabled):
             tlb = self.per_cu_tlbs[cu_id]
-            entries = tlb._entries
-            entry = entries.get((asid << 52) | vpn)
-            if entry is not None:
-                entries.move_to_end((asid << 52) | vpn)
+            key = (asid << 52) | vpn
+            if key == tlb._memo_key:
+                entry = tlb._memo_entry
                 tlb.hits += 1
+            else:
+                entries = tlb._entries
+                entry = entries.get(key)
+                if entry is not None:
+                    entries.move_to_end(key)
+                    tlb.hits += 1
+                    tlb._memo_key = key
+                    tlb._memo_entry = entry
+            if entry is not None:
                 permissions = entry.permissions
                 if not permissions._value_ & (2 if is_write else 1):
                     raise PermissionFault(vpn, is_write, permissions)

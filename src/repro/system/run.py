@@ -214,12 +214,14 @@ def simulate(
     timeline = obs.metrics.timeline if obs is not None else None
     if tracing:
         tracer.emit("run.start", start_time, workload=trace.name, design=design)
-    streams = trace.per_cu
+    # The issue loop is driven entirely by the coalesced request lists
+    # (one list per instruction; None marks a scratchpad instruction) —
+    # they mirror ``trace.per_cu`` stream for stream, so compiled traces
+    # can replay without materializing per-lane instruction objects.
     coalesced = trace.coalesced_per_cu()
     if max_instructions_per_cu is not None:
-        streams = [s[:max_instructions_per_cu] for s in streams]
         coalesced = [c[:max_instructions_per_cu] for c in coalesced]
-    n_cus = len(streams)
+    n_cus = len(coalesced)
     hierarchy_cus = len(getattr(hierarchy, "l1s", ()) or ())
     if hierarchy_cus and n_cus > hierarchy_cus:
         raise ValueError(
@@ -232,6 +234,7 @@ def simulate(
     # Per-CU list of this instruction's coalesced requests + position.
     pending: List[Optional[list]] = [None] * n_cus
     pending_pos = [0] * n_cus
+    pending_last = [0] * n_cus  # index of the instruction's final request
     pending_scratch = [False] * n_cus
     # Per-CU issue-window state: the :class:`~repro.gpu.cu.ComputeUnit`
     # model, inlined as parallel arrays.  The issue loop runs once per
@@ -246,18 +249,82 @@ def simulate(
     issue_interval = trace.issue_interval
     scratch_access = Scratchpad().access  # fixed latency, shared by all CUs
 
-    heap = [(start_time, cu_id) for cu_id in range(n_cus) if streams[cu_id]]
+    heap = [(start_time, cu_id) for cu_id in range(n_cus) if coalesced[cu_id]]
     heapq.heapify(heap)
     total_requests = 0
     total_instructions = 0
 
     heappush = heapq.heappush
     heappop = heapq.heappop
+    # Re-inserting the current CU and extracting the global minimum is
+    # one fused sift (``heappushpop``); when the current CU stays the
+    # earliest — long same-CU request runs — it is a single compare.
+    heappushpop = heapq.heappushpop
     access = hierarchy.access
-    stream_lens = [len(s) for s in streams]
+    stream_lens = [len(c) for c in coalesced]
 
-    while heap:
-        candidate, cu_id = heappop(heap)
+    # The loop keeps the earliest (candidate, cu_id) in locals; the heap
+    # holds every *other* runnable CU.  It terminates when a CU drains
+    # its stream with no other CU left (the only way work runs out).
+    # Two copies of the loop: the uninstrumented one below drops the
+    # per-iteration tracer/histogram/auditor checks; the general one
+    # further down is the reference and carries all instrumentation.
+    candidate, cu_id = heappop(heap) if heap else (0.0, -1)
+    if not tracing and req_hist is None and auditor is None:
+        while cu_id >= 0:
+            t = next_issue[cu_id]
+            issue = candidate if candidate > t else t
+            out = outstanding[cu_id]
+            if len(out) >= cu_window and out[0] > issue:
+                issue = out[0]
+            if issue > candidate + _TIME_EPS:
+                candidate, cu_id = heappushpop(heap, (issue, cu_id))
+                continue
+
+            requests = pending[cu_id]
+            if requests is None:
+                reqs = coalesced[cu_id][cursors[cu_id]]
+                total_instructions += 1
+                if reqs is None:  # scratchpad instruction
+                    requests = pending[cu_id] = []
+                    pending_scratch[cu_id] = True
+                else:
+                    requests = pending[cu_id] = reqs
+                    pending_scratch[cu_id] = False
+                    pending_last[cu_id] = len(reqs) - 1
+                pending_pos[cu_id] = 0
+
+            if pending_scratch[cu_id]:
+                completion = scratch_access(issue)
+                gap = issue_interval
+                self_done = True
+            else:
+                pos = pending_pos[cu_id]
+                completion = access(cu_id, requests[pos], issue, asid)
+                total_requests += 1
+                self_done = last = pos == pending_last[cu_id]
+                gap = issue_interval if last else 1.0
+                pending_pos[cu_id] = pos + 1
+
+            while out and out[0] <= issue:
+                heappop(out)
+            heappush(out, completion)
+            if completion > last_completion[cu_id]:
+                last_completion[cu_id] = completion
+            nxt = issue + gap
+            next_issue[cu_id] = nxt
+
+            if self_done:
+                pending[cu_id] = None
+                cursors[cu_id] += 1
+                if cursors[cu_id] >= stream_lens[cu_id]:
+                    if not heap:
+                        break
+                    candidate, cu_id = heappop(heap)
+                    continue
+            candidate, cu_id = heappushpop(heap, (nxt, cu_id))
+        cu_id = -1  # the general loop below must not run
+    while cu_id >= 0:
         # Earliest cycle a new request can issue, given the window.
         t = next_issue[cu_id]
         issue = candidate if candidate > t else t
@@ -267,7 +334,7 @@ def simulate(
         if issue > candidate + _TIME_EPS:
             # The outstanding-request window is full: retry at the time
             # the oldest request completes (keeps global time order).
-            heappush(heap, (issue, cu_id))
+            candidate, cu_id = heappushpop(heap, (issue, cu_id))
             continue
 
         requests = pending[cu_id]
@@ -282,6 +349,7 @@ def simulate(
             else:
                 requests = pending[cu_id] = reqs
                 pending_scratch[cu_id] = False
+                pending_last[cu_id] = len(reqs) - 1
             pending_pos[cu_id] = 0
 
         if pending_scratch[cu_id]:
@@ -294,7 +362,7 @@ def simulate(
             if tracing:
                 tracer.emit("request.issue", issue, cu=cu_id,
                             line=request.line_addr, write=request.is_write)
-            completion = access(cu_id, request, issue, asid=asid)
+            completion = access(cu_id, request, issue, asid)
             total_requests += 1
             if req_hist is not None:
                 req_hist.record(completion - issue)
@@ -305,10 +373,9 @@ def simulate(
             if tracing:
                 tracer.emit("request.complete", completion, cu=cu_id,
                             line=request.line_addr, latency=completion - issue)
-            last = pos == len(requests) - 1
+            self_done = last = pos == pending_last[cu_id]
             gap = issue_interval if last else 1.0
             pending_pos[cu_id] = pos + 1
-            self_done = last
 
         # Record the issued request: retire completed ones, track the
         # new completion, and set the next issue slot (pipeline gap).
@@ -324,8 +391,12 @@ def simulate(
             pending[cu_id] = None
             cursors[cu_id] += 1
             if cursors[cu_id] >= stream_lens[cu_id]:
-                continue  # this CU is finished
-        heappush(heap, (nxt, cu_id))
+                # This CU is finished; move to the next-earliest one.
+                if not heap:
+                    break
+                candidate, cu_id = heappop(heap)
+                continue
+        candidate, cu_id = heappushpop(heap, (nxt, cu_id))
 
     # A CU's drain time is its last outstanding completion.
     end_time = start_time

@@ -1,0 +1,498 @@
+"""Compiled binary traces: precoalesced, mmap-able workload replays.
+
+Loading a workload normally means *running its algorithm* (BFS over a
+generated graph, Floyd-Warshall over a matrix, …) and then coalescing
+every instruction's lane addresses through a Python dict — for the
+default scales that costs as much as simulating the result.  This
+module compiles a generated :class:`~repro.workloads.trace.Trace` once
+into structure-of-arrays NumPy containers whose coalesced line
+requests are precomputed in one vectorized pass
+(:func:`~repro.gpu.coalescer.coalesce_arrays`), and persists them as
+plain ``.npy`` files that later processes **mmap read-only** instead of
+regenerating: a warm ``registry.load``, a bench rerun, and every
+``run_many`` pool worker then share one on-disk compilation.
+
+The on-disk layout is one directory per compilation key
+``(workload, scale, seed, line_size)`` under ``<cache-dir>/traces/``::
+
+    <root>/bfs-s0.1-seeddefault-ls64-v1/
+        meta.json            # identity, counts, address-space log
+        cu_bounds.npy        # (n_cus+1,) instruction offsets per CU
+        inst_flags.npy       # (n_insts,) bit0 = write, bit1 = scratchpad
+        inst_req_counts.npy  # (n_insts,) coalesced requests per instruction
+        req_line.npy         # (n_reqs,) coalesced line addresses
+        req_lanes.npy        # (n_reqs,) lanes served per request
+        lane_counts.npy      # (n_insts,) lanes per instruction
+        lanes.npy            # (n_lanes,) raw lane addresses (for thaw())
+
+Directories are written to a temp name and renamed into place, so
+concurrent writers are safe; a corrupt or truncated compilation is
+deleted and treated as a miss — the caller regenerates.  The address
+space is replayed from its allocation log exactly as
+:mod:`repro.workloads.serialization` does, so the virtual→physical
+layout — and therefore every simulated cycle — is bit-identical to a
+freshly generated trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.gpu.coalescer import CoalescedRequest, coalesce_arrays
+from repro.memsys.addressing import DEFAULT_LINE_SIZE
+from repro.workloads.serialization import (
+    mapping_rows,
+    rebuild_address_space,
+)
+from repro.workloads.trace import (
+    MemoryInstruction,
+    Trace,
+    TraceValidationError,
+)
+
+__all__ = [
+    "COMPILED_FORMAT_VERSION",
+    "CompiledTrace",
+    "TraceStore",
+    "compile_trace",
+    "load_compiled",
+    "save_compiled",
+    "store_key",
+]
+
+COMPILED_FORMAT_VERSION = 1
+
+#: The array files every compilation directory must contain.
+_ARRAY_FILES = (
+    ("cu_bounds", np.int64),
+    ("inst_flags", np.int8),
+    ("inst_req_counts", np.int64),
+    ("req_line", np.int64),
+    ("req_lanes", np.int64),
+    ("lane_counts", np.int64),
+    ("lanes", np.int64),
+)
+
+
+class CompiledTrace:
+    """A trace compiled to structure-of-arrays form.
+
+    Exposes the surface :func:`~repro.system.run.simulate` and the
+    experiment drivers touch directly — ``name``, ``issue_interval``,
+    ``metadata``, ``address_space``, ``n_cus``, ``n_instructions`` and
+    :meth:`coalesced_per_cu` — from the arrays alone.  Anything else
+    (``per_cu``, ``truncated``, divergence statistics) transparently
+    *thaws* the full :class:`~repro.workloads.trace.Trace` from the
+    stored lane addresses; the hot replay path never pays for that.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        issue_interval: float,
+        metadata: Dict[str, object],
+        address_space,
+        line_size: int,
+        cu_bounds,
+        inst_flags,
+        inst_req_counts,
+        req_line,
+        req_lanes,
+        lane_counts,
+        lanes,
+    ) -> None:
+        self.name = name
+        self.issue_interval = issue_interval
+        self.metadata = metadata
+        self.address_space = address_space
+        self.line_size = line_size
+        self._cu_bounds = cu_bounds
+        self._inst_flags = inst_flags
+        self._inst_req_counts = inst_req_counts
+        self._req_line = req_line
+        self._req_lanes = req_lanes
+        self._lane_counts = lane_counts
+        self._lanes = lanes
+        self._coalesced: Dict[int, list] = {}
+        self._thawed: Optional[Trace] = None
+
+    # -- the simulate-facing surface --------------------------------------
+    @property
+    def n_cus(self) -> int:
+        return len(self._cu_bounds) - 1
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self._inst_flags)
+
+    def coalesced_per_cu(self, line_size: int = DEFAULT_LINE_SIZE) -> list:
+        """Materialize the precompiled request lists (memoized).
+
+        For the compiled line size this walks the arrays once —
+        no per-instruction dict, no division — and constructs the same
+        ``CoalescedRequest`` objects, in the same order, that
+        :meth:`Trace.coalesced_per_cu` would.  A foreign line size
+        falls back to thawing and coalescing from the lane addresses.
+        """
+        cached = self._coalesced.get(line_size)
+        if cached is not None:
+            return cached
+        if line_size != self.line_size:
+            return self.thaw().coalesced_per_cu(line_size)
+        req_line = self._req_line.tolist()
+        req_lanes = self._req_lanes.tolist()
+        flags = self._inst_flags.tolist()
+        counts = self._inst_req_counts.tolist()
+        bounds = self._cu_bounds.tolist()
+        out = []
+        pos = 0
+        for cu in range(len(bounds) - 1):
+            stream = []
+            for i in range(bounds[cu], bounds[cu + 1]):
+                if flags[i] & 2:
+                    stream.append(None)
+                    continue
+                is_write = bool(flags[i] & 1)
+                end = pos + counts[i]
+                stream.append([
+                    CoalescedRequest(req_line[p], is_write, req_lanes[p])
+                    for p in range(pos, end)
+                ])
+                pos = end
+            out.append(stream)
+        self._coalesced[line_size] = out
+        return out
+
+    # -- validation --------------------------------------------------------
+    def validate_fast(self) -> None:
+        """Vectorized structural validation of the backing arrays.
+
+        The array-backed twin of
+        :func:`~repro.workloads.trace.validate_trace`: every check runs
+        as one NumPy reduction instead of a Python loop per lane.
+        Raises :class:`~repro.workloads.trace.TraceValidationError`.
+        """
+        where = f"compiled trace {self.name!r}"
+        if self.n_instructions == 0:
+            raise TraceValidationError(f"{where}: empty (zero instructions)")
+        if self.n_cus <= 0:
+            raise TraceValidationError(f"{where}: no CU streams")
+        bounds = self._cu_bounds
+        if int(bounds[0]) != 0 or int(bounds[-1]) != self.n_instructions:
+            raise TraceValidationError(f"{where}: CU bounds do not tile the "
+                                       f"instruction arrays")
+        if bool(np.any(np.diff(bounds) < 0)):
+            raise TraceValidationError(f"{where}: CU bounds not monotonic")
+        for label, arr, n in (
+            ("inst_req_counts", self._inst_req_counts, self.n_instructions),
+            ("lane_counts", self._lane_counts, self.n_instructions),
+        ):
+            if len(arr) != n:
+                raise TraceValidationError(
+                    f"{where}: {label} has {len(arr)} rows for {n} "
+                    f"instructions")
+        if bool(np.any(np.bitwise_and(self._inst_flags, ~np.int8(3)))):
+            raise TraceValidationError(
+                f"{where}: unknown instruction flag bits (only is_write=1 "
+                f"and scratchpad=2 are defined)")
+        if self._lane_counts.size and int(self._lane_counts.min()) <= 0:
+            raise TraceValidationError(
+                f"{where}: instruction with non-positive lane count")
+        if int(self._lane_counts.sum()) != self._lanes.size:
+            raise TraceValidationError(
+                f"{where}: lane array holds {self._lanes.size} addresses "
+                f"but instructions claim {int(self._lane_counts.sum())}")
+        if self._lanes.size and int(self._lanes.min()) < 0:
+            raise TraceValidationError(
+                f"{where}: negative lane address {int(self._lanes.min())}")
+        scratch = (self._inst_flags & 2) != 0
+        if bool(np.any(self._inst_req_counts[scratch])):
+            raise TraceValidationError(
+                f"{where}: scratchpad instruction with coalesced requests")
+        if self._inst_req_counts.size and (
+                int(self._inst_req_counts.min()) < 0):
+            raise TraceValidationError(
+                f"{where}: negative request count")
+        n_reqs = int(self._inst_req_counts.sum())
+        if n_reqs != self._req_line.size or n_reqs != self._req_lanes.size:
+            raise TraceValidationError(
+                f"{where}: request arrays hold {self._req_line.size} lines / "
+                f"{self._req_lanes.size} lane counts but instructions claim "
+                f"{n_reqs}")
+        if bool(np.any(~scratch & (self._inst_req_counts == 0))):
+            raise TraceValidationError(
+                f"{where}: memory instruction with zero coalesced requests")
+
+    # -- full-Trace fallback ----------------------------------------------
+    def thaw(self) -> Trace:
+        """The full per-lane :class:`Trace`, rebuilt lazily (memoized).
+
+        The thawed trace shares this object's address space and is
+        seeded with the already-materialized coalesced lists, so
+        thawing never re-coalesces what the compilation already holds.
+        """
+        if self._thawed is not None:
+            return self._thawed
+        lanes = self._lanes.tolist()
+        lane_counts = self._lane_counts.tolist()
+        flags = self._inst_flags.tolist()
+        bounds = self._cu_bounds.tolist()
+        per_cu: List[List[MemoryInstruction]] = []
+        cursor = 0
+        for cu in range(len(bounds) - 1):
+            stream = []
+            for i in range(bounds[cu], bounds[cu + 1]):
+                end = cursor + lane_counts[i]
+                stream.append(MemoryInstruction(
+                    addresses=tuple(lanes[cursor:end]),
+                    is_write=bool(flags[i] & 1),
+                    scratchpad=bool(flags[i] & 2),
+                ))
+                cursor = end
+            per_cu.append(stream)
+        trace = Trace(
+            name=self.name,
+            per_cu=per_cu,
+            address_space=self.address_space,
+            issue_interval=self.issue_interval,
+            metadata=self.metadata,
+        )
+        trace._coalesced.update(self._coalesced)
+        self._thawed = trace
+        return trace
+
+    def __getattr__(self, attr: str):
+        # Anything outside the compiled surface (per_cu, truncated,
+        # mean_divergence, …) delegates to the thawed full trace.
+        if attr.startswith("__"):
+            raise AttributeError(attr)
+        return getattr(self.thaw(), attr)
+
+    def __repr__(self) -> str:
+        return (f"CompiledTrace(name={self.name!r}, n_cus={self.n_cus}, "
+                f"n_instructions={self.n_instructions}, "
+                f"line_size={self.line_size})")
+
+
+def compile_trace(trace: Trace,
+                  line_size: int = DEFAULT_LINE_SIZE) -> CompiledTrace:
+    """Compile a generated trace into structure-of-arrays form.
+
+    One flattening pass over the instruction streams builds the lane
+    arrays; the coalesced request arrays come from a single vectorized
+    :func:`~repro.gpu.coalescer.coalesce_arrays` call over every
+    instruction at once.  Scratchpad instructions contribute zero
+    requests (they never reach the memory hierarchy).
+    """
+    if trace.address_space is None:
+        raise ValueError("only traces with an address space can be compiled")
+    lanes: List[int] = []
+    lane_counts: List[int] = []
+    flags: List[int] = []
+    cu_bounds: List[int] = [0]
+    for stream in trace.per_cu:
+        for inst in stream:
+            lane_counts.append(inst.n_lanes)
+            flags.append(int(inst.is_write) | (int(inst.scratchpad) << 1))
+            lanes.extend(inst.addresses)
+        cu_bounds.append(len(lane_counts))
+    lanes_arr = np.asarray(lanes, dtype=np.int64)
+    lane_counts_arr = np.asarray(lane_counts, dtype=np.int64)
+    flags_arr = np.asarray(flags, dtype=np.int8)
+    req_line, req_lanes, counts = coalesce_arrays(
+        lanes_arr, lane_counts_arr, line_size)
+    scratch = (flags_arr & 2) != 0
+    if bool(scratch.any()):
+        # Drop scratchpad instructions' requests: they coalesce to None.
+        inst_of_req = np.repeat(
+            np.arange(len(counts), dtype=np.int64), counts)
+        keep = ~scratch[inst_of_req]
+        req_line = req_line[keep]
+        req_lanes = req_lanes[keep]
+        counts = np.where(scratch, 0, counts)
+    return CompiledTrace(
+        name=trace.name,
+        issue_interval=trace.issue_interval,
+        metadata=dict(trace.metadata),
+        address_space=trace.address_space,
+        line_size=line_size,
+        cu_bounds=np.asarray(cu_bounds, dtype=np.int64),
+        inst_flags=flags_arr,
+        inst_req_counts=np.asarray(counts, dtype=np.int64),
+        req_line=np.asarray(req_line, dtype=np.int64),
+        req_lanes=np.asarray(req_lanes, dtype=np.int64),
+        lane_counts=lane_counts_arr,
+        lanes=lanes_arr,
+    )
+
+
+def store_key(name: str, scale: float, seed: Optional[int],
+              line_size: int = DEFAULT_LINE_SIZE) -> str:
+    """Directory name for one compilation: workload, scale, seed, line size."""
+    seed_part = "default" if seed is None else str(seed)
+    return (f"{name}-s{scale!r}-seed{seed_part}-ls{line_size}"
+            f"-v{COMPILED_FORMAT_VERSION}")
+
+
+def save_compiled(compiled: CompiledTrace, directory: Union[str, Path],
+                  scale: float, seed: Optional[int]) -> Path:
+    """Write one compilation directory atomically; returns its path.
+
+    The arrays land in a temp directory first and are renamed into
+    place, so a reader never sees a half-written compilation and a
+    concurrent writer race resolves to whichever rename wins.
+    """
+    directory = Path(directory)
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    tmp = Path(tempfile.mkdtemp(dir=str(directory.parent), prefix=".tmp-"))
+    try:
+        arrays = {
+            "cu_bounds": compiled._cu_bounds,
+            "inst_flags": compiled._inst_flags,
+            "inst_req_counts": compiled._inst_req_counts,
+            "req_line": compiled._req_line,
+            "req_lanes": compiled._req_lanes,
+            "lane_counts": compiled._lane_counts,
+            "lanes": compiled._lanes,
+        }
+        for stem, dtype in _ARRAY_FILES:
+            np.save(tmp / f"{stem}.npy",
+                    np.ascontiguousarray(arrays[stem], dtype=dtype))
+        meta = {
+            "format": COMPILED_FORMAT_VERSION,
+            "name": compiled.name,
+            "scale": scale,
+            "seed": seed,
+            "line_size": compiled.line_size,
+            "issue_interval": compiled.issue_interval,
+            "asid": compiled.address_space.asid,
+            "metadata": compiled.metadata,
+            "mappings": mapping_rows(compiled.address_space),
+            "counts": {
+                "instructions": compiled.n_instructions,
+                "cus": compiled.n_cus,
+                "requests": int(compiled._req_line.size),
+                "lanes": int(compiled._lanes.size),
+            },
+        }
+        (tmp / "meta.json").write_text(json.dumps(meta, indent=1,
+                                                  sort_keys=True))
+        try:
+            os.replace(tmp, directory)
+        except OSError:
+            # A concurrent writer won the race (or the target is
+            # otherwise occupied): keep theirs, discard ours.
+            shutil.rmtree(tmp, ignore_errors=True)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return directory
+
+
+def load_compiled(directory: Union[str, Path]) -> Optional[CompiledTrace]:
+    """Load (mmap) one compilation directory; ``None`` if absent/corrupt.
+
+    Arrays are opened with ``mmap_mode='r'`` so concurrent processes
+    replaying the same compilation share the page cache instead of
+    each holding a private copy.  Any structural problem — unreadable
+    JSON, missing array, shape mismatch, failed validation — deletes
+    the directory and returns ``None``: the caller regenerates and the
+    next save repairs the cache.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    try:
+        meta = json.loads((directory / "meta.json").read_text())
+        if meta.get("format") != COMPILED_FORMAT_VERSION:
+            raise ValueError(f"format {meta.get('format')!r}")
+        arrays = {}
+        for stem, dtype in _ARRAY_FILES:
+            arr = np.load(directory / f"{stem}.npy", mmap_mode="r")
+            if arr.dtype != np.dtype(dtype) or arr.ndim != 1:
+                raise ValueError(f"{stem}.npy has dtype {arr.dtype}, "
+                                 f"ndim {arr.ndim}")
+            arrays[stem] = arr
+        counts = meta["counts"]
+        if (len(arrays["inst_flags"]) != counts["instructions"]
+                or len(arrays["cu_bounds"]) != counts["cus"] + 1
+                or len(arrays["req_line"]) != counts["requests"]
+                or len(arrays["lanes"]) != counts["lanes"]):
+            raise ValueError("array lengths disagree with recorded counts")
+        space = rebuild_address_space(meta["asid"], meta["mappings"])
+        compiled = CompiledTrace(
+            name=meta["name"],
+            issue_interval=meta["issue_interval"],
+            metadata=meta["metadata"],
+            address_space=space,
+            line_size=meta["line_size"],
+            cu_bounds=arrays["cu_bounds"],
+            inst_flags=arrays["inst_flags"],
+            inst_req_counts=arrays["inst_req_counts"],
+            req_line=arrays["req_line"],
+            req_lanes=arrays["req_lanes"],
+            lane_counts=arrays["lane_counts"],
+            lanes=arrays["lanes"],
+        )
+        compiled.validate_fast()
+        return compiled
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception:
+        # Corrupt, truncated, foreign, or version-skewed: drop it so
+        # the next save rebuilds a good compilation.
+        shutil.rmtree(directory, ignore_errors=True)
+        return None
+
+
+class TraceStore:
+    """A directory of compiled traces keyed by (workload, scale, seed).
+
+    ``hits``/``misses``/``stores`` count this process's traffic; the
+    bench harness reads them to label each point's trace stage.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, name: str, scale: float, seed: Optional[int],
+                 line_size: int = DEFAULT_LINE_SIZE) -> Path:
+        return self.root / store_key(name, scale, seed, line_size)
+
+    def load(self, name: str, scale: float, seed: Optional[int],
+             line_size: int = DEFAULT_LINE_SIZE) -> Optional[CompiledTrace]:
+        compiled = load_compiled(self.path_for(name, scale, seed, line_size))
+        if compiled is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return compiled
+
+    def store(self, trace: Trace, scale: float, seed: Optional[int],
+              line_size: int = DEFAULT_LINE_SIZE) -> Optional[Path]:
+        """Compile and persist ``trace``; ``None`` if it cannot be stored.
+
+        I/O failures (full disk, permissions) are swallowed — losing a
+        compilation only costs a regeneration next time.
+        """
+        try:
+            compiled = compile_trace(trace, line_size)
+            path = save_compiled(
+                compiled, self.path_for(trace.name, scale, seed, line_size),
+                scale, seed)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except (OSError, ValueError):
+            return None
+        self.stores += 1
+        return path

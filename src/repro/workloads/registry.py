@@ -10,14 +10,26 @@ workload's problem size / iteration count — useful for quick test runs
 (< 1) or longer, closer-to-paper runs (> 1).  Traces are memoized per
 ``(name, scale, seed)`` because generation (running the algorithms) can
 cost as much as simulating them.
+
+When a trace cache directory is configured (:func:`set_trace_cache`, or
+the ``REPRO_TRACE_CACHE`` environment variable — which the setter also
+exports so spawned pool workers inherit it), :func:`load` consults an
+on-disk :class:`~repro.workloads.compiled.TraceStore` before running any
+workload algorithm: a warm process mmaps the precompiled,
+precoalesced arrays instead of regenerating, and a cold process
+compiles once so every later process is warm.  :func:`load_fresh`
+never touches the store — fault injection mutates page tables, and a
+mutated compilation must never be shared.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.workloads import pannotia, rodinia
+from repro.workloads.compiled import TraceStore
 from repro.workloads.trace import Trace
 
 __all__ = [
@@ -33,6 +45,8 @@ __all__ = [
     "load",
     "load_fresh",
     "load_many",
+    "set_trace_cache",
+    "trace_cache_stats",
 ]
 
 WorkloadFactory = Callable[..., Trace]
@@ -72,6 +86,48 @@ LOW_BANDWIDTH: Tuple[str, ...] = (
 
 _cache: Dict[Tuple[str, float, Optional[int]], Trace] = {}
 
+# On-disk compiled-trace store.  ``_trace_store`` is resolved lazily
+# from REPRO_TRACE_CACHE unless set_trace_cache() pinned it explicitly.
+_trace_store: Optional[TraceStore] = None
+_trace_store_pinned = False
+
+
+def set_trace_cache(root: Optional[Union[str, Path]]) -> Optional[TraceStore]:
+    """Point :func:`load` at an on-disk compiled-trace store (or disable).
+
+    Also exports (or clears) ``REPRO_TRACE_CACHE`` so pool workers
+    spawned by the experiment drivers resolve the same store.  Passing
+    ``None`` disables the store and drops any memoized compiled traces.
+    """
+    global _trace_store, _trace_store_pinned
+    _trace_store_pinned = True
+    if root is None:
+        _trace_store = None
+        os.environ.pop("REPRO_TRACE_CACHE", None)
+        _cache.clear()
+    else:
+        _trace_store = TraceStore(Path(root))
+        os.environ["REPRO_TRACE_CACHE"] = str(root)
+    return _trace_store
+
+
+def _store() -> Optional[TraceStore]:
+    global _trace_store
+    if not _trace_store_pinned and _trace_store is None:
+        root = os.environ.get("REPRO_TRACE_CACHE")
+        if root:
+            _trace_store = TraceStore(Path(root))
+    return _trace_store
+
+
+def trace_cache_stats() -> Dict[str, int]:
+    """This process's trace-store traffic (all zero when disabled)."""
+    store = _store()
+    if store is None:
+        return {"hits": 0, "misses": 0, "stores": 0}
+    return {"hits": store.hits, "misses": store.misses,
+            "stores": store.stores}
+
 
 def default_scale() -> float:
     """The REPRO_SCALE environment override (default 1.0)."""
@@ -94,10 +150,16 @@ def load(name: str, scale: Optional[float] = None, seed: Optional[int] = None) -
         scale = default_scale()
     key = (name, scale, seed)
     if key not in _cache:
-        kwargs = {"scale": scale}
-        if seed is not None:
-            kwargs["seed"] = seed
-        _cache[key] = WORKLOADS[name](**kwargs)
+        store = _store()
+        trace = store.load(name, scale, seed) if store is not None else None
+        if trace is None:
+            kwargs = {"scale": scale}
+            if seed is not None:
+                kwargs["seed"] = seed
+            trace = WORKLOADS[name](**kwargs)
+            if store is not None:
+                store.store(trace, scale, seed)
+        _cache[key] = trace
     return _cache[key]
 
 

@@ -29,9 +29,68 @@ from repro.workloads.trace import (
     validate_trace,
 )
 
-__all__ = ["FORMAT_VERSION", "load_trace", "save_trace"]
+__all__ = [
+    "FORMAT_VERSION",
+    "load_trace",
+    "mapping_rows",
+    "rebuild_address_space",
+    "save_trace",
+]
 
 FORMAT_VERSION = 1
+
+
+def mapping_rows(space: AddressSpace) -> List[dict]:
+    """JSON-able allocation log of ``space``.
+
+    Each row records one mapping (base VA, page count, permissions,
+    large flag) with synonym sources identified by physical equality,
+    so :func:`rebuild_address_space` can replay the exact layout.
+    """
+    rows = []
+    for m in space.mappings:
+        source = -1
+        pa = space.translate(m.base_va)
+        for j, other in enumerate(space.mappings):
+            if other is m:
+                break
+            if space.translate(other.base_va) == pa:
+                source = j
+                break
+        rows.append({
+            "base_va": m.base_va,
+            "n_pages": m.n_pages,
+            "permissions": int(m.permissions),
+            "large": m.large,
+            "synonym_of": source,
+        })
+    return rows
+
+
+def rebuild_address_space(asid: int, rows: List[dict]) -> AddressSpace:
+    """Replay a :func:`mapping_rows` log through a fresh address space.
+
+    Frame allocation is deterministic, so the replay reproduces the
+    exact virtual→physical layout; a row whose base VA disagrees with
+    the replayed allocation raises ``ValueError``.
+    """
+    space = AddressSpace(asid=asid)
+    rebuilt = []
+    for row in rows:
+        if row["synonym_of"] >= 0:
+            m = space.map_synonym(rebuilt[row["synonym_of"]],
+                                  permissions=Permissions(row["permissions"]))
+        else:
+            m = space.mmap(row["n_pages"],
+                           permissions=Permissions(row["permissions"]),
+                           large_pages=row["large"])
+        if m.base_va != row["base_va"]:
+            raise ValueError(
+                f"address-space replay diverged: expected base "
+                f"{row['base_va']:#x}, got {m.base_va:#x}"
+            )
+        rebuilt.append(m)
+    return space
 
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
@@ -54,25 +113,6 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
             flags.append(int(inst.is_write) | (int(inst.scratchpad) << 1))
             lanes.extend(inst.addresses)
 
-    # Mappings, with synonym sources identified by physical equality.
-    mapping_rows = []
-    for m in space.mappings:
-        source = -1
-        pa = space.translate(m.base_va)
-        for j, other in enumerate(space.mappings):
-            if other is m:
-                break
-            if space.translate(other.base_va) == pa:
-                source = j
-                break
-        mapping_rows.append({
-            "base_va": m.base_va,
-            "n_pages": m.n_pages,
-            "permissions": int(m.permissions),
-            "large": m.large,
-            "synonym_of": source,
-        })
-
     meta = {
         "version": FORMAT_VERSION,
         "name": trace.name,
@@ -80,7 +120,7 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
         "issue_interval": trace.issue_interval,
         "asid": space.asid,
         "metadata": trace.metadata,
-        "mappings": mapping_rows,
+        "mappings": mapping_rows(space),
     }
     np.savez_compressed(
         path,
@@ -114,22 +154,7 @@ def load_trace(path: Union[str, Path]) -> Trace:
     _validate_arrays(path, meta, cu_ids, lane_counts, flags, lanes)
 
     # Rebuild the address space by replaying the allocations.
-    space = AddressSpace(asid=meta["asid"])
-    rebuilt = []
-    for row in meta["mappings"]:
-        if row["synonym_of"] >= 0:
-            m = space.map_synonym(rebuilt[row["synonym_of"]],
-                                  permissions=Permissions(row["permissions"]))
-        else:
-            m = space.mmap(row["n_pages"],
-                           permissions=Permissions(row["permissions"]),
-                           large_pages=row["large"])
-        if m.base_va != row["base_va"]:
-            raise ValueError(
-                f"address-space replay diverged: expected base "
-                f"{row['base_va']:#x}, got {m.base_va:#x}"
-            )
-        rebuilt.append(m)
+    space = rebuild_address_space(meta["asid"], meta["mappings"])
 
     per_cu: List[List[MemoryInstruction]] = [[] for _ in range(meta["n_cus"])]
     cursor = 0

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.gpu.coalescer import CoalescedRequest, Coalescer
 from repro.memsys.address_space import AddressSpace
-from repro.memsys.addressing import DEFAULT_LINE_SIZE, PAGE_SIZE, line_address, page_number
+from repro.memsys.addressing import DEFAULT_LINE_SIZE, line_address, page_number
 
 
 __all__ = [
@@ -44,7 +44,15 @@ def validate_trace(trace: "Trace") -> "Trace":
     :class:`TraceValidationError` on the first problem: an empty trace
     (zero instructions), or a lane address that is not a nonnegative
     integer.
+
+    Array-backed traces (anything exposing a ``validate_fast`` method,
+    e.g. :class:`~repro.workloads.compiled.CompiledTrace`) validate via
+    one vectorized pass over their arrays instead of the per-lane loop.
     """
+    fast = getattr(trace, "validate_fast", None)
+    if fast is not None:
+        fast()
+        return trace
     if trace.n_instructions == 0:
         raise TraceValidationError(
             f"trace {trace.name!r} is empty (zero instructions)")
@@ -187,7 +195,7 @@ class Trace:
             if inst.scratchpad:
                 continue
             for addr in inst.addresses:
-                pages.add(addr // PAGE_SIZE)
+                pages.add(page_number(addr))
         return len(pages)
 
     def truncated(self, max_instructions_per_cu: int) -> "Trace":

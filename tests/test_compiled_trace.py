@@ -1,0 +1,304 @@
+"""Compiled binary traces: vectorized coalescing, the on-disk store,
+registry integration, and replay bit-identity.
+
+The load-bearing guarantee is the golden test: a trace that went
+through compile → save → mmap-load → simulate produces *bit-identical*
+results (every counter and every float cycle count) to a freshly
+generated one.  Anything less would silently skew every figure.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.gpu.coalescer import Coalescer, coalesce_arrays
+from repro.memsys.permissions import Permissions
+from repro.memsys.tlb import TLB
+from repro.system.config import SoCConfig
+from repro.system.designs import BASELINE_512, IDEAL_MMU, VC_WITH_OPT
+from repro.system.run import simulate
+from repro.workloads import registry
+from repro.workloads.compiled import (
+    TraceStore,
+    compile_trace,
+    load_compiled,
+    store_key,
+)
+from repro.workloads.trace import TraceValidationError, validate_trace
+
+
+@pytest.fixture(autouse=True)
+def _isolate_registry(monkeypatch):
+    """Each test gets a private registry memo and no ambient store."""
+    monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+    monkeypatch.setattr(registry, "_cache", {})
+    monkeypatch.setattr(registry, "_trace_store", None)
+    monkeypatch.setattr(registry, "_trace_store_pinned", False)
+    yield
+
+
+def _small_trace():
+    return registry.load_fresh("bfs", scale=0.05)
+
+
+def _requests_equal(a, b):
+    assert len(a) == len(b)
+    for sa, sb in zip(a, b):
+        assert len(sa) == len(sb)
+        for ra, rb in zip(sa, sb):
+            if ra is None:
+                assert rb is None
+                continue
+            assert len(ra) == len(rb)
+            for x, y in zip(ra, rb):
+                assert (x.line_addr, x.is_write, x.n_lanes, x.vpn) == (
+                    y.line_addr, y.is_write, y.n_lanes, y.vpn)
+
+
+class TestCoalesceArrays:
+    def test_matches_coalescer_on_random_instructions(self):
+        rng = random.Random(11)
+        insts = [[rng.randrange(0, 1 << 20)
+                  for _ in range(rng.randint(1, 32))] for _ in range(300)]
+        lanes = [a for inst in insts for a in inst]
+        counts = [len(inst) for inst in insts]
+        for line_size in (32, 64, 128):
+            coalescer = Coalescer(line_size=line_size)
+            reference = [coalescer.coalesce(inst) for inst in insts]
+            req_line, req_lanes, per_inst = coalesce_arrays(
+                lanes, counts, line_size)
+            pos = 0
+            for i, reqs in enumerate(reference):
+                assert per_inst[i] == len(reqs)
+                for r in reqs:
+                    assert req_line[pos] == r.line_addr
+                    assert req_lanes[pos] == r.n_lanes
+                    pos += 1
+            assert pos == len(req_line)
+
+    def test_first_appearance_order_preserved(self):
+        # Lanes revisit line 0 after line 5: request order must be 5, 0.
+        req_line, req_lanes, per_inst = coalesce_arrays(
+            [5 * 64, 0, 5 * 64 + 4, 8], [4], 64)
+        assert list(req_line) == [5, 0]
+        assert list(req_lanes) == [2, 2]
+        assert list(per_inst) == [2]
+
+    def test_empty_and_mismatched_inputs(self):
+        req_line, req_lanes, per_inst = coalesce_arrays([], [], 64)
+        assert len(req_line) == 0 and len(req_lanes) == 0
+        with pytest.raises(ValueError):
+            coalesce_arrays([1, 2, 3], [2], 64)
+        with pytest.raises(ValueError):
+            coalesce_arrays([1], [1], 0)
+
+
+class TestCompiledTrace:
+    def test_coalesced_lists_identical_to_fresh(self):
+        trace = _small_trace()
+        compiled = compile_trace(trace)
+        compiled.validate_fast()
+        _requests_equal(trace.coalesced_per_cu(), compiled.coalesced_per_cu())
+
+    def test_simulate_surface(self):
+        trace = _small_trace()
+        compiled = compile_trace(trace)
+        assert compiled.n_cus == trace.n_cus
+        assert compiled.n_instructions == trace.n_instructions
+        assert compiled.issue_interval == trace.issue_interval
+        assert compiled.name == trace.name
+        assert compiled.address_space is trace.address_space
+
+    def test_thaw_delegates_full_trace_api(self):
+        trace = _small_trace()
+        compiled = compile_trace(trace)
+        # Attributes outside the compiled surface thaw transparently.
+        assert compiled.footprint_pages() == trace.footprint_pages()
+        assert len(compiled.per_cu) == trace.n_cus
+        assert compiled.thaw() is compiled.thaw()
+
+    def test_validate_trace_dispatches_to_fast_path(self):
+        compiled = compile_trace(_small_trace())
+        assert validate_trace(compiled) is compiled
+        # Break an invariant the vectorized checks must catch.
+        compiled._lanes = compiled._lanes[:-1]
+        with pytest.raises(TraceValidationError):
+            validate_trace(compiled)
+
+
+class TestStoreRoundTrip:
+    def test_bit_identical_simulation(self, tmp_path):
+        """The golden guarantee: mmap-loaded replay == fresh generation."""
+        fresh = _small_trace()
+        store = TraceStore(tmp_path)
+        assert store.store(fresh, 0.05, None) is not None
+        for design in (IDEAL_MMU, BASELINE_512, VC_WITH_OPT):
+            a = registry.load_fresh("bfs", scale=0.05)
+            b = store.load("bfs", 0.05, None)
+            results = []
+            for trace in (a, b):
+                config = design.soc_config(SoCConfig())
+                hierarchy = design.build(
+                    config, {0: trace.address_space.page_table})
+                results.append(simulate(trace, hierarchy, config,
+                                        design=design.name))
+            # repr covers every counter and exact float cycle count.
+            assert repr(results[0]) == repr(results[1])
+
+    def test_round_trip_preserves_metadata_and_layout(self, tmp_path):
+        fresh = _small_trace()
+        store = TraceStore(tmp_path)
+        store.store(fresh, 0.05, None)
+        loaded = store.load("bfs", 0.05, None)
+        assert loaded.issue_interval == fresh.issue_interval
+        assert loaded.metadata == fresh.metadata
+        assert len(loaded.address_space.mappings) == len(
+            fresh.address_space.mappings)
+        for m1, m2 in zip(fresh.address_space.mappings,
+                          loaded.address_space.mappings):
+            assert (m1.base_va, m1.n_pages) == (m2.base_va, m2.n_pages)
+            assert fresh.address_space.translate(m1.base_va) == \
+                loaded.address_space.translate(m2.base_va)
+        _requests_equal(fresh.coalesced_per_cu(), loaded.coalesced_per_cu())
+
+    def test_missing_is_a_miss(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.load("bfs", 0.05, None) is None
+        assert store.misses == 1 and store.hits == 0
+
+    def test_corrupt_meta_falls_back_and_repairs(self, tmp_path):
+        fresh = _small_trace()
+        store = TraceStore(tmp_path)
+        path = store.store(fresh, 0.05, None)
+        (path / "meta.json").write_text("{ not json")
+        assert store.load("bfs", 0.05, None) is None
+        assert not path.exists()  # quarantined: removed for regeneration
+        # The next store repairs the cache.
+        assert store.store(fresh, 0.05, None) is not None
+        assert store.load("bfs", 0.05, None) is not None
+
+    def test_truncated_array_falls_back(self, tmp_path):
+        fresh = _small_trace()
+        store = TraceStore(tmp_path)
+        path = store.store(fresh, 0.05, None)
+        lanes = path / "lanes.npy"
+        lanes.write_bytes(lanes.read_bytes()[:64])
+        assert load_compiled(path) is None
+        assert not path.exists()
+
+    def test_count_mismatch_falls_back(self, tmp_path):
+        fresh = _small_trace()
+        store = TraceStore(tmp_path)
+        path = store.store(fresh, 0.05, None)
+        meta = json.loads((path / "meta.json").read_text())
+        meta["counts"]["requests"] += 1
+        (path / "meta.json").write_text(json.dumps(meta))
+        assert load_compiled(path) is None
+
+    def test_version_skew_falls_back(self, tmp_path):
+        fresh = _small_trace()
+        store = TraceStore(tmp_path)
+        path = store.store(fresh, 0.05, None)
+        meta = json.loads((path / "meta.json").read_text())
+        meta["format"] = 999
+        (path / "meta.json").write_text(json.dumps(meta))
+        assert load_compiled(path) is None
+
+    def test_store_key_spells_out_identity(self):
+        key = store_key("bfs", 0.1, None, 64)
+        assert "bfs" in key and "0.1" in key and "ls64" in key
+        assert store_key("bfs", 0.1, 7) != key
+
+
+class TestRegistryIntegration:
+    def test_cold_load_stores_then_warm_load_hits(self, tmp_path):
+        registry.set_trace_cache(tmp_path)
+        cold = registry.load("bfs", scale=0.05)
+        stats = registry.trace_cache_stats()
+        assert stats == {"hits": 0, "misses": 1, "stores": 1}
+        # Same process: memoized, no new store traffic.
+        assert registry.load("bfs", scale=0.05) is cold
+        assert registry.trace_cache_stats() == stats
+        # Simulated new process: memo cleared, the store satisfies it.
+        registry.clear_cache()
+        warm = registry.load("bfs", scale=0.05)
+        stats = registry.trace_cache_stats()
+        assert stats["hits"] == 1
+        _requests_equal(cold.coalesced_per_cu(), warm.coalesced_per_cu())
+
+    def test_load_fresh_never_touches_store(self, tmp_path):
+        registry.set_trace_cache(tmp_path)
+        registry.load_fresh("bfs", scale=0.05)
+        assert registry.trace_cache_stats() == {
+            "hits": 0, "misses": 0, "stores": 0}
+        assert list(tmp_path.iterdir()) == []
+
+    def test_setter_exports_env_for_pool_workers(self, tmp_path, monkeypatch):
+        import os
+        registry.set_trace_cache(tmp_path)
+        assert os.environ["REPRO_TRACE_CACHE"] == str(tmp_path)
+        registry.set_trace_cache(None)
+        assert "REPRO_TRACE_CACHE" not in os.environ
+
+    def test_env_var_resolves_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        registry.load("bfs", scale=0.05)
+        assert registry.trace_cache_stats()["stores"] == 1
+
+    def test_disabled_store_reports_zero(self):
+        assert registry.trace_cache_stats() == {
+            "hits": 0, "misses": 0, "stores": 0}
+
+
+class TestMicroMemoInvalidation:
+    """Shootdowns and remaps must never be served a stale memoized entry."""
+
+    def test_shootdown_clears_memo(self):
+        tlb = TLB(capacity=8)
+        tlb.insert(5, ppn=50)
+        assert tlb.lookup(5).ppn == 50  # memo now warm on vpn 5
+        tlb.invalidate(5)
+        assert tlb.lookup(5) is None  # a stale memo would return ppn 50
+
+    def test_remap_after_shootdown_serves_new_translation(self):
+        tlb = TLB(capacity=8)
+        tlb.insert(5, ppn=50, permissions=Permissions.READ_WRITE)
+        tlb.lookup(5)
+        # Chaos-style remap: shootdown, then the walker refills with the
+        # new physical frame.
+        tlb.invalidate(5)
+        tlb.insert(5, ppn=99, permissions=Permissions.READ_ONLY)
+        entry = tlb.lookup(5)
+        assert entry.ppn == 99
+        assert entry.permissions == Permissions.READ_ONLY
+
+    def test_full_shootdown_clears_memo(self):
+        tlb = TLB(capacity=8)
+        tlb.insert(3, ppn=30)
+        tlb.lookup(3)
+        assert tlb.invalidate_all() == 1
+        assert tlb.lookup(3) is None
+
+    def test_memo_does_not_skew_counters(self):
+        """Memo hits and probe hits are attributed identically."""
+        tlb = TLB(capacity=8)
+        tlb.insert(1, ppn=10)
+        tlb.insert(2, ppn=20)
+        tlb.lookup(1)   # probe hit (memo was on 2 after insert)
+        tlb.lookup(1)   # memo hit
+        tlb.lookup(1)   # memo hit
+        tlb.lookup(9)   # miss
+        assert tlb.hits == 3
+        assert tlb.misses == 1
+
+    def test_chaos_run_is_deterministic_with_memo(self):
+        """End-to-end: fault-injected runs (shootdowns, remaps, unmaps)
+        stay deterministic and invariant-clean with the micro-memo in
+        the translation path."""
+        from repro.experiments import chaos
+
+        kwargs = dict(workloads=("bfs",), rates=(0.01,), seed=3, scale=0.05)
+        a = chaos.run(**kwargs)
+        b = chaos.run(**kwargs)
+        assert repr(a.points) == repr(b.points)
