@@ -245,6 +245,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos-workloads", metavar="W1,W2,...", default="bfs,kmeans",
         help="comma-separated workloads to fault-inject (default: bfs,kmeans)",
     )
+    chaos_group.add_argument(
+        "--net", action="store_true",
+        help="network chaos instead of VM-event chaos: spawn a sharded "
+             "gateway whose replica links run through a seeded "
+             "fault-injecting TCP proxy (resets, black-holes, slow-loris, "
+             "corruption, truncation, latency) and assert zero wrong "
+             "results and a bounded error rate",
+    )
+    chaos_group.add_argument(
+        "--net-rates", metavar="KIND=R,...", default=None,
+        help="per-connection network fault rates, e.g. "
+             "'reset=0.2,corrupt=0.1'; kinds: latency, reset, blackhole, "
+             "slowloris, corrupt, truncate (default: every kind in play, "
+             "~45%% of connections faulted)",
+    )
+    chaos_group.add_argument(
+        "--net-replicas", type=int, default=2, metavar="N",
+        help="replicas behind the chaos gateway (default: 2)",
+    )
+    chaos_group.add_argument(
+        "--net-requests", type=int, default=32, metavar="N",
+        help="client requests driven through the faulted gateway "
+             "(default: 32)",
+    )
+    chaos_group.add_argument(
+        "--net-out", metavar="PATH", default=None,
+        help="write the network-chaos report JSON to PATH",
+    )
     serve_group = parser.add_argument_group(
         "serve options (only with the 'serve' experiment)")
     serve_group.add_argument(
@@ -280,8 +308,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_group.add_argument(
         "--health-interval", type=float, default=0.5, metavar="SECONDS",
-        help="gateway health-probe period; a failed probe evicts the "
-             "replica from the hash ring until it recovers (default: 0.5)",
+        help="gateway health-probe period (jittered ±20%%); 3 consecutive "
+             "failed probes evict the replica from the hash ring until it "
+             "recovers (default: 0.5)",
+    )
+    serve_group.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="admission-control budget: shed work (HTTP 429 with a "
+             "Retry-After hint) once N points are queued or in flight "
+             "(default: unbounded)",
+    )
+    serve_group.add_argument(
+        "--jobs-journal", metavar="PATH", default=None,
+        help="persist submitted /v1/jobs to a crash-safe journal at PATH; "
+             "a restarted server resumes unfinished jobs and still serves "
+             "finished results (plain serve only, not --replicas)",
+    )
+    serve_group.add_argument(
+        "--no-supervise", action="store_true",
+        help="gateway mode: do not respawn dead managed replicas (default: "
+             "a dead replica is respawned with capped exponential backoff, "
+             "and a flapping one trips the give-up alarm)",
     )
     loadtest_group = parser.add_argument_group(
         "loadtest options (only with the 'loadtest' experiment)")
@@ -547,9 +594,18 @@ def main(argv=None) -> int:
             print("repro-experiment: error: --health-interval must be "
                   "positive", file=sys.stderr)
             return 2
+        if args.max_inflight is not None and args.max_inflight < 1:
+            print("repro-experiment: error: --max-inflight must be >= 1",
+                  file=sys.stderr)
+            return 2
         if args.replicas > 0 or args.replica_urls is not None:
             from repro.service.gateway import run_gateway
 
+            if args.jobs_journal is not None:
+                print("repro-experiment: error: --jobs-journal applies to "
+                      "a plain serve, not --replicas (each replica would "
+                      "need its own journal)", file=sys.stderr)
+                return 2
             replica_urls = None
             if args.replica_urls is not None:
                 replica_urls = [u.strip()
@@ -570,6 +626,8 @@ def main(argv=None) -> int:
                     batch_window=args.batch_window,
                     max_batch=args.max_batch,
                     health_interval=args.health_interval,
+                    max_inflight=args.max_inflight,
+                    supervise=not args.no_supervise,
                     trace_out=args.trace_out,
                     metrics_out=args.metrics_out,
                 )
@@ -584,9 +642,27 @@ def main(argv=None) -> int:
             point_timeout=args.point_timeout,
             point_retries=args.point_retries,
             batch_window=args.batch_window, max_batch=args.max_batch,
+            max_inflight=args.max_inflight,
+            jobs_journal=args.jobs_journal,
             trace_out=args.trace_out, metrics_out=args.metrics_out,
         )
     if args.experiment == "chaos":
+        if args.net:
+            from repro.experiments import netchaos
+
+            if args.net_replicas < 1:
+                print("repro-experiment: error: --net-replicas must be >= 1",
+                      file=sys.stderr)
+                return 2
+            if args.net_requests < 1:
+                print("repro-experiment: error: --net-requests must be >= 1",
+                      file=sys.stderr)
+                return 2
+            return netchaos.main(
+                rates_text=args.net_rates, seed=args.chaos_seed,
+                replicas=args.net_replicas, requests=args.net_requests,
+                scale=args.scale, out=args.net_out,
+            )
         from repro.experiments import chaos
 
         try:

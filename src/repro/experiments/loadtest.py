@@ -7,7 +7,11 @@ latency and the sustained throughput — then locates the *saturation
 knee*: the concurrency past which added clients stop buying throughput
 and only buy queueing delay.  A level whose throughput collapses to
 zero (every request failed) is the most extreme knee of all and is
-reported at the last level that still moved requests.
+reported at the last level that still moved requests.  Failures are
+broken down by class — ``shed`` (429 admission control), ``deadline``
+(504), ``connection`` (transport), ``other`` — and every level reports
+its shed rate, so overload-protection behaviour is visible alongside
+the saturation knee it exists to defend.
 
 This is the service-layer analogue of the paper's Figure 5 bandwidth
 sweep: the batching server is the shared resource, the request stream
@@ -58,21 +62,50 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import LatencyHistogram
-from repro.service.client import ServiceClient, ServiceError, parse_target
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    TransportError,
+    parse_target,
+)
 
 __all__ = [
     "DEFAULT_LEVELS",
     "DEFAULT_POINTS",
+    "FAILURE_CLASSES",
     "LevelResult",
     "LoadtestReport",
     "SHARD_COLD_POINTS",
     "SHARD_HOT_POINTS",
     "ShardReport",
+    "classify_failure",
     "find_knee",
     "main",
     "run",
     "shard_sweep",
 ]
+
+#: Failure classes a level breaks its failures down into: ``shed``
+#: (429 admission control), ``deadline`` (504 budget exhausted),
+#: ``connection`` (transport-level: resets, timeouts, digest
+#: mismatches), and ``other`` (any remaining wrong status).
+FAILURE_CLASSES: Tuple[str, ...] = ("shed", "deadline", "connection",
+                                    "other")
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map one failed request's exception to a :data:`FAILURE_CLASSES` key."""
+    if isinstance(exc, TransportError):
+        return "connection"
+    if isinstance(exc, ServiceError):
+        if exc.status == 429:
+            return "shed"
+        if exc.status == 504:
+            return "deadline"
+        return "other"
+    if isinstance(exc, (OSError, TimeoutError)):
+        return "connection"
+    return "other"
 
 #: Concurrency levels swept by default (doubling, like the fig5 sweep).
 DEFAULT_LEVELS: Tuple[int, ...] = (1, 2, 4, 8)
@@ -125,12 +158,23 @@ class LevelResult:
     p95_ms: float
     p99_ms: float
     mean_ms: float
+    failure_classes: Dict[str, int] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, float]:
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of this level's requests the service shed (429)."""
+        if self.requests <= 0:
+            return 0.0
+        return self.failure_classes.get("shed", 0) / self.requests
+
+    def as_dict(self) -> Dict[str, object]:
         return {
             "concurrency": self.concurrency,
             "requests": self.requests,
             "failures": self.failures,
+            "failure_classes": {cls: self.failure_classes.get(cls, 0)
+                                for cls in FAILURE_CLASSES},
+            "shed_rate": round(self.shed_rate, 4),
             "wall_seconds": round(self.wall_seconds, 6),
             "throughput_rps": round(self.throughput_rps, 1),
             "p50_ms": round(self.p50_ms, 3),
@@ -176,16 +220,26 @@ class LoadtestReport:
             f"({self.requests_per_client} requests/client, "
             f"points: {', '.join('/'.join(p) for p in self.points)}{stream})",
             "",
-            f"{'clients':>7s} {'req':>6s} {'fail':>5s} {'req/s':>9s} "
-            f"{'p50 ms':>9s} {'p95 ms':>9s} {'p99 ms':>9s}",
+            f"{'clients':>7s} {'req':>6s} {'fail':>5s} {'shed%':>6s} "
+            f"{'req/s':>9s} {'p50 ms':>9s} {'p95 ms':>9s} {'p99 ms':>9s}",
         ]
         for level in self.levels:
             lines.append(
                 f"{level.concurrency:7d} {level.requests:6d} "
-                f"{level.failures:5d} {level.throughput_rps:9.1f} "
+                f"{level.failures:5d} {level.shed_rate:6.1%} "
+                f"{level.throughput_rps:9.1f} "
                 f"{level.p50_ms:9.3f} {level.p95_ms:9.3f} "
                 f"{level.p99_ms:9.3f}"
             )
+        breakdown = {cls: sum(level.failure_classes.get(cls, 0)
+                              for level in self.levels)
+                     for cls in FAILURE_CLASSES}
+        if any(breakdown.values()):
+            lines.append("")
+            lines.append(
+                "failure breakdown: " + ", ".join(
+                    f"{count} {cls}" for cls, count in breakdown.items()
+                    if count))
         lines.append("")
         if self.knee_concurrency is not None:
             lines.append(
@@ -262,24 +316,26 @@ def _request_schedule(
 def _client_loop(host: str, port: int,
                  schedule: List[List[Tuple[str, str]]],
                  barrier: threading.Barrier,
-                 latencies: List[float], failures: List[int],
+                 latencies: List[float], failures: Dict[str, int],
                  lock: threading.Lock) -> None:
     """One closed-loop client: wait at the barrier, then issue requests."""
     local_lat: List[float] = []
-    local_fail = 0
+    local_fail: Dict[str, int] = {}
     with ServiceClient(host, port, timeout=120.0) as client:
         barrier.wait()
         for request_points in schedule:
             start = time.perf_counter()
             try:
                 client.simulate(request_points)
-            except (ServiceError, OSError, TimeoutError):
-                local_fail += 1
+            except (ServiceError, OSError, TimeoutError) as exc:
+                cls = classify_failure(exc)
+                local_fail[cls] = local_fail.get(cls, 0) + 1
                 continue
             local_lat.append(time.perf_counter() - start)
     with lock:
         latencies.extend(local_lat)
-        failures[0] += local_fail
+        for cls, count in local_fail.items():
+            failures[cls] = failures.get(cls, 0) + count
 
 
 def _run_level(host: str, port: int, concurrency: int,
@@ -288,7 +344,7 @@ def _run_level(host: str, port: int, concurrency: int,
                cold_points: Sequence[Tuple[str, str]] = (),
                cold_every: int = 0) -> LevelResult:
     latencies: List[float] = []
-    failures = [0]
+    failures: Dict[str, int] = {}
     lock = threading.Lock()
     barrier = threading.Barrier(concurrency + 1)
     threads = [
@@ -313,16 +369,18 @@ def _run_level(host: str, port: int, concurrency: int,
     for value in latencies:
         hist.record(value)
     n_ok = len(latencies)
+    n_fail = sum(failures.values())
     return LevelResult(
         concurrency=concurrency,
-        requests=n_ok + failures[0],
-        failures=failures[0],
+        requests=n_ok + n_fail,
+        failures=n_fail,
         wall_seconds=wall,
         throughput_rps=n_ok / wall,
         p50_ms=hist.percentile(50) * 1e3 if n_ok else 0.0,
         p95_ms=hist.percentile(95) * 1e3 if n_ok else 0.0,
         p99_ms=hist.percentile(99) * 1e3 if n_ok else 0.0,
         mean_ms=hist.mean * 1e3 if n_ok else 0.0,
+        failure_classes=dict(failures),
     )
 
 

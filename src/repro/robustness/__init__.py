@@ -11,7 +11,7 @@ Three independent tools that together back the chaos-testing story:
   experiment sweeps.
 """
 
-from repro.robustness.checkpoint import CheckpointStore
+from repro.robustness.checkpoint import CheckpointStore, append_record, load_records
 from repro.robustness.fault_plan import KINDS, FaultEvent, FaultInjector, FaultPlan
 from repro.robustness.invariants import (
     InvariantAuditor,
@@ -28,6 +28,8 @@ __all__ = [
     "FaultPlan",
     "InvariantAuditor",
     "InvariantViolation",
+    "append_record",
     "audit_hierarchy",
     "check_hierarchy",
+    "load_records",
 ]

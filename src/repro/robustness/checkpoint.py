@@ -13,6 +13,11 @@ the file back to the last good boundary so subsequent appends never land
 inside torn garbage.  Fingerprints are the same
 :func:`~repro.experiments.disk_cache.point_fingerprint` strings the disk
 cache uses, so a checkpoint is portable across processes and sessions.
+
+The record framing itself is exposed as :func:`append_record` /
+:func:`load_records` so other durable logs (the service's job journal in
+:mod:`repro.service.jobs`) reuse the exact same digest-verified format
+and torn-tail repair instead of inventing a second one.
 """
 
 from __future__ import annotations
@@ -21,14 +26,76 @@ import hashlib
 import os
 import pickle
 import struct
-from typing import Dict
+from typing import Dict, List, Tuple
 
-__all__ = ["CheckpointStore", "MAGIC"]
+__all__ = ["CheckpointStore", "MAGIC", "append_record", "load_records"]
 
 MAGIC = b"RPCK"
 _LEN = struct.Struct("<I")
 _DIGEST_BYTES = 16
 _HEADER_BYTES = len(MAGIC) + _LEN.size + _DIGEST_BYTES
+
+
+def append_record(path: str, payload: object) -> None:
+    """Durably append one pickled, digest-framed record to ``path``.
+
+    The write is flushed and fsynced before returning, so a record that
+    :func:`load_records` later replays was definitely on disk when the
+    caller moved on.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    record = (MAGIC + _LEN.pack(len(blob))
+              + hashlib.sha256(blob).digest()[:_DIGEST_BYTES]
+              + blob)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "ab") as handle:
+        handle.write(record)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def load_records(path: str) -> Tuple[List[object], int]:
+    """Replay every intact record in ``path``; repair any torn tail.
+
+    Returns ``(records, repaired_bytes)``.  Damaged or torn records end
+    the scan; the file is truncated back to the last intact boundary so
+    future appends stay parseable.  A missing file reads as empty.
+    """
+    records: List[object] = []
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return records, 0
+    offset = 0
+    good_end = 0
+    while offset + _HEADER_BYTES <= len(data):
+        if data[offset:offset + len(MAGIC)] != MAGIC:
+            break
+        length_at = offset + len(MAGIC)
+        (length,) = _LEN.unpack(data[length_at:length_at + _LEN.size])
+        digest_at = length_at + _LEN.size
+        payload_at = digest_at + _DIGEST_BYTES
+        payload_end = payload_at + length
+        if payload_end > len(data):
+            break  # torn tail: the final append was interrupted
+        payload = data[payload_at:payload_end]
+        if hashlib.sha256(payload).digest()[:_DIGEST_BYTES] != \
+                data[digest_at:payload_at]:
+            break
+        try:
+            records.append(pickle.loads(payload))
+        except Exception:
+            break
+        offset = good_end = payload_end
+    repaired = 0
+    if good_end < len(data):
+        repaired = len(data) - good_end
+        with open(path, "rb+") as handle:
+            handle.truncate(good_end)
+    return records, repaired
 
 
 class CheckpointStore:
@@ -43,59 +110,24 @@ class CheckpointStore:
 
     def append(self, fingerprint: str, result) -> None:
         """Durably record one completed point."""
-        payload = pickle.dumps((fingerprint, result),
-                               protocol=pickle.HIGHEST_PROTOCOL)
-        record = (MAGIC + _LEN.pack(len(payload))
-                  + hashlib.sha256(payload).digest()[:_DIGEST_BYTES]
-                  + payload)
-        parent = os.path.dirname(self.path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        with open(self.path, "ab") as handle:
-            handle.write(record)
-            handle.flush()
-            os.fsync(handle.fileno())
+        append_record(self.path, (fingerprint, result))
         self.appended += 1
 
     def load(self) -> Dict[str, object]:
         """Replay the checkpoint: fingerprint → result (later wins).
 
         Damaged or torn records end the scan; the file is truncated back
-        to the last intact record so future appends stay parseable.
+        to the last intact record so future appends never land inside
+        torn garbage.
         """
-        self.loaded = 0
-        self.repaired_bytes = 0
+        records, self.repaired_bytes = load_records(self.path)
         results: Dict[str, object] = {}
-        try:
-            with open(self.path, "rb") as handle:
-                data = handle.read()
-        except FileNotFoundError:
-            return results
-        offset = 0
-        good_end = 0
-        while offset + _HEADER_BYTES <= len(data):
-            if data[offset:offset + len(MAGIC)] != MAGIC:
-                break
-            length_at = offset + len(MAGIC)
-            (length,) = _LEN.unpack(data[length_at:length_at + _LEN.size])
-            digest_at = length_at + _LEN.size
-            payload_at = digest_at + _DIGEST_BYTES
-            payload_end = payload_at + length
-            if payload_end > len(data):
-                break  # torn tail: the final append was interrupted
-            payload = data[payload_at:payload_end]
-            if hashlib.sha256(payload).digest()[:_DIGEST_BYTES] != \
-                    data[digest_at:payload_at]:
-                break
+        self.loaded = 0
+        for record in records:
             try:
-                fingerprint, result = pickle.loads(payload)
-            except Exception:
-                break
+                fingerprint, result = record
+            except (TypeError, ValueError):
+                continue
             results[str(fingerprint)] = result
             self.loaded += 1
-            offset = good_end = payload_end
-        if good_end < len(data):
-            self.repaired_bytes = len(data) - good_end
-            with open(self.path, "rb+") as handle:
-                handle.truncate(good_end)
         return results

@@ -41,6 +41,7 @@ Start a server with ``repro-experiment serve --port 8000 --jobs 4
 
 from __future__ import annotations
 
+from repro.service.chaosnet import ChaosProxy, NetFaultPlan
 from repro.service.client import (
     HealthReport,
     JobReply,
@@ -48,6 +49,7 @@ from repro.service.client import (
     ServiceClient,
     ServiceError,
     SimulateReply,
+    TransportError,
     parse_target,
 )
 from repro.service.gateway import (
@@ -61,6 +63,7 @@ from repro.service.gateway import (
     spawn_subprocess_replicas,
     spawn_thread_replicas,
 )
+from repro.service.jobs import JobJournal
 from repro.service.protocol import (
     DESIGNS_BY_NAME,
     PointSpec,
@@ -71,11 +74,14 @@ from repro.service.protocol import (
 from repro.service.server import ExperimentService
 
 __all__ = [
+    "ChaosProxy",
     "DESIGNS_BY_NAME",
     "ExperimentService",
     "HashRing",
     "HealthReport",
+    "JobJournal",
     "JobReply",
+    "NetFaultPlan",
     "PointReply",
     "PointSpec",
     "ProtocolError",
@@ -85,6 +91,7 @@ __all__ = [
     "ServiceError",
     "ShardGateway",
     "SimulateReply",
+    "TransportError",
     "design_slug",
     "launch_local_gateway",
     "parse_target",

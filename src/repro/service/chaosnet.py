@@ -1,0 +1,303 @@
+"""Network chaos: a seeded fault-injecting TCP proxy for the service.
+
+PR 4's :mod:`repro.robustness.fault_plan` injects *VM-level* events
+(shootdowns, remaps) into the simulator; this module injects the
+*network-level* faults a sharded deployment actually meets, between the
+gateway and its replicas (or between a client and a server):
+
+========== ==========================================================
+kind       what the wire does
+========== ==========================================================
+latency    the first response is delayed by a seeded interval
+reset      the response is cut mid-body with a hard TCP RST
+blackhole  the request is swallowed; the connection hangs, then drops
+slowloris  the response head trickles out a few bytes at a time
+corrupt    response bytes are flipped in transit (length preserved)
+truncate   the response stops short of its ``Content-Length``
+========== ==========================================================
+
+Faults are assigned per accepted connection by :class:`NetFaultPlan`,
+seeded with the same string-keyed :class:`random.Random` idiom as
+``FaultPlan`` (PYTHONHASHSEED-independent), so a chaos run is
+reproducible: the Nth connection through the proxy always draws the
+same fault for the same seed.  ``corrupt`` is the nasty one — the bytes
+still frame as valid HTTP — and is exactly what the end-to-end
+``X-Content-Digest`` check exists to catch: under every fault kind the
+client must see *zero wrong results*, only retryable errors.
+
+Drive it standalone (``ChaosProxy(...).start_in_thread()``) or through
+``repro-experiment chaos --net`` (see
+:mod:`repro.experiments.netchaos`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+import struct
+import threading
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ChaosProxy", "NET_KINDS", "NetFaultPlan"]
+
+#: Every network fault kind the proxy can inject.
+NET_KINDS = ("latency", "reset", "blackhole", "slowloris", "corrupt",
+             "truncate")
+
+_CHUNK = 65536
+
+
+class NetFaultPlan:
+    """Deterministic per-connection fault assignment.
+
+    ``rates`` maps fault kind → probability per accepted connection
+    (the remainder is a clean pass-through).  Decisions depend only on
+    ``(seed, connection_index)``, via string-seeded ``random.Random``
+    (SHA-512 based, independent of PYTHONHASHSEED), so the same plan
+    replays identically.
+    """
+
+    def __init__(self, rates: Dict[str, float], seed: int = 0) -> None:
+        for kind, rate in rates.items():
+            if kind not in NET_KINDS:
+                raise ValueError(
+                    f"unknown net fault kind {kind!r}; "
+                    f"known: {', '.join(NET_KINDS)}")
+            if not 0.0 <= float(rate) <= 1.0:
+                raise ValueError(f"rate for {kind!r} must be in [0, 1]")
+        if sum(float(r) for r in rates.values()) > 1.0:
+            raise ValueError("fault rates must sum to <= 1.0")
+        self.rates = {kind: float(rates.get(kind, 0.0))
+                      for kind in NET_KINDS}
+        self.seed = seed
+
+    def fault_for(self, index: int) -> Optional[str]:
+        """The fault (or None) drawn by the ``index``-th connection."""
+        roll = random.Random(f"chaosnet:{self.seed}:{index}").random()
+        acc = 0.0
+        for kind in NET_KINDS:
+            acc += self.rates[kind]
+            if roll < acc:
+                return kind
+        return None
+
+    def params_rng(self, index: int) -> random.Random:
+        """Seeded RNG for the fault's parameters (delay, cut point, …)."""
+        return random.Random(f"chaosnet-params:{self.seed}:{index}")
+
+
+class ChaosProxy:
+    """A TCP proxy that injects :data:`NET_KINDS` faults per connection.
+
+    Point it at an upstream ``(host, port)``, then connect through
+    ``(proxy.host, proxy.port)``.  Fault magnitudes are bounded so a
+    chaos suite stays fast: black-holes hold for ``hold_s`` then drop
+    (they do not hang for the peer's full timeout), and slow-loris
+    trickles only the first ``trickle_cap`` bytes.
+
+    ``counts`` tallies injected faults by kind (plus ``"clean"``), the
+    ground truth a resilience suite checks its observed error rate
+    against.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 plan: NetFaultPlan,
+                 host: str = "127.0.0.1", port: int = 0,
+                 latency_s: float = 0.2, hold_s: float = 1.0,
+                 trickle_bytes: int = 32, trickle_delay_s: float = 0.02,
+                 trickle_cap: int = 256) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.plan = plan
+        self.host = host
+        self.port = port
+        self.latency_s = latency_s
+        self.hold_s = hold_s
+        self.trickle_bytes = trickle_bytes
+        self.trickle_delay_s = trickle_delay_s
+        self.trickle_cap = trickle_cap
+        self.connections = 0
+        self.counts: Dict[str, int] = {kind: 0 for kind in NET_KINDS}
+        self.counts["clean"] = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle --------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def _serve_until_stopped(self) -> None:
+        await self._stop_event.wait()
+        self._server.close()
+        await self._server.wait_closed()
+
+    def start_in_thread(self, timeout: float = 10.0) -> Tuple[str, int]:
+        """Run the proxy on its own event-loop thread; returns the address."""
+        started = threading.Event()
+        failure: List[BaseException] = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            try:
+                asyncio.set_event_loop(loop)
+                loop.run_until_complete(self.start())
+            except BaseException as exc:
+                failure.append(exc)
+                started.set()
+                loop.close()
+                return
+            started.set()
+            try:
+                loop.run_until_complete(self._serve_until_stopped())
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-chaosnet", daemon=True)
+        self._thread.start()
+        if not started.wait(timeout):
+            raise RuntimeError("chaos proxy did not start in time")
+        if failure:
+            raise failure[0]
+        return self.host, self.port
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    # -- per-connection fault machinery -----------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        index = self.connections
+        self.connections += 1
+        fault = self.plan.fault_for(index)
+        self.counts[fault or "clean"] += 1
+        rng = self.plan.params_rng(index)
+        try:
+            if fault == "blackhole":
+                await self._blackhole(reader, writer, rng)
+                return
+            try:
+                up_reader, up_writer = await asyncio.open_connection(
+                    self.upstream_host, self.upstream_port)
+            except OSError:
+                self._close(writer)
+                return
+            up = asyncio.ensure_future(self._pump_up(reader, up_writer))
+            down = asyncio.ensure_future(
+                self._pump_down(up_reader, writer, fault, rng))
+            try:
+                await asyncio.gather(up, down, return_exceptions=True)
+            finally:
+                self._close(up_writer)
+        finally:
+            self._close(writer)
+
+    async def _blackhole(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter,
+                         rng: random.Random) -> None:
+        """Swallow the request, hang for a bounded interval, then drop."""
+        hold = self.hold_s * (0.5 + rng.random())
+        try:
+            await asyncio.wait_for(reader.read(_CHUNK), timeout=hold)
+            await asyncio.sleep(hold)
+        except (asyncio.TimeoutError, OSError):
+            pass
+
+    async def _pump_up(self, reader: asyncio.StreamReader,
+                       up_writer: asyncio.StreamWriter) -> None:
+        """Relay client → upstream unmodified (faults hit responses)."""
+        try:
+            while True:
+                chunk = await reader.read(_CHUNK)
+                if not chunk:
+                    break
+                up_writer.write(chunk)
+                await up_writer.drain()
+            if up_writer.can_write_eof():
+                up_writer.write_eof()
+        except (OSError, asyncio.IncompleteReadError, RuntimeError):
+            pass
+
+    async def _pump_down(self, up_reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter,
+                         fault: Optional[str],
+                         rng: random.Random) -> None:
+        """Relay upstream → client, injecting ``fault`` on the first burst."""
+        first = True
+        try:
+            while True:
+                chunk = await up_reader.read(_CHUNK)
+                if not chunk:
+                    break
+                if first and fault == "latency":
+                    await asyncio.sleep(self.latency_s * (0.5 + rng.random()))
+                elif first and fault == "reset":
+                    cut = max(1, int(len(chunk) * rng.uniform(0.2, 0.8)))
+                    writer.write(chunk[:cut])
+                    await writer.drain()
+                    self._abort(writer)
+                    return
+                elif first and fault == "truncate":
+                    cut = max(1, int(len(chunk) * rng.uniform(0.3, 0.9)))
+                    writer.write(chunk[:cut])
+                    await writer.drain()
+                    # FIN now, not at connection teardown: the peer must
+                    # see the short body immediately, not after waiting
+                    # out its own read timeout for bytes that never come.
+                    if writer.can_write_eof():
+                        writer.write_eof()
+                    return  # clean FIN short of Content-Length
+                elif first and fault == "slowloris":
+                    head = chunk[:self.trickle_cap]
+                    for at in range(0, len(head), self.trickle_bytes):
+                        writer.write(head[at:at + self.trickle_bytes])
+                        await writer.drain()
+                        await asyncio.sleep(self.trickle_delay_s)
+                    chunk = chunk[len(head):]
+                if fault == "corrupt" and len(chunk) > 1:
+                    # Flip the last byte: inside the JSON body, so the
+                    # frame stays parseable and only the end-to-end
+                    # digest can tell the payload is garbage.
+                    chunk = chunk[:-1] + bytes([chunk[-1] ^ 0xFF])
+                if chunk:
+                    writer.write(chunk)
+                    await writer.drain()
+                first = False
+        except (OSError, RuntimeError):
+            pass
+
+    @staticmethod
+    def _abort(writer: asyncio.StreamWriter) -> None:
+        """Close with a hard RST so the peer sees ConnectionResetError."""
+        sock = writer.get_extra_info("socket")
+        try:
+            if sock is not None:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+        except OSError:
+            pass
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+    @staticmethod
+    def _close(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except Exception:
+            pass

@@ -15,17 +15,34 @@ without any third-party dependency:
 Server-side rejections (bad request, unknown design, sweep failures,
 a draining server) raise :class:`ServiceError` carrying the HTTP
 status, the machine-readable error code, and the decoded body.
+Connection-level failures — refused connects, mid-body disconnects,
+corrupted response bodies — raise :class:`TransportError` (a
+:class:`ServiceError` subclass) with the failure phase and partial-read
+context instead of leaking raw ``ConnectionResetError`` /
+``IncompleteReadError`` out of the client.
+
+Resilience knobs (all default off/conservative):
+
+* ``deadline_ms`` — every request carries ``X-Deadline-Ms``; the server
+  answers 504 instead of computing work nobody will wait for, and the
+  gateway decrements the budget across hops.
+* ``retries`` / ``retry_budget_s`` — jittered-exponential-backoff
+  retries for *idempotent* requests on transport errors, 429 sheds
+  (honoring ``Retry-After``), and 503s, bounded by a wall-clock budget.
+  Job submits are never retried: a duplicate submit is a duplicate job.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.obs.trace_context import TraceContext
+from repro.service.http11 import body_digest
 
 __all__ = [
     "HealthReport",
@@ -34,6 +51,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "SimulateReply",
+    "TransportError",
     "parse_target",
 ]
 
@@ -90,6 +108,31 @@ class ServiceError(RuntimeError):
         self.code = code
         self.message = message
         self.body = body if body is not None else {}
+
+
+class TransportError(ServiceError):
+    """A connection-level failure: no (trustworthy) HTTP response.
+
+    ``phase`` records how far the exchange got (``"send"``,
+    ``"read-status"``, ``"read-body"``, or ``"verify"`` for a body whose
+    ``X-Content-Digest`` did not match — corruption in transit), and
+    ``bytes_read`` how much of the body arrived before the failure.
+    Retry logic classifies on exactly this: a transport error never
+    carries data, so an idempotent request can always be retried, while
+    a non-idempotent one must surface the error to its caller.
+    """
+
+    def __init__(self, phase: str, bytes_read: int = 0,
+                 cause: Optional[BaseException] = None,
+                 message: Optional[str] = None) -> None:
+        detail = message or (f"{type(cause).__name__}: {cause}" if cause
+                             else "connection failed")
+        super().__init__(
+            0, "transport",
+            f"{detail} (phase={phase}, bytes_read={bytes_read})")
+        self.phase = phase
+        self.bytes_read = bytes_read
+        self.cause = cause
 
 
 @dataclass(frozen=True)
@@ -197,7 +240,12 @@ class ServiceClient:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8000,
                  timeout: float = 600.0,
-                 trace_ctx: Optional[TraceContext] = None) -> None:
+                 trace_ctx: Optional[TraceContext] = None,
+                 deadline_ms: Optional[float] = None,
+                 retries: int = 0,
+                 retry_budget_s: float = 10.0,
+                 backoff_base: float = 0.05,
+                 retry_seed: int = 0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -205,9 +253,21 @@ class ServiceClient:
         #: becomes a child span); when None each request starts a fresh
         #: server-side trace.
         self.trace_ctx = trace_ctx
+        #: Default per-request deadline budget sent as ``X-Deadline-Ms``
+        #: (None = no deadline); :meth:`simulate` can override per call.
+        self.deadline_ms = deadline_ms
+        #: Backoff retries for idempotent requests beyond the single
+        #: free stale-keepalive retry (0 = the historical behavior).
+        self.retries = retries
+        #: Wall-clock ceiling across one request's retries: once spent,
+        #: the last error surfaces no matter how many retries remain.
+        self.retry_budget_s = retry_budget_s
+        self.backoff_base = backoff_base
+        self._rng = random.Random(f"client-retry:{retry_seed}")
         #: The trace id of the most recent request (from the server's
         #: ``X-Trace-Id`` response header) — stitch with ``trace show``.
         self.last_trace_id: Optional[str] = None
+        self.retries_performed = 0
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- plumbing ---------------------------------------------------------
@@ -222,35 +282,126 @@ class ServiceClient:
             return {}
         return self.trace_ctx.headers()
 
-    def _raw_request(self, method: str, path: str,
-                     payload: Optional[bytes],
-                     headers: Dict[str, str]):
-        """One HTTP exchange with a single stale-keepalive retry."""
-        for attempt in (1, 2):
-            conn = self._connection()
-            try:
-                conn.request(method, path, body=payload, headers=headers)
-                response = conn.getresponse()
-                raw = response.read()
-                break
-            except (http.client.HTTPException, ConnectionError, OSError):
-                # A server that closed a kept-alive socket between calls
-                # looks like a dead connection; retry once on a fresh one.
-                self.close()
-                if attempt == 2:
-                    raise
+    def _attempt(self, method: str, path: str, payload: Optional[bytes],
+                 headers: Dict[str, str]):
+        """One HTTP exchange; all connection-level failures become typed."""
+        conn = self._connection()
+        phase = "send"
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            phase = "read-status"
+            response = conn.getresponse()
+            phase = "read-body"
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError) as exc:
+            self.close()
+            partial = getattr(exc, "partial", b"")
+            raise TransportError(phase, len(partial or b""), cause=exc)
+        digest = response.getheader("X-Content-Digest")
+        if digest is not None and digest != body_digest(raw):
+            # The bytes arrived but are not what the server sent: treat
+            # exactly like a dead connection, never like data.
+            self.close()
+            raise TransportError(
+                "verify", len(raw),
+                message="response body failed X-Content-Digest check "
+                        "(corrupted in transit)")
         trace_id = response.getheader("X-Trace-Id")
         if trace_id and trace_id != "-":
             self.last_trace_id = trace_id
         return response, raw
 
+    @staticmethod
+    def _retry_after_hint(response, raw: bytes) -> Optional[float]:
+        header = response.getheader("Retry-After")
+        if header is not None:
+            try:
+                return max(0.0, float(header))
+            except ValueError:
+                pass
+        try:
+            hint = json.loads(raw.decode("utf-8")).get("retry_after")
+            return max(0.0, float(hint)) if hint is not None else None
+        except (UnicodeDecodeError, ValueError, AttributeError):
+            return None
+
+    def _backoff(self, attempt: int, retry_after: Optional[float],
+                 budget_deadline: float,
+                 abs_deadline: Optional[float]) -> bool:
+        """Sleep before retry ``attempt``; False when no budget remains."""
+        delay = self.backoff_base * (2 ** attempt)
+        delay *= 0.5 + self._rng.random()  # jitter into [0.5x, 1.5x)
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        now = time.monotonic()
+        if now + delay > budget_deadline:
+            return False
+        if abs_deadline is not None and now + delay >= abs_deadline:
+            return False  # the deadline would expire before the retry
+        time.sleep(delay)
+        self.retries_performed += 1
+        return True
+
+    def _raw_request(self, method: str, path: str,
+                     payload: Optional[bytes],
+                     headers: Dict[str, str],
+                     idempotent: bool = True,
+                     abs_deadline: Optional[float] = None):
+        """One logical exchange: free stale-keepalive retry + budgeted
+        backoff retries (idempotent requests only)."""
+        budget_deadline = time.monotonic() + self.retry_budget_s
+        attempt = 0
+        free_retry_used = False
+        while True:
+            if abs_deadline is not None:
+                remaining_ms = (abs_deadline - time.monotonic()) * 1000.0
+                if remaining_ms <= 0:
+                    raise ServiceError(
+                        504, "deadline_exceeded",
+                        "client-side deadline exhausted before the "
+                        "request was sent")
+                headers = dict(headers)
+                headers["X-Deadline-Ms"] = format(remaining_ms, ".3f")
+            reused = self._conn is not None
+            try:
+                response, raw = self._attempt(method, path, payload, headers)
+            except TransportError:
+                if not idempotent:
+                    raise
+                # A server that closed a kept-alive socket between calls
+                # looks like a dead connection; retry once on a fresh
+                # one, free — the historical pre-retry behavior.
+                if reused and not free_retry_used:
+                    free_retry_used = True
+                    continue
+                if attempt >= self.retries or not self._backoff(
+                        attempt, None, budget_deadline, abs_deadline):
+                    raise
+                attempt += 1
+                continue
+            if (response.status in (429, 503) and idempotent
+                    and attempt < self.retries):
+                hint = self._retry_after_hint(response, raw)
+                if self._backoff(attempt, hint, budget_deadline,
+                                 abs_deadline):
+                    attempt += 1
+                    continue
+            return response, raw
+
     def _request(self, method: str, path: str,
-                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                 body: Optional[Dict[str, Any]] = None,
+                 idempotent: bool = True,
+                 deadline_ms: Optional[float] = None) -> Dict[str, Any]:
         payload = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if payload else {}
         headers["Accept"] = "application/json"
         headers.update(self._trace_headers())
-        response, raw = self._raw_request(method, path, payload, headers)
+        budget = deadline_ms if deadline_ms is not None else self.deadline_ms
+        abs_deadline = (time.monotonic() + budget / 1000.0
+                        if budget is not None else None)
+        response, raw = self._raw_request(
+            method, path, payload, headers,
+            idempotent=idempotent, abs_deadline=abs_deadline)
         try:
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -282,8 +433,14 @@ class ServiceClient:
     def simulate(self, points: Iterable[PointLike],
                  scale: Optional[float] = None,
                  config: Optional[Dict[str, Any]] = None,
-                 include_counters: bool = False) -> SimulateReply:
-        """Run (or fetch) points synchronously; blocks until the wave lands."""
+                 include_counters: bool = False,
+                 deadline_ms: Optional[float] = None) -> SimulateReply:
+        """Run (or fetch) points synchronously; blocks until the wave lands.
+
+        ``deadline_ms`` overrides the client-wide deadline budget for
+        this one call.  Simulate is idempotent (points are
+        fingerprint-keyed), so it participates in retry policy.
+        """
         body: Dict[str, Any] = {"points": _normalize_points(points)}
         if scale is not None:
             body["scale"] = scale
@@ -292,18 +449,27 @@ class ServiceClient:
         if include_counters:
             body["include_counters"] = True
         return SimulateReply.from_json(
-            self._request("POST", "/v1/simulate", body))
+            self._request("POST", "/v1/simulate", body,
+                          deadline_ms=deadline_ms))
 
     def submit(self, points: Iterable[PointLike],
                scale: Optional[float] = None,
                config: Optional[Dict[str, Any]] = None) -> str:
-        """Submit an asynchronous job; returns its id for :meth:`poll`."""
+        """Submit an asynchronous job; returns its id for :meth:`poll`.
+
+        Submits are **not idempotent** — a retried submit is a second
+        job — so this call never retries, and it always uses a fresh
+        connection so a stale kept-alive socket cannot force the
+        ambiguous did-it-arrive case.
+        """
         body: Dict[str, Any] = {"points": _normalize_points(points)}
         if scale is not None:
             body["scale"] = scale
         if config is not None:
             body["config"] = config
-        return self._request("POST", "/v1/jobs", body)["job_id"]
+        self.close()  # fresh connection: no stale-keepalive ambiguity
+        return self._request("POST", "/v1/jobs", body,
+                             idempotent=False)["job_id"]
 
     def poll(self, job_id: str) -> JobReply:
         """Fetch a job's status (and its result once finished)."""

@@ -24,15 +24,23 @@ Request life through the gateway::
     through, so the client → gateway → replica → worker spans stitch
     into one tree)
 
-Replica management: a background health loop probes every replica's
-``/healthz``; a probe failure, a dead managed subprocess, or a
-connection-level forward failure **evicts** the replica (the ring is
-rebuilt without it) and in-flight points **hedge** to their new owner
-on the rebuilt ring, so a killed replica costs zero client-visible
-failures.  A replica whose probe recovers is **re-admitted** and the
-ring takes it back.  Deterministic per-point simulation failures (HTTP
-500 from a healthy replica) pass through unhedged — retrying those
-would just fail again.
+Replica management: a background health loop (interval jittered ±20%
+so probes never fall into lockstep) probes every replica's
+``/healthz``; K consecutive probe failures, a dead managed subprocess,
+or a connection-level forward failure **evicts** the replica (the ring
+is rebuilt without it) and in-flight points **hedge** to their new
+owner on the rebuilt ring, so a killed replica costs zero
+client-visible failures.  A replica whose probe recovers is
+**re-admitted** and the ring takes it back.  With ``supervise=True``
+(the CLI default) a dead *managed* replica is **respawned** in place
+with capped exponential backoff, and a flap detector gives up (and
+raises the ``gateway.alarms.flapping`` metric) on a replica that keeps
+dying right after each respawn.  Deterministic per-point simulation
+failures (HTTP 500 from a healthy replica) pass through unhedged —
+retrying those would just fail again; so do a replica's 429 shed
+(hedging an overloaded pool amplifies the overload) and 504 deadline
+verdicts.  Every replica reply is verified against its
+``X-Content-Digest`` before the gateway will forward it.
 
 Replicas come from three sources: :func:`spawn_thread_replicas`
 (in-process services on their own event-loop threads — tests and
@@ -52,6 +60,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import random
 import signal
 import subprocess
 import sys
@@ -143,14 +152,27 @@ class HashRing:
 
 
 class Replica:
-    """One worker replica: its address plus the gateway's view of it."""
+    """One worker replica: its address plus the gateway's view of it.
+
+    The supervision fields track the respawn state machine (see
+    :meth:`ShardGateway._supervise`): ``respawn`` is a factory that
+    re-creates the worker in place (set by the spawn helpers, ``None``
+    for externally managed URLs), ``backoff_s`` the current capped
+    exponential respawn delay, and ``rapid_deaths`` counts deaths that
+    struck within the flap window of a (re)spawn — the flap detector
+    gives up on the replica after too many of those.
+    """
 
     __slots__ = ("id", "host", "port", "service", "process", "healthy",
-                 "evictions", "last_error", "pool")
+                 "evictions", "last_error", "pool", "respawn",
+                 "probe_failures", "respawns", "backoff_s", "backoff_until",
+                 "spawned_at", "death_at", "rapid_deaths", "given_up",
+                 "respawning")
 
     def __init__(self, replica_id: str, host: str, port: int,
                  service: Optional[Any] = None,
-                 process: Optional["subprocess.Popen"] = None) -> None:
+                 process: Optional["subprocess.Popen"] = None,
+                 respawn: Optional[Callable[[], None]] = None) -> None:
         self.id = replica_id
         self.host = host
         self.port = port
@@ -158,9 +180,21 @@ class Replica:
         self.service = service
         #: A ``repro-experiment serve`` child the gateway manages.
         self.process = process
+        #: Rebuilds this worker in place (new service/process + port).
+        self.respawn = respawn
         self.healthy = True
         self.evictions = 0
         self.last_error: Optional[str] = None
+        #: Consecutive failed health probes (reset by any success).
+        self.probe_failures = 0
+        self.respawns = 0
+        self.backoff_s = 0.0  # armed by the gateway's supervision config
+        self.backoff_until = 0.0
+        self.spawned_at = time.monotonic()
+        self.death_at: Optional[float] = None
+        self.rapid_deaths = 0
+        self.given_up = False
+        self.respawning = False
         #: Idle keep-alive ``(reader, writer)`` pairs to this replica.
         self.pool: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
 
@@ -175,6 +209,9 @@ class Replica:
             "host": self.host, "port": self.port, "mode": mode,
             "healthy": self.healthy, "evictions": self.evictions,
             "last_error": self.last_error,
+            "respawns": self.respawns,
+            "rapid_deaths": self.rapid_deaths,
+            "given_up": self.given_up,
         }
 
 
@@ -191,20 +228,39 @@ def spawn_thread_replicas(
     max_batch: int = 64,
     check_invariants: bool = False,
     obs_factory: Optional[Callable[[int], Observability]] = None,
+    max_inflight: Optional[int] = None,
 ) -> List[Replica]:
-    """Start ``count`` in-process services sharing one disk cache dir."""
+    """Start ``count`` in-process services sharing one disk cache dir.
+
+    Each replica carries a ``respawn`` factory that rebuilds the
+    service in place (fresh thread, fresh port) — the hook the
+    gateway's supervisor uses when ``supervise=True``.
+    """
     from repro.service.server import ExperimentService
+
+    def _start(index: int) -> Tuple[Any, str, int]:
+        service = ExperimentService(
+            port=0, jobs=jobs, scale=scale, cache_dir=cache_dir,
+            batch_window=batch_window, max_batch=max_batch,
+            check_invariants=check_invariants, max_inflight=max_inflight,
+            obs=obs_factory(index) if obs_factory is not None else None)
+        host, port = service.start_in_thread()
+        return service, host, port
 
     replicas: List[Replica] = []
     try:
         for index in range(count):
-            service = ExperimentService(
-                port=0, jobs=jobs, scale=scale, cache_dir=cache_dir,
-                batch_window=batch_window, max_batch=max_batch,
-                check_invariants=check_invariants,
-                obs=obs_factory(index) if obs_factory is not None else None)
-            host, port = service.start_in_thread()
-            replicas.append(Replica(f"r{index}", host, port, service=service))
+            service, host, port = _start(index)
+            replica = Replica(f"r{index}", host, port, service=service)
+
+            def _respawn(replica: Replica = replica,
+                         index: int = index) -> None:
+                service, host, port = _start(index)
+                replica.service = service
+                replica.host, replica.port = host, port
+
+            replica.respawn = _respawn
+            replicas.append(replica)
     except BaseException:
         for replica in replicas:
             replica.service.shutdown()
@@ -220,47 +276,64 @@ def spawn_subprocess_replicas(
     batch_window: float = 0.01,
     max_batch: int = 64,
     check_invariants: bool = False,
+    max_inflight: Optional[int] = None,
 ) -> List[Replica]:
     """Start ``count`` ``repro-experiment serve`` children on free ports.
 
     Each child prints its listen banner on stdout; the port is parsed
     from it.  The children share ``cache_dir`` (the shared disk tier)
-    and are SIGTERM-drained by the gateway at shutdown.
+    and are SIGTERM-drained by the gateway at shutdown.  Each replica
+    carries a ``respawn`` factory that starts a fresh child in place,
+    used by the gateway supervisor when ``supervise=True``.
     """
     env = dict(os.environ)
     src_root = str(Path(__file__).resolve().parents[2])
     env["PYTHONPATH"] = src_root + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+
+    def _start(index: int) -> Tuple["subprocess.Popen", int]:
+        cmd = [
+            sys.executable, "-u", "-c",
+            "from repro.experiments.cli import main; "
+            "raise SystemExit(main())",
+            "serve", "--port", "0", "--jobs", str(jobs),
+            "--batch-window", str(batch_window),
+            "--max-batch", str(max_batch),
+        ]
+        if cache_dir:
+            cmd += ["--cache-dir", cache_dir]
+        if scale is not None:
+            cmd += ["--scale", str(scale)]
+        if check_invariants:
+            cmd += ["--check-invariants"]
+        if max_inflight is not None:
+            cmd += ["--max-inflight", str(max_inflight)]
+        process = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        banner = process.stdout.readline()
+        if "listening on http://" not in banner:
+            tail = banner + (process.stdout.read() or "")
+            process.kill()
+            process.wait(10)
+            raise RuntimeError(
+                f"replica r{index} failed to start: {tail.strip()!r}")
+        return process, int(banner.strip().rsplit(":", 1)[1])
+
     replicas: List[Replica] = []
     try:
         for index in range(count):
-            cmd = [
-                sys.executable, "-u", "-c",
-                "from repro.experiments.cli import main; "
-                "raise SystemExit(main())",
-                "serve", "--port", "0", "--jobs", str(jobs),
-                "--batch-window", str(batch_window),
-                "--max-batch", str(max_batch),
-            ]
-            if cache_dir:
-                cmd += ["--cache-dir", cache_dir]
-            if scale is not None:
-                cmd += ["--scale", str(scale)]
-            if check_invariants:
-                cmd += ["--check-invariants"]
-            process = subprocess.Popen(
-                cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
-                text=True, env=env)
-            banner = process.stdout.readline()
-            if "listening on http://" not in banner:
-                tail = banner + (process.stdout.read() or "")
-                process.kill()
-                process.wait(10)
-                raise RuntimeError(
-                    f"replica r{index} failed to start: {tail.strip()!r}")
-            port = int(banner.strip().rsplit(":", 1)[1])
-            replicas.append(
-                Replica(f"r{index}", "127.0.0.1", port, process=process))
+            process, port = _start(index)
+            replica = Replica(f"r{index}", "127.0.0.1", port, process=process)
+
+            def _respawn(replica: Replica = replica,
+                         index: int = index) -> None:
+                process, port = _start(index)
+                replica.process = process
+                replica.port = port
+
+            replica.respawn = _respawn
+            replicas.append(replica)
     except BaseException:
         for replica in replicas:
             replica.process.terminate()
@@ -329,12 +402,21 @@ class ShardGateway:
         forward_timeout: float = 600.0,
         route_memo_size: int = 1024,
         obs: Optional[Observability] = None,
+        supervise: bool = False,
+        probe_failure_threshold: int = 3,
+        respawn_backoff_base: float = 0.5,
+        respawn_backoff_max: float = 30.0,
+        flap_window: float = 5.0,
+        flap_threshold: int = 3,
+        health_jitter: float = 0.2,
     ) -> None:
         if not replicas:
             raise ValueError("gateway needs at least one replica")
         ids = [replica.id for replica in replicas]
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate replica ids: {ids}")
+        if probe_failure_threshold < 1:
+            raise ValueError("probe_failure_threshold must be >= 1")
         self.replicas = list(replicas)
         self._by_id = {replica.id: replica for replica in self.replicas}
         self.host = host
@@ -344,6 +426,20 @@ class ShardGateway:
         self.health_interval = health_interval
         self.connect_timeout = connect_timeout
         self.forward_timeout = forward_timeout
+        #: Respawn dead managed replicas (the CLI path turns this on;
+        #: it stays off by default so embedders and fault-injection
+        #: tests can kill a replica and have it *stay* dead).
+        self.supervise = supervise
+        self.probe_failure_threshold = probe_failure_threshold
+        self.respawn_backoff_base = respawn_backoff_base
+        self.respawn_backoff_max = respawn_backoff_max
+        self.flap_window = flap_window
+        self.flap_threshold = flap_threshold
+        self.health_jitter = health_jitter
+        self._health_rng = random.Random(
+            f"gateway-health:{len(self.replicas)}:{vnodes}")
+        for replica in self.replicas:
+            replica.backoff_s = respawn_backoff_base
         self.obs = obs if obs is not None else Observability()
         # Parsing defaults — must mirror the replicas' so the gateway
         # fingerprints exactly what they memoize under.
@@ -533,7 +629,12 @@ class ShardGateway:
 
     async def _health_loop(self) -> None:
         while True:
-            await asyncio.sleep(self.health_interval)
+            # ±health_jitter: N gateways (or one gateway's many probes)
+            # must not fall into lockstep and thundering-herd the
+            # replicas at a fixed cadence.
+            jitter = 1.0 + self.health_jitter * (
+                2.0 * self._health_rng.random() - 1.0)
+            await asyncio.sleep(self.health_interval * max(0.0, jitter))
             if self._draining:
                 return
             await self._probe_replicas()
@@ -544,8 +645,12 @@ class ShardGateway:
                 return
             if (replica.process is not None
                     and replica.process.poll() is not None):
+                # A reaped child is unambiguous death: evict now, no
+                # probe-failure grace.
                 self._evict(replica, f"process exited with code "
                                      f"{replica.process.returncode}")
+                if self.supervise:
+                    await self._supervise(replica)
                 continue
             try:
                 status, _headers, raw = await self._replica_request(
@@ -558,9 +663,93 @@ class ShardGateway:
                 healthy = False
                 reason = f"healthz probe failed: {exc}"
             if healthy:
+                replica.probe_failures = 0
+                if (time.monotonic() - replica.spawned_at >= self.flap_window
+                        and (replica.rapid_deaths
+                             or replica.backoff_s
+                             != self.respawn_backoff_base)):
+                    # Stable for a full flap window: forgive its past.
+                    replica.rapid_deaths = 0
+                    replica.backoff_s = self.respawn_backoff_base
                 self._readmit(replica)
+                continue
+            replica.probe_failures += 1
+            self.obs.metrics.add("gateway.probe_failures")
+            if (replica.healthy and replica.probe_failures
+                    < self.probe_failure_threshold):
+                # One flaky probe is not a verdict: a *healthy* replica
+                # is only evicted after K consecutive failures.  Dead
+                # subprocesses and forward failures still evict at once.
+                continue
+            self._evict(replica, reason)
+            if self.supervise:
+                await self._supervise(replica)
+
+    async def _supervise(self, replica: Replica) -> None:
+        """Respawn a dead managed replica: capped backoff + flap detector.
+
+        First tick after a death classifies it (a death within
+        ``flap_window`` of the last spawn is "rapid"; ``flap_threshold``
+        rapid deaths in a row trips the give-up alarm) and arms the
+        backoff timer; later ticks respawn once the timer expires.
+        Re-admission then happens through the normal probe path once
+        the fresh worker answers ``/healthz``.
+        """
+        if (replica.respawn is None or replica.given_up
+                or replica.respawning or self._draining):
+            return
+        now = time.monotonic()
+        if replica.death_at is None:
+            replica.death_at = now
+            if now - replica.spawned_at < self.flap_window:
+                replica.rapid_deaths += 1
+                if replica.rapid_deaths >= self.flap_threshold:
+                    replica.given_up = True
+                    replica.last_error = (
+                        f"flapping: {replica.rapid_deaths} rapid deaths; "
+                        f"supervisor gave up")
+                    metrics = self.obs.metrics
+                    metrics.add("gateway.alarms.flapping")
+                    metrics.add(
+                        f"gateway.alarms.flapping[replica={replica.id}]")
+                    if self.obs.tracing:
+                        self.obs.tracer.emit(
+                            "event", time.time(), name="gateway.flap_alarm",
+                            replica=replica.id,
+                            rapid_deaths=replica.rapid_deaths)
+                    return
             else:
-                self._evict(replica, reason)
+                replica.rapid_deaths = 0
+            replica.backoff_until = now + replica.backoff_s
+            replica.backoff_s = min(replica.backoff_s * 2,
+                                    self.respawn_backoff_max)
+            return
+        if now < replica.backoff_until:
+            return
+        replica.respawning = True
+        try:
+            await asyncio.get_running_loop().run_in_executor(
+                None, replica.respawn)
+        except Exception as exc:
+            replica.last_error = f"respawn failed: {exc}"
+            replica.backoff_until = time.monotonic() + replica.backoff_s
+            replica.backoff_s = min(replica.backoff_s * 2,
+                                    self.respawn_backoff_max)
+            self.obs.metrics.add("gateway.respawn_failures")
+            return
+        finally:
+            replica.respawning = False
+        replica.respawns += 1
+        replica.spawned_at = time.monotonic()
+        replica.death_at = None
+        replica.probe_failures = 0
+        metrics = self.obs.metrics
+        metrics.add("gateway.respawns")
+        metrics.add(f"gateway.respawns[replica={replica.id}]")
+        if self.obs.tracing:
+            self.obs.tracer.emit(
+                "event", time.time(), name="gateway.respawn",
+                replica=replica.id, respawns=replica.respawns)
 
     # -- replica HTTP (pooled keep-alive connections) ---------------------
     def _drop_pool(self, replica: Replica) -> None:
@@ -573,21 +762,23 @@ class ShardGateway:
 
     async def _replica_request(
         self, replica: Replica, method: str, path: str, body: bytes,
-        headers: Dict[str, str],
+        headers: Dict[str, str], timeout: Optional[float] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         """One exchange with a replica; raises :class:`ReplicaError`.
 
         Idle pooled connections are tried first; a stale one (the
         replica closed it between requests) falls through to the next,
         and finally to a fresh connection whose failure is the real
-        verdict.
+        verdict.  ``timeout`` overrides ``forward_timeout`` (deadline
+        clamping).
         """
         request = http11.format_request(
             method, path, replica.host, replica.port, body, headers)
         while replica.pool:
             reader, writer = replica.pool.pop()
             try:
-                return await self._exchange(replica, reader, writer, request)
+                return await self._exchange(replica, reader, writer, request,
+                                            timeout)
             except (OSError, ValueError, EOFError, asyncio.TimeoutError):
                 try:
                     writer.close()
@@ -602,7 +793,8 @@ class ShardGateway:
                 f"{replica.id}: connect to {replica.host}:{replica.port} "
                 f"failed: {type(exc).__name__}: {exc}")
         try:
-            return await self._exchange(replica, reader, writer, request)
+            return await self._exchange(replica, reader, writer, request,
+                                        timeout)
         except (OSError, ValueError, EOFError, asyncio.TimeoutError) as exc:
             try:
                 writer.close()
@@ -614,11 +806,20 @@ class ShardGateway:
     async def _exchange(
         self, replica: Replica, reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter, request: bytes,
+        timeout: Optional[float] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         writer.write(request)
         await writer.drain()
         status, headers, raw = await asyncio.wait_for(
-            http11.read_response(reader), self.forward_timeout)
+            http11.read_response(reader),
+            self.forward_timeout if timeout is None else timeout)
+        if not http11.verify_body_digest(headers, raw):
+            # Bytes got mangled between the replica and us: treat the
+            # connection as poisoned, never forward the payload.
+            self.obs.metrics.add("gateway.digest_failures")
+            raise ValueError(
+                "replica response failed the X-Content-Digest check "
+                "(corrupted in transit)")
         if (headers.get("connection", "").lower() == "close"
                 or len(replica.pool) >= _MAX_POOL_PER_REPLICA):
             try:
@@ -688,12 +889,28 @@ class ShardGateway:
         return headers
 
     async def _forward(self, replica: Replica, body: bytes,
-                       ctx: TraceContext) -> Tuple[int, bytes]:
-        """POST one simulate sub-request to a replica, with telemetry."""
+                       ctx: TraceContext,
+                       deadline: Optional[float] = None) -> Tuple[int, bytes]:
+        """POST one simulate sub-request to a replica, with telemetry.
+
+        With a deadline, the remaining budget is decremented into the
+        forwarded ``X-Deadline-Ms`` (each hop sees only what is left)
+        and the forward timeout is clamped to it — plus a grace second
+        so the replica gets to answer 504 itself with a useful message.
+        """
+        headers = self._forward_headers(ctx)
+        timeout = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ProtocolError(
+                    504, protocol.ERROR_DEADLINE,
+                    "deadline exhausted before the gateway could forward")
+            headers["X-Deadline-Ms"] = format(remaining * 1000.0, ".3f")
+            timeout = min(self.forward_timeout, remaining + 1.0)
         started = time.perf_counter()
         status, _headers, raw = await self._replica_request(
-            replica, "POST", "/v1/simulate", body,
-            self._forward_headers(ctx))
+            replica, "POST", "/v1/simulate", body, headers, timeout=timeout)
         duration = time.perf_counter() - started
         metrics = self.obs.metrics
         metrics.add(f"gateway.forwarded[replica={replica.id}]")
@@ -708,25 +925,50 @@ class ShardGateway:
     async def _forward_group(
         self, replica: Replica, indices: List[int], plan: _RoutePlan,
         ctx: TraceContext, attempts: int,
+        deadline: Optional[float] = None,
     ) -> Dict[int, Dict[str, Any]]:
         """Resolve one owner group, hedging to the rebuilt ring on failure.
 
         Connection-level failures and 503-draining replies evict the
         replica and re-shard the group's points over the surviving
-        ring (they may now split across several owners).  Anything
-        else — including per-point simulation failures — is the
-        replica's answer and passes through.
+        ring (they may now split across several owners).  A 429 shed
+        and a 504 deadline pass through *without* hedging — the
+        replica is healthy, it is the load (or the clock) that is the
+        problem, and piling the same points onto its peers would make
+        both worse.  Anything else — including per-point simulation
+        failures — is the replica's answer and passes through.
         """
         body = plan.sub_body(indices)
         try:
-            status, raw = await self._forward(replica, body, ctx)
+            status, raw = await self._forward(replica, body, ctx, deadline)
         except ReplicaError as exc:
             self._evict(replica, str(exc))
-            return await self._hedge(indices, plan, ctx, attempts, str(exc))
+            return await self._hedge(indices, plan, ctx, attempts, str(exc),
+                                     deadline)
         if status == 503:
             self._evict(replica, "replica is draining (503)")
             return await self._hedge(indices, plan, ctx, attempts,
-                                     f"{replica.id} draining")
+                                     f"{replica.id} draining", deadline)
+        if status == 429:
+            metrics = self.obs.metrics
+            metrics.add("gateway.sheds")
+            metrics.add(f"gateway.sheds[replica={replica.id}]")
+            retry_after: Optional[float] = None
+            try:
+                hint = json.loads(raw.decode("utf-8")).get("retry_after")
+                if isinstance(hint, (int, float)):
+                    retry_after = float(hint)
+            except (UnicodeDecodeError, ValueError):
+                pass
+            raise ProtocolError(
+                429, protocol.ERROR_OVERLOADED,
+                f"replica {replica.id} shed the request (overloaded)",
+                retry_after=retry_after)
+        if status == 504:
+            self.obs.metrics.add("gateway.deadline_exceeded")
+            raise ProtocolError(
+                504, protocol.ERROR_DEADLINE,
+                f"replica {replica.id} gave up: deadline exceeded")
         try:
             payload = json.loads(raw.decode("utf-8"))
             points = payload["points"]
@@ -740,18 +982,20 @@ class ShardGateway:
         return dict(zip(indices, points))
 
     async def _hedge(self, indices: List[int], plan: _RoutePlan,
-                     ctx: TraceContext, attempts: int,
-                     reason: str) -> Dict[int, Dict[str, Any]]:
+                     ctx: TraceContext, attempts: int, reason: str,
+                     deadline: Optional[float] = None,
+                     ) -> Dict[int, Dict[str, Any]]:
         if attempts >= len(self.replicas):
             raise ProtocolError(
                 503, protocol.ERROR_NO_REPLICAS,
                 f"every replica failed this request (last: {reason})")
         self.obs.metrics.add("gateway.hedged_points", len(indices))
-        return await self._shard_and_forward(indices, plan, ctx, attempts + 1)
+        return await self._shard_and_forward(indices, plan, ctx, attempts + 1,
+                                             deadline)
 
     async def _shard_and_forward(
         self, indices: Sequence[int], plan: _RoutePlan, ctx: TraceContext,
-        attempts: int = 0,
+        attempts: int = 0, deadline: Optional[float] = None,
     ) -> Dict[int, Dict[str, Any]]:
         """Group ``indices`` by ring owner and forward the groups."""
         groups: "OrderedDict[str, List[int]]" = OrderedDict()
@@ -760,7 +1004,7 @@ class ShardGateway:
             groups.setdefault(owner.id, []).append(index)
         results = await asyncio.gather(*(
             self._forward_group(self._by_id[owner_id], group, plan, ctx,
-                                attempts)
+                                attempts, deadline)
             for owner_id, group in groups.items()))
         merged: Dict[int, Dict[str, Any]] = {}
         for result in results:
@@ -768,8 +1012,8 @@ class ShardGateway:
         return merged
 
     # -- endpoints --------------------------------------------------------
-    async def _simulate(self, body: bytes,
-                        ctx: TraceContext) -> Tuple[int, Any]:
+    async def _simulate(self, body: bytes, ctx: TraceContext,
+                        deadline: Optional[float] = None) -> Tuple[int, Any]:
         plan = self._plan(body)
         started = time.perf_counter()
         indices = list(range(len(plan.fingerprints)))
@@ -780,10 +1024,12 @@ class ShardGateway:
             # stream): forward and pass the reply through verbatim.
             metrics.add("gateway.route.single")
             replica = self._by_id[next(iter(owners))]
-            result = await self._forward_group(replica, indices, plan, ctx, 0)
+            result = await self._forward_group(replica, indices, plan, ctx,
+                                               0, deadline)
         else:
             metrics.add("gateway.route.split")
-            result = await self._shard_and_forward(indices, plan, ctx)
+            result = await self._shard_and_forward(indices, plan, ctx,
+                                                   deadline=deadline)
         points = [result[index] for index in indices]
         failures = [
             {"workload": point.get("workload"), "design": point.get("design"),
@@ -891,6 +1137,7 @@ class ShardGateway:
             "simulations_run": 0,
             "pool": {"replicas_healthy": healthy,
                      "replicas_total": len(self.replicas)},
+            "supervise": self.supervise,
             "replicas": {replica.id: replica.describe()
                          for replica in self.replicas},
             "ring": {"members": list(self.ring.members),
@@ -952,12 +1199,13 @@ class ShardGateway:
                 method, path, headers, body = request
                 self._busy_requests += 1
                 try:
-                    status, payload, trace_id = await self._route(
+                    status, payload, trace_id, extra = await self._route(
                         method, path, headers, body)
                     keep_alive = (headers.get("connection", "").lower()
                                   != "close")
                     await http11.write_response(
-                        writer, status, payload, keep_alive, trace_id)
+                        writer, status, payload, keep_alive, trace_id,
+                        extra_headers=extra)
                 finally:
                     self._busy_requests -= 1
                 if not keep_alive:
@@ -973,16 +1221,17 @@ class ShardGateway:
                 pass
 
     async def _route(self, method: str, path: str, headers: Dict[str, str],
-                     body: bytes) -> Tuple[int, Any, str]:
+                     body: bytes) -> Tuple[int, Any, str, Dict[str, str]]:
         ctx = TraceContext.from_headers(headers)
         metrics = self.obs.metrics
         metrics.add("gateway.requests")
         started = time.perf_counter()
+        extra: Dict[str, str] = {}
         try:
             status, payload = await self._dispatch(
                 method, path, headers, body, ctx)
         except ProtocolError as exc:
-            status, payload = exc.status, exc.body()
+            status, payload, extra = exc.status, exc.body(), exc.headers()
         except (KeyboardInterrupt, SystemExit):
             raise
         except BaseException as exc:
@@ -1001,7 +1250,7 @@ class ShardGateway:
                 "span", time.time(), name="gateway.request", dur=duration,
                 method=method, path=path, status=status,
                 **ctx.span_fields())
-        return status, payload, ctx.trace_id
+        return status, payload, ctx.trace_id, extra
 
     async def _dispatch(self, method: str, path: str,
                         headers: Dict[str, str], body: bytes,
@@ -1015,7 +1264,8 @@ class ShardGateway:
         if path == "/v1/simulate":
             self._require(method, "POST")
             self._reject_if_draining()
-            return await self._simulate(body, ctx)
+            return await self._simulate(
+                body, ctx, deadline=protocol.parse_deadline_header(headers))
         if path == "/v1/jobs":
             self._require(method, "POST")
             self._reject_if_draining()
@@ -1059,6 +1309,9 @@ def launch_local_gateway(
     check_invariants: bool = False,
     vnodes: int = DEFAULT_VNODES,
     obs: Optional[Observability] = None,
+    max_inflight: Optional[int] = None,
+    supervise: bool = False,
+    **gateway_kwargs: Any,
 ) -> ShardGateway:
     """Spawn ``replica_count`` local replicas and a running gateway.
 
@@ -1066,24 +1319,27 @@ def launch_local_gateway(
     or ``"subprocess"`` (``repro-experiment serve`` children — real
     isolation).  The returned gateway is already serving on its own
     thread; :meth:`ShardGateway.shutdown` drains the whole tree.
+    Extra keyword arguments (``flap_window``, ``respawn_backoff_base``,
+    …) pass straight to :class:`ShardGateway`.
     """
     if mode == "thread":
         replicas = spawn_thread_replicas(
             replica_count, cache_dir, scale=scale, jobs=jobs,
             batch_window=batch_window, max_batch=max_batch,
-            check_invariants=check_invariants)
+            check_invariants=check_invariants, max_inflight=max_inflight)
     elif mode == "subprocess":
         replicas = spawn_subprocess_replicas(
             replica_count, cache_dir, scale=scale, jobs=jobs,
             batch_window=batch_window, max_batch=max_batch,
-            check_invariants=check_invariants)
+            check_invariants=check_invariants, max_inflight=max_inflight)
     else:
         raise ValueError(f"unknown replica mode {mode!r} "
                          f"(use 'thread' or 'subprocess')")
     gateway = ShardGateway(
         replicas, host=host, port=port, scale=scale,
         check_invariants=check_invariants, vnodes=vnodes,
-        health_interval=health_interval, obs=obs)
+        health_interval=health_interval, obs=obs, supervise=supervise,
+        **gateway_kwargs)
     try:
         gateway.start_in_thread()
     except BaseException:
@@ -1104,6 +1360,8 @@ def run_gateway(
     batch_window: float = 0.01,
     max_batch: int = 64,
     health_interval: float = 0.5,
+    max_inflight: Optional[int] = None,
+    supervise: bool = True,
     trace_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
 ) -> int:
@@ -1112,7 +1370,10 @@ def run_gateway(
     With ``replica_urls`` the gateway fronts externally managed
     services; otherwise it spawns ``replicas`` ``repro-experiment
     serve`` subprocesses sharing ``cache_dir`` (a throwaway temporary
-    directory when unset) and SIGTERM-drains them on exit.
+    directory when unset) and SIGTERM-drains them on exit.  Managed
+    replicas are supervised by default: a dead child is respawned with
+    capped exponential backoff, and a flapping one trips the give-up
+    alarm (``--no-supervise`` turns this off).
     """
     obs = None
     if trace_out or metrics_out:
@@ -1134,11 +1395,11 @@ def run_gateway(
         replica_list = spawn_subprocess_replicas(
             replicas, cache_dir, scale=scale, jobs=jobs,
             batch_window=batch_window, max_batch=max_batch,
-            check_invariants=check_invariants)
+            check_invariants=check_invariants, max_inflight=max_inflight)
     gateway = ShardGateway(
         replica_list, host=host, port=port, scale=scale,
         check_invariants=check_invariants, health_interval=health_interval,
-        obs=obs)
+        obs=obs, supervise=supervise)
     try:
         return gateway.serve_forever()
     finally:

@@ -26,17 +26,21 @@ lines; anything outside the subset reads as a malformed message
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 from typing import Any, Dict, Optional, Tuple
 
 __all__ = [
+    "DIGEST_HEADER",
     "MAX_BODY_BYTES",
     "MAX_HEADER_LINES",
     "REASONS",
     "Raw",
+    "body_digest",
     "format_request",
     "read_request",
     "read_response",
+    "verify_body_digest",
     "write_response",
 ]
 
@@ -48,9 +52,31 @@ MAX_HEADER_LINES = 100
 REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error", 502: "Bad Gateway",
     503: "Service Unavailable", 504: "Gateway Timeout",
 }
+
+#: Response header carrying a SHA-256 digest of the body so receivers
+#: can distinguish a corrupted-in-transit body from a genuine reply.
+DIGEST_HEADER = "x-content-digest"
+
+
+def body_digest(body: bytes) -> str:
+    """``sha256=<hex>`` digest value for a response body."""
+    return "sha256=" + hashlib.sha256(body).hexdigest()
+
+
+def verify_body_digest(headers: Dict[str, str], body: bytes) -> bool:
+    """True unless ``headers`` carries a digest that does not match ``body``.
+
+    Responses without the header verify trivially (the peer predates the
+    digest or is not ours); a present-but-wrong digest is the signature
+    of in-transit corruption and must be treated as a transport error,
+    never surfaced as data.
+    """
+    claimed = headers.get(DIGEST_HEADER)
+    return claimed is None or claimed == body_digest(body)
 
 
 class Raw:
@@ -109,19 +135,31 @@ async def _read_headers(
 
 async def write_response(writer: asyncio.StreamWriter, status: int,
                          payload: Any, keep_alive: bool,
-                         trace_id: str = "-") -> None:
-    """Serialize ``payload`` (JSON unless :class:`Raw`) and write it."""
+                         trace_id: str = "-",
+                         extra_headers: Optional[Dict[str, str]] = None,
+                         ) -> None:
+    """Serialize ``payload`` (JSON unless :class:`Raw`) and write it.
+
+    Every response carries an ``X-Content-Digest`` of its body so the
+    client and gateway can reject bodies corrupted in transit.
+    ``extra_headers`` (e.g. ``Retry-After`` on a 429) are emitted
+    verbatim after the standard block.
+    """
     if isinstance(payload, Raw):
         body, content_type = payload.body, payload.content_type
     else:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         content_type = "application/json"
+    extra = "".join(f"{name}: {value}\r\n"
+                    for name, value in (extra_headers or {}).items())
     head = (
         f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         f"X-Trace-Id: {trace_id}\r\n"
+        f"X-Content-Digest: {body_digest(body)}\r\n"
+        f"{extra}"
         f"\r\n"
     ).encode("ascii")
     writer.write(head + body)

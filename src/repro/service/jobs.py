@@ -1,0 +1,126 @@
+"""Durable job journal for the service's ``/v1/jobs`` API.
+
+Without a journal, jobs die with the process: a sweep submitted as a
+job and killed mid-run is simply gone, and its finished results vanish
+too.  :class:`JobJournal` persists the job lifecycle as an append-only
+log of digest-verified RPCK records (the exact framing
+:mod:`repro.robustness.checkpoint` uses for sweep checkpoints,
+including fsync-per-append and torn-tail repair):
+
+* ``("submitted", job_id, body_bytes, trace_id, submitted_at)`` — the
+  raw request body, appended *before* the submit is acknowledged, so an
+  acknowledged job is on disk by definition.
+* ``("finished", job_id, status, payload, completed_at)`` — the final
+  job payload (``done`` or ``failed``), appended when the job settles.
+
+On restart the server replays the journal: finished jobs are served
+from their recorded payloads, and submitted-but-unfinished jobs are
+re-validated and re-run (their points are fingerprint-keyed, so any
+work that reached the disk cache before the crash is not recomputed).
+A journal whose tail was torn by the crash repairs itself on load.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.robustness.checkpoint import append_record, load_records
+
+__all__ = ["JobJournal", "ReplayedJob"]
+
+
+class ReplayedJob:
+    """One job reconstructed from the journal on restart."""
+
+    __slots__ = ("job_id", "body", "trace_id", "submitted_at",
+                 "status", "payload", "completed_at")
+
+    def __init__(self, job_id: str, body: bytes, trace_id: str,
+                 submitted_at: float) -> None:
+        self.job_id = job_id
+        self.body = body
+        self.trace_id = trace_id
+        self.submitted_at = submitted_at
+        self.status: Optional[str] = None
+        self.payload: Optional[Dict[str, Any]] = None
+        self.completed_at: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status is not None
+
+
+class JobJournal:
+    """Append-only, crash-safe record of every job the server accepted."""
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self.appended = 0
+        self.replayed = 0
+        self.repaired_bytes = 0
+
+    def record_submitted(self, job_id: str, body: bytes,
+                         trace_id: str, submitted_at: float) -> None:
+        """Durably log a submit before it is acknowledged to the client."""
+        append_record(self.path,
+                      ("submitted", job_id, body, trace_id, submitted_at))
+        self.appended += 1
+
+    def record_finished(self, job_id: str, status: str,
+                        payload: Dict[str, Any],
+                        completed_at: float) -> None:
+        """Durably log a job's terminal payload (``done`` or ``failed``)."""
+        append_record(self.path,
+                      ("finished", job_id, status, payload, completed_at))
+        self.appended += 1
+
+    def replay(self) -> List[ReplayedJob]:
+        """Reconstruct the job table from the journal, in submit order.
+
+        Records that fail digest verification (or a torn tail) end the
+        scan and the file is truncated back to the last good boundary;
+        malformed-but-intact records are skipped.  A ``finished`` record
+        without its ``submitted`` record is dropped — it cannot be
+        served without the identity the submit carried.
+        """
+        records, self.repaired_bytes = load_records(self.path)
+        jobs: Dict[str, ReplayedJob] = {}
+        order: List[str] = []
+        for record in records:
+            kind, fields = _parse(record)
+            if kind == "submitted":
+                job_id, body, trace_id, submitted_at = fields
+                if job_id not in jobs:
+                    jobs[job_id] = ReplayedJob(
+                        job_id, body, trace_id, submitted_at)
+                    order.append(job_id)
+            elif kind == "finished":
+                job_id, status, payload, completed_at = fields
+                job = jobs.get(job_id)
+                if job is not None:
+                    job.status = status
+                    job.payload = payload
+                    job.completed_at = completed_at
+        self.replayed = len(order)
+        return [jobs[job_id] for job_id in order]
+
+
+def _parse(record: Any) -> Tuple[Optional[str], Tuple]:
+    """Classify one replayed record; ``(None, ())`` for malformed shapes."""
+    if not isinstance(record, tuple) or len(record) != 5:
+        return None, ()
+    kind = record[0]
+    if kind == "submitted":
+        _, job_id, body, trace_id, submitted_at = record
+        if isinstance(job_id, str) and isinstance(body, bytes) \
+                and isinstance(trace_id, str) \
+                and isinstance(submitted_at, (int, float)):
+            return "submitted", (job_id, body, trace_id, float(submitted_at))
+    elif kind == "finished":
+        _, job_id, status, payload, completed_at = record
+        if isinstance(job_id, str) and isinstance(status, str) \
+                and isinstance(payload, dict) \
+                and isinstance(completed_at, (int, float)):
+            return "finished", (job_id, status, payload, float(completed_at))
+    return None, ()

@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import dataclasses
 import re
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.experiments.disk_cache import point_fingerprint
 from repro.system import designs as _designs
@@ -41,14 +42,17 @@ from repro.workloads import registry
 __all__ = [
     "DESIGNS_BY_NAME",
     "ERROR_BAD_REQUEST",
+    "ERROR_DEADLINE",
     "ERROR_DRAINING",
     "ERROR_INTERNAL",
     "ERROR_NOT_FOUND",
     "ERROR_NO_REPLICAS",
+    "ERROR_OVERLOADED",
     "ERROR_SWEEP_FAILED",
     "PointSpec",
     "ProtocolError",
     "design_slug",
+    "parse_deadline_header",
     "parse_simulate_request",
     "resolve_design",
     "resolve_workload",
@@ -63,6 +67,13 @@ ERROR_SWEEP_FAILED = "sweep_failed"
 ERROR_INTERNAL = "internal_error"
 #: The sharding gateway ran out of healthy replicas for a request.
 ERROR_NO_REPLICAS = "no_replicas"
+#: Admission control shed the request: accepting it would push the
+#: server past its ``max_inflight`` point budget.  Answered with 429
+#: and a ``Retry-After`` hint.
+ERROR_OVERLOADED = "overloaded"
+#: The caller's ``X-Deadline-Ms`` budget ran out before (or while)
+#: computing the request; answered with 504 instead of dead work.
+ERROR_DEADLINE = "deadline_exceeded"
 
 #: Hard cap on points per request: a service request is an experiment
 #: wave, not an unbounded sweep (run those through the CLI).
@@ -70,16 +81,59 @@ MAX_POINTS_PER_REQUEST = 256
 
 
 class ProtocolError(ValueError):
-    """A request the service must reject, with the HTTP status to use."""
+    """A request the service must reject, with the HTTP status to use.
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    ``retry_after`` (seconds, optional) is surfaced as a ``Retry-After``
+    header so shed requests (429) carry a concrete back-off hint.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: "float | None" = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.retry_after = retry_after
 
     def body(self) -> Dict[str, Any]:
-        return {"error": self.code, "message": self.message}
+        body: Dict[str, Any] = {"error": self.code, "message": self.message}
+        if self.retry_after is not None:
+            body["retry_after"] = self.retry_after
+        return body
+
+    def headers(self) -> Dict[str, str]:
+        """Extra response headers this error carries (may be empty)."""
+        if self.retry_after is None:
+            return {}
+        return {"Retry-After": format(max(0.0, self.retry_after), ".3f")}
+
+
+def parse_deadline_header(headers: Mapping[str, str]) -> Optional[float]:
+    """Parse ``X-Deadline-Ms`` into an absolute ``time.monotonic`` instant.
+
+    Returns ``None`` when the header is absent.  A non-numeric value is
+    a 400; a budget that is already spent (``<= 0``) is answered 504
+    up front — accepting it would only produce dead work.
+    """
+    value = headers.get("x-deadline-ms")
+    if value is None:
+        return None
+    try:
+        ms = float(value)
+    except (TypeError, ValueError):
+        raise ProtocolError(
+            400, ERROR_BAD_REQUEST,
+            f"X-Deadline-Ms must be a number of milliseconds, got {value!r}")
+    if ms <= 0:
+        raise ProtocolError(
+            504, ERROR_DEADLINE,
+            "deadline already exhausted on arrival (X-Deadline-Ms <= 0)")
+    return time.monotonic() + ms / 1000.0
 
 
 def design_slug(name: str) -> str:

@@ -65,6 +65,7 @@ from repro.obs.promexp import render_prometheus
 from repro.obs.trace_context import TraceContext
 from repro.service import http11, protocol
 from repro.service.http11 import Raw as _Raw
+from repro.service.jobs import JobJournal
 from repro.service.protocol import PointSpec, ProtocolError
 from repro.workloads import registry
 
@@ -85,16 +86,25 @@ _MAX_JOBS = 1024
 
 
 class _InflightPoint:
-    """One unique point travelling from the queue through a wave."""
+    """One unique point travelling from the queue through a wave.
 
-    __slots__ = ("spec", "future", "enqueued_at", "ctx")
+    ``deadline`` is an absolute :func:`time.monotonic` instant after
+    which nobody is waiting for this point any more (``None`` = someone
+    will wait forever).  Coalescing keeps the *most patient* joiner's
+    deadline, so an impatient duplicate can never cancel work another
+    client still wants.
+    """
+
+    __slots__ = ("spec", "future", "enqueued_at", "ctx", "deadline")
 
     def __init__(self, spec: PointSpec, future: "asyncio.Future",
-                 ctx: Optional[TraceContext] = None) -> None:
+                 ctx: Optional[TraceContext] = None,
+                 deadline: Optional[float] = None) -> None:
         self.spec = spec
         self.future = future
         self.enqueued_at = time.perf_counter()
         self.ctx = ctx
+        self.deadline = deadline
 
 
 class _PointFailed(RuntimeError):
@@ -104,6 +114,10 @@ class _PointFailed(RuntimeError):
         super().__init__(reason)
         self.spec = spec
         self.reason = reason
+
+
+class _PointDeadline(_PointFailed):
+    """A point abandoned because its caller's deadline budget ran out."""
 
 
 class ExperimentService:
@@ -134,6 +148,8 @@ class ExperimentService:
         point_retries: int = 2,
         batch_window: float = 0.01,
         max_batch: int = 64,
+        max_inflight: Optional[int] = None,
+        jobs_journal: Optional[str] = None,
         cache: Optional[ResultCache] = None,
         obs: Optional[Observability] = None,
     ) -> None:
@@ -143,10 +159,13 @@ class ExperimentService:
             raise ValueError("batch_window must be >= 0")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 (or None)")
         self.host = host
         self.port = port
         self.batch_window = batch_window
         self.max_batch = max_batch
+        self.max_inflight = max_inflight
         self.obs = obs if obs is not None else Observability()
         if cache is None:
             cache = ResultCache(
@@ -174,6 +193,8 @@ class ExperimentService:
         self._drained_event: Optional[asyncio.Event] = None
         self._inflight: Dict[str, _InflightPoint] = {}
         self._jobs: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._journal = JobJournal(jobs_journal) if jobs_journal else None
+        self._shed_total = 0
         self._writers: set = set()
         self._active_points = 0
         self._busy_requests = 0
@@ -195,7 +216,58 @@ class ExperimentService:
         self.port = self._server.sockets[0].getsockname()[1]
         self._batcher_task = self._loop.create_task(self._batch_loop())
         self._started_at = time.time()
+        if self._journal is not None:
+            self._replay_journal()
         return self.host, self.port
+
+    def _replay_journal(self) -> None:
+        """Rebuild the job table from the journal on restart.
+
+        Finished jobs are served straight from their recorded payloads;
+        submitted-but-unfinished jobs (the server died mid-run) are
+        re-validated and re-run under their original job IDs and trace
+        IDs.  Their points are fingerprint-keyed, so anything that
+        reached the disk cache before the crash costs nothing to
+        "recompute".
+        """
+        metrics = self.obs.metrics
+        for job in self._journal.replay():
+            record: Dict[str, Any] = {
+                "job_id": job.job_id,
+                "status": "running",
+                "trace_id": job.trace_id,
+                "submitted_unix": job.submitted_at,
+                "n_points": None,
+                "result": None,
+            }
+            if job.finished:
+                record["status"] = job.status
+                record["result"] = job.payload
+                record["completed_unix"] = job.completed_at
+                if isinstance(job.payload, dict):
+                    record["n_points"] = len(job.payload.get("points") or [])
+                metrics.add("service.jobs.recovered")
+                self._jobs[job.job_id] = record
+                continue
+            ctx = TraceContext.from_headers({"x-trace-id": job.trace_id})
+            try:
+                body = json.loads(job.body.decode("utf-8"))
+                specs = self._parse_points(body)
+            except (UnicodeDecodeError, json.JSONDecodeError,
+                    ProtocolError) as exc:
+                record["status"] = "failed"
+                record["result"] = {"error": protocol.ERROR_BAD_REQUEST,
+                                    "message": f"journal replay: {exc}"}
+                record["completed_unix"] = time.time()
+                self._jobs[job.job_id] = record
+                continue
+            record["n_points"] = len(specs)
+            self._jobs[job.job_id] = record
+            self._loop.create_task(self._run_job(record, body, ctx))
+            metrics.add("service.jobs.resumed")
+        if self._journal.repaired_bytes:
+            metrics.add("service.journal.repaired_bytes",
+                        self._journal.repaired_bytes)
 
     def request_drain(self) -> None:
         """Begin graceful shutdown (idempotent; safe from a signal handler).
@@ -293,9 +365,38 @@ class ExperimentService:
         asyncio.run(self._amain())
         return 0
 
-    # -- single-flight + batching -----------------------------------------
+    # -- admission + single-flight + batching -----------------------------
+    def _admit(self, specs: List[PointSpec]) -> None:
+        """Shed the request with 429 if its new points exceed the budget.
+
+        Only *new* points count: duplicates of in-flight points coalesce
+        for free and are never shed, and duplicate fingerprints within
+        one request are one point.  The ``Retry-After`` hint is how long
+        the wave pipeline needs to drain back under the budget at its
+        steady-state rate of ``max_batch`` points per ``batch_window``.
+        """
+        if self.max_inflight is None:
+            return
+        fresh = {spec.fingerprint for spec in specs
+                 if spec.fingerprint not in self._inflight}
+        if self._active_points + len(fresh) <= self.max_inflight:
+            return
+        excess = self._active_points + len(fresh) - self.max_inflight
+        window = max(self.batch_window, 0.01)
+        waves_needed = (excess + self.max_batch - 1) // self.max_batch
+        retry_after = max(0.05, waves_needed * window)
+        self._shed_total += 1
+        self.obs.metrics.add("service.requests.shed")
+        self.obs.metrics.add("service.points.shed", len(fresh))
+        raise ProtocolError(
+            429, protocol.ERROR_OVERLOADED,
+            f"overloaded: {self._active_points} point(s) in flight "
+            f"+ {len(fresh)} new > max_inflight={self.max_inflight}",
+            retry_after=retry_after)
+
     def _enqueue(self, spec: PointSpec,
-                 ctx: Optional[TraceContext] = None
+                 ctx: Optional[TraceContext] = None,
+                 deadline: Optional[float] = None,
                  ) -> Tuple[_InflightPoint, bool]:
         """Get the in-flight entry for a point, creating one if needed.
 
@@ -304,11 +405,18 @@ class ExperimentService:
         """
         entry = self._inflight.get(spec.fingerprint)
         if entry is not None:
+            # Keep the most patient deadline: a short-deadline duplicate
+            # must not shorten the budget of whoever got here first.
+            if deadline is None:
+                entry.deadline = None
+            elif entry.deadline is not None:
+                entry.deadline = max(entry.deadline, deadline)
             self.obs.metrics.add("service.points.coalesced")
             return entry, True
         point_ctx = (ctx.child()
                      if ctx is not None and self.obs.tracing else None)
-        entry = _InflightPoint(spec, self._loop.create_future(), point_ctx)
+        entry = _InflightPoint(spec, self._loop.create_future(), point_ctx,
+                               deadline)
         self._inflight[spec.fingerprint] = entry
         self._active_points += 1
         self._queue.put_nowait(entry)
@@ -324,6 +432,10 @@ class ExperimentService:
             wave_started = loop.time()
             batch = [entry]
             deadline = wave_started + self.batch_window
+            # Fire the wave before the earliest caller deadline in the
+            # batch: batching latency comes out of their budget too.
+            if entry.deadline is not None:
+                deadline = min(deadline, entry.deadline)
             while len(batch) < self.max_batch:
                 remaining = deadline - loop.time()
                 if remaining <= 0:
@@ -336,6 +448,8 @@ class ExperimentService:
                     self._queue.put_nowait(None)  # re-arm the stop sentinel
                     break
                 batch.append(nxt)
+                if nxt.deadline is not None:
+                    deadline = min(deadline, nxt.deadline)
             self._wave_active = True
             try:
                 await loop.run_in_executor(None, self._execute_wave, batch)
@@ -374,9 +488,31 @@ class ExperimentService:
     def _run_group(self, scale: float, entries: List[_InflightPoint]) -> None:
         cache = self.cache
         saved_scale, saved_config = cache.scale, cache.config
+        saved_timeout = cache.point_timeout
+        now = time.monotonic()
+        expired = [e for e in entries
+                   if e.deadline is not None and e.deadline <= now]
+        entries = [e for e in entries
+                   if e.deadline is None or e.deadline > now]
+        for entry in expired:
+            # Nobody is waiting any more: answer 504 without paying for
+            # even a cache probe.
+            self._resolve(entry, None, None, _PointDeadline(
+                entry.spec, "deadline exceeded before the wave ran"))
+        if not entries:
+            return
         try:
             cache.scale = scale
             cache.config = entries[0].spec.config
+            # Never compute longer than the most patient caller in this
+            # group will wait: clamp the per-point timeout to the widest
+            # remaining deadline budget.
+            budgets = [e.deadline - now for e in entries
+                       if e.deadline is not None]
+            if len(budgets) == len(entries):
+                clamp = max(budgets)
+                cache.point_timeout = (clamp if saved_timeout is None
+                                       else min(saved_timeout, clamp))
             tiers: Dict[str, str] = {}
             to_compute: List[_InflightPoint] = []
             disk = cache._disk_cache()
@@ -428,10 +564,16 @@ class ExperimentService:
                 reason = (sweep_failures.get((spec.workload, spec.design.name))
                           or wave_error
                           or "point did not complete")
-                self._resolve(entry, None, None,
-                              _PointFailed(spec, reason))
+                if entry.deadline is not None \
+                        and time.monotonic() >= entry.deadline:
+                    self._resolve(entry, None, None, _PointDeadline(
+                        spec, f"deadline exceeded during compute: {reason}"))
+                else:
+                    self._resolve(entry, None, None,
+                                  _PointFailed(spec, reason))
         finally:
             cache.scale, cache.config = saved_scale, saved_config
+            cache.point_timeout = saved_timeout
 
     def _resolve(self, entry: _InflightPoint, tier: Optional[str],
                  result, exc: Optional[BaseException] = None) -> None:
@@ -474,7 +616,7 @@ class ExperimentService:
                 method, path, headers, body = request
                 self._busy_requests += 1
                 try:
-                    status, payload, trace_id = await self._route(
+                    status, payload, trace_id, extra = await self._route(
                         method, path, headers, body)
                     # Established connections stay alive through a drain
                     # (so clients see a clean 503, not a reset); _drain()
@@ -482,7 +624,8 @@ class ExperimentService:
                     keep_alive = (headers.get("connection", "").lower()
                                   != "close")
                     await self._write_response(
-                        writer, status, payload, keep_alive, trace_id)
+                        writer, status, payload, keep_alive, trace_id,
+                        extra_headers=extra)
                 finally:
                     self._busy_requests -= 1
                 if not keep_alive:
@@ -503,23 +646,27 @@ class ExperimentService:
     @staticmethod
     async def _write_response(writer: asyncio.StreamWriter, status: int,
                               payload: Any, keep_alive: bool,
-                              trace_id: str = "-") -> None:
+                              trace_id: str = "-",
+                              extra_headers: Optional[Dict[str, str]] = None,
+                              ) -> None:
         await http11.write_response(writer, status, payload, keep_alive,
-                                    trace_id)
+                                    trace_id, extra_headers=extra_headers)
 
     async def _route(self, method: str, path: str, headers: Dict[str, str],
-                     body: bytes) -> Tuple[int, Any, str]:
+                     body: bytes) -> Tuple[int, Any, str, Dict[str, str]]:
         # Adopt the caller's trace context (X-Trace-Id/X-Parent-Span)
         # when present; otherwise this request starts a fresh trace.
         ctx = TraceContext.from_headers(headers)
         metrics = self.obs.metrics
         metrics.add("service.requests")
         started = time.perf_counter()
+        extra: Dict[str, str] = {}
         try:
             status, payload = await self._dispatch(
                 method, path, headers, body, ctx)
         except ProtocolError as exc:
             status, payload = exc.status, exc.body()
+            extra = exc.headers()
         except (KeyboardInterrupt, SystemExit):
             raise
         except BaseException as exc:
@@ -538,7 +685,7 @@ class ExperimentService:
                 "span", time.time(), name="service.request", dur=dur,
                 method=method, path=path, status=status,
                 **ctx.span_fields())
-        return status, payload, ctx.trace_id
+        return status, payload, ctx.trace_id, extra
 
     async def _dispatch(self, method: str, path: str,
                         headers: Dict[str, str], body: bytes,
@@ -556,11 +703,12 @@ class ExperimentService:
         if path == "/v1/simulate":
             self._require(method, "POST")
             self._reject_if_draining()
-            return await self._simulate(self._decode(body), ctx)
+            return await self._simulate(self._decode(body), ctx,
+                                        deadline=self._parse_deadline(headers))
         if path == "/v1/jobs":
             self._require(method, "POST")
             self._reject_if_draining()
-            return self._submit_job(self._decode(body), ctx)
+            return self._submit_job(self._decode(body), ctx, body)
         if path.startswith("/v1/jobs/"):
             self._require(method, "GET")
             return self._job_status(path[len("/v1/jobs/"):])
@@ -594,32 +742,45 @@ class ExperimentService:
                 400, protocol.ERROR_BAD_REQUEST,
                 f"request body is not valid JSON: {exc}")
 
+    @staticmethod
+    def _parse_deadline(headers: Dict[str, str]) -> Optional[float]:
+        """``X-Deadline-Ms`` (remaining budget) → absolute monotonic instant."""
+        return protocol.parse_deadline_header(headers)
+
     # -- endpoints --------------------------------------------------------
     def _parse_points(self, body: Any) -> List[PointSpec]:
         return protocol.parse_simulate_request(
             body, self._base_scale, self._base_config,
             check_invariants=self.cache.check_invariants)
 
-    async def _simulate(self, body: Any,
-                        ctx: TraceContext) -> Tuple[int, Dict[str, Any]]:
+    async def _simulate(self, body: Any, ctx: TraceContext,
+                        deadline: Optional[float] = None,
+                        enforce_admission: bool = True,
+                        ) -> Tuple[int, Dict[str, Any]]:
         specs = self._parse_points(body)
+        if enforce_admission:
+            self._admit(specs)
         include_counters = bool(isinstance(body, dict)
                                 and body.get("include_counters"))
         started = time.perf_counter()
-        entries = [self._enqueue(spec, ctx) for spec in specs]
+        entries = [self._enqueue(spec, ctx, deadline) for spec in specs]
         outcomes = await asyncio.gather(
             *(entry.future for entry, _ in entries), return_exceptions=True)
         points: List[Dict[str, Any]] = []
         failures: List[Dict[str, Any]] = []
+        all_deadline = True
         for spec, (entry, coalesced), outcome in zip(
                 specs, entries, outcomes):
             if isinstance(outcome, BaseException):
                 reason = getattr(outcome, "reason", None) or str(outcome)
+                is_deadline = isinstance(outcome, _PointDeadline)
+                all_deadline = all_deadline and is_deadline
                 failures.append({
                     "workload": spec.workload,
                     "design": spec.design.name,
                     "fingerprint": spec.fingerprint,
                     "reason": reason,
+                    "deadline_exceeded": is_deadline,
                 })
                 points.append({
                     "workload": spec.workload,
@@ -639,6 +800,16 @@ class ExperimentService:
             "simulations_run_total": self.cache.simulations_run,
         }
         if failures:
+            if all_deadline:
+                # Every failure was the caller's budget running out: the
+                # honest answer is 504, not a sweep failure.
+                self.obs.metrics.add("service.requests.deadline")
+                payload["error"] = protocol.ERROR_DEADLINE
+                payload["message"] = (
+                    f"{len(failures)} of {len(specs)} point(s) exceeded "
+                    f"the request deadline")
+                payload["failures"] = failures
+                return 504, payload
             payload["error"] = protocol.ERROR_SWEEP_FAILED
             payload["message"] = (
                 f"{len(failures)} of {len(specs)} point(s) failed")
@@ -646,15 +817,22 @@ class ExperimentService:
             return 500, payload
         return 200, payload
 
-    def _submit_job(self, body: Any,
-                    ctx: TraceContext) -> Tuple[int, Dict[str, Any]]:
+    def _submit_job(self, body: Any, ctx: TraceContext,
+                    raw_body: bytes = b"") -> Tuple[int, Dict[str, Any]]:
         specs = self._parse_points(body)  # validate before accepting
+        self._admit(specs)  # shed at the door, never after journaling
         job_id = uuid.uuid4().hex
+        submitted = time.time()
+        if self._journal is not None:
+            # Journal before acknowledging: an accepted job is on disk
+            # by definition, so a crash after the 202 cannot lose it.
+            self._journal.record_submitted(
+                job_id, raw_body, ctx.trace_id, submitted)
         record: Dict[str, Any] = {
             "job_id": job_id,
             "status": "running",
             "trace_id": ctx.trace_id,
-            "submitted_unix": time.time(),
+            "submitted_unix": submitted,
             "n_points": len(specs),
             "result": None,
         }
@@ -675,10 +853,27 @@ class ExperimentService:
 
     async def _run_job(self, record: Dict[str, Any], body: Any,
                        ctx: TraceContext) -> None:
-        status, payload = await self._simulate(body, ctx)
+        try:
+            # Admission was decided when the job was accepted (and
+            # journaled); an accepted job always runs, even if interactive
+            # load has since filled the inflight budget.
+            status, payload = await self._simulate(
+                body, ctx, enforce_admission=False)
+        except ProtocolError as exc:
+            status, payload = exc.status, exc.body()
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            status = 500
+            payload = {"error": protocol.ERROR_INTERNAL,
+                       "message": f"{type(exc).__name__}: {exc}"}
         record["result"] = payload
         record["status"] = "done" if status == 200 else "failed"
         record["completed_unix"] = time.time()
+        if self._journal is not None:
+            self._journal.record_finished(
+                record["job_id"], record["status"], payload,
+                record["completed_unix"])
 
     def _job_status(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
         record = self._jobs.get(job_id)
@@ -699,9 +894,13 @@ class ExperimentService:
             "uptime_seconds": time.time() - self._started_at,
             "queue_depth": self._queue.qsize(),
             "inflight_points": self._active_points,
+            "max_inflight": self.max_inflight,
+            "shed_total": self._shed_total,
             "busy_requests": self._busy_requests,
             "jobs_running": sum(1 for r in self._jobs.values()
                                 if r["status"] == "running"),
+            "jobs_journal": (self._journal.path
+                             if self._journal is not None else None),
             "pool": {
                 "jobs": cache.jobs,
                 "wave_active": self._wave_active,
@@ -721,6 +920,7 @@ class ExperimentService:
         metrics = self.obs.metrics
         metrics.set_gauge("service.queue_depth", self._queue.qsize())
         metrics.set_gauge("service.inflight_points", self._active_points)
+        metrics.set_gauge("service.shed_total", self._shed_total)
         metrics.set_gauge("service.simulations_run",
                           self.cache.simulations_run)
         metrics.set_gauge("service.waves_run", self._waves_run)
@@ -741,11 +941,15 @@ def run_server(
     point_retries: int = 2,
     batch_window: float = 0.01,
     max_batch: int = 64,
+    max_inflight: Optional[int] = None,
+    jobs_journal: Optional[str] = None,
     trace_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
 ) -> int:
     """Build and run a service until SIGTERM/SIGINT drains it (CLI path).
 
+    ``max_inflight`` bounds admitted points (shed with 429 beyond it);
+    ``jobs_journal`` persists ``/v1/jobs`` across restarts.
     ``trace_out`` streams every request/point/worker span to a
     JSON-lines file (view with ``repro-experiment trace show``);
     ``metrics_out`` writes the final metrics snapshot on drain.
@@ -760,7 +964,8 @@ def run_server(
         host=host, port=port, jobs=jobs, scale=scale, cache_dir=cache_dir,
         checkpoint=checkpoint, check_invariants=check_invariants,
         point_timeout=point_timeout, point_retries=point_retries,
-        batch_window=batch_window, max_batch=max_batch, obs=obs)
+        batch_window=batch_window, max_batch=max_batch,
+        max_inflight=max_inflight, jobs_journal=jobs_journal, obs=obs)
     try:
         return service.serve_forever()
     finally:

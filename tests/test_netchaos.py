@@ -1,0 +1,95 @@
+"""Network-chaos suite: fault plan determinism and per-fault resilience."""
+
+import json
+
+import pytest
+
+from repro.experiments import netchaos
+from repro.service.chaosnet import NET_KINDS, ChaosProxy, NetFaultPlan
+
+TWO_POINTS = (("bfs", "baseline-512"), ("bfs", "ideal-mmu"))
+
+
+# -- plan and parsing unit tests ------------------------------------------
+
+def test_fault_plan_is_deterministic():
+    rates = {"reset": 0.3, "latency": 0.2}
+    one = [NetFaultPlan(rates, seed=7).fault_for(i) for i in range(64)]
+    two = [NetFaultPlan(rates, seed=7).fault_for(i) for i in range(64)]
+    assert one == two
+    assert any(kind == "reset" for kind in one)
+    assert any(kind is None for kind in one)
+    # A different seed draws a different sequence.
+    other = [NetFaultPlan(rates, seed=8).fault_for(i) for i in range(64)]
+    assert one != other
+
+
+def test_fault_plan_validates_rates():
+    with pytest.raises(ValueError):
+        NetFaultPlan({"warp": 0.1})
+    with pytest.raises(ValueError):
+        NetFaultPlan({"reset": 1.5})
+    with pytest.raises(ValueError):
+        NetFaultPlan({"reset": -0.1})
+    with pytest.raises(ValueError):
+        NetFaultPlan({"reset": 0.6, "latency": 0.6})
+
+
+def test_parse_net_rates():
+    assert netchaos.parse_net_rates("reset=0.2,corrupt=0.1") == {
+        "reset": 0.2, "corrupt": 0.1}
+    with pytest.raises(ValueError):
+        netchaos.parse_net_rates("warp=0.2")
+    with pytest.raises(ValueError):
+        netchaos.parse_net_rates("reset=lots")
+    with pytest.raises(ValueError):
+        netchaos.parse_net_rates("")
+
+
+def test_chaos_proxy_counts_faults():
+    plan = NetFaultPlan({"reset": 1.0}, seed=1)
+    # No upstream needed: a reset aborts before dialing upstream.
+    proxy = ChaosProxy("127.0.0.1", 1, plan)
+    proxy.start_in_thread()
+    try:
+        import socket
+
+        for _ in range(2):
+            with socket.create_connection((proxy.host, proxy.port),
+                                          timeout=5.0) as sock:
+                sock.sendall(b"GET / HTTP/1.1\r\n\r\n")
+                assert sock.recv(4096) == b""  # reset/closed, never data
+    finally:
+        proxy.shutdown()
+    assert proxy.counts["reset"] == 2
+    assert proxy.counts["clean"] == 0
+
+
+# -- end-to-end resilience, one fault class at a time ---------------------
+
+@pytest.mark.parametrize("kind", NET_KINDS)
+def test_resilient_under_single_fault_class(kind):
+    report = netchaos.run(
+        rates={kind: 0.4}, seed=3, replicas=2, requests=8,
+        points=TWO_POINTS, scale=0.02, retries=5)
+    assert report.injected.get(kind, 0) >= 1, report.as_dict()
+    assert report.wrong_results == 0, report.as_dict()
+    assert report.ok, report.as_dict()
+
+
+def test_netchaos_main_writes_report(tmp_path):
+    out = tmp_path / "net.json"
+    code = netchaos.main(rates_text="reset=0.25,latency=0.15", seed=11,
+                         replicas=2, requests=8, scale=0.02,
+                         out=str(out))
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is True
+    assert payload["wrong_results"] == 0
+    assert payload["requests"] == 8
+    assert set(payload["injected"]) <= set(NET_KINDS) | {"clean"}
+
+
+def test_netchaos_main_rejects_bad_rates(capsys):
+    assert netchaos.main(rates_text="warp=0.5") == 2
+    assert "bad --net-rates" in capsys.readouterr().out
