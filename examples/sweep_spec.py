@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""One SweepSpec, every entry point: validate → run → re-run → serve.
+
+Builds a declarative :class:`~repro.experiments.sweepspec.SweepSpec`
+programmatically (the same JSON document ``repro-experiment sweep``
+reads and ``POST /v1/sweep`` accepts — see ``docs/SWEEPSPEC.md``), then:
+
+1. shows strict validation rejecting a bad spec with a *typed* error,
+2. runs the spec cold through a fresh result cache,
+3. runs the identical spec again — **zero** new simulations, every
+   point filtered by the cache before it reaches the simulator, and
+4. submits the very same spec to an in-process service's ``/v1/sweep``,
+   where it is journal-backed and survives restarts.
+
+Run with::
+
+    python examples/sweep_spec.py [scale]
+"""
+
+import sys
+import tempfile
+
+from repro.experiments.common import ResultCache
+from repro.experiments.sweepspec import (
+    SweepSpec,
+    UnknownDesignError,
+    run_sweep,
+)
+from repro.service import ExperimentService, ServiceClient
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+
+    # -- 1. strict validation: a typo is a typed error, not a silent run
+    try:
+        SweepSpec.grid(["bfs"], ["basline-512"])  # note the typo
+    except UnknownDesignError as exc:
+        print(f"rejected as {type(exc).__name__}:\n  {exc}\n")
+
+    spec = SweepSpec.grid(
+        ["bfs", "kmeans"],
+        ["ideal-mmu", "baseline-512", "vc-with-opt"],
+        scale=scale, name="example-sweep")
+    print(f"spec {spec.name!r}: {len(spec.resolved_points())} points, "
+          f"fingerprint {spec.fingerprint()[:12]}")
+    print(spec.to_json())
+
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-") as cache_dir:
+        cache = ResultCache(cache_dir=cache_dir)
+
+        # -- 2. cold: every point simulates
+        cold = run_sweep(spec, cache)
+        print(cold.render())
+
+        # -- 3. warm: the identical plan re-runs without simulating
+        warm = run_sweep(SweepSpec.from_json(spec.to_json()), cache)
+        assert warm.simulations_run == 0, warm.simulations_run
+        assert warm.spec.fingerprint() == spec.fingerprint()
+        print(f"\nsame spec again: {warm.simulations_run} new simulations "
+              f"— the cache filtered all {len(warm.points)} points.\n")
+
+        # -- 4. the same document over the wire, as a durable job
+        service = ExperimentService(port=0, jobs=2, scale=scale,
+                                    cache_dir=cache_dir)
+        host, port = service.start_in_thread()
+        print(f"service listening on http://{host}:{port}")
+        try:
+            with ServiceClient(host, port) as client:
+                job_id = client.sweep(spec)
+                print(f"submitted sweep job {job_id}; polling ...")
+                reply = client.wait(job_id)
+                print(f"job finished "
+                      f"({reply.simulations_run_total} simulations ran — "
+                      f"the disk cache is shared with the local runs):")
+                for point in reply.points:
+                    print(f"  {point.workload:<8} {point.design:<22} "
+                          f"{point.cycles:>14,.0f} cycles   [{point.tier}]")
+        finally:
+            service.shutdown()
+        print("service drained cleanly")
+
+
+if __name__ == "__main__":
+    main()

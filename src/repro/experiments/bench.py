@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.sweepspec import SweepSpec
 from repro.system.config import SoCConfig
 from repro.system.designs import (
     BASELINE_512,
@@ -189,8 +190,16 @@ def run_bench(
         from repro.obs.trace_context import TraceContext
 
         trace_ctx = TraceContext.new()
+    # The benchmarked points are enumerated through a SweepSpec like
+    # every other entry point; the figure labels ride alongside (they
+    # are report metadata, not point identity).
+    spec = SweepSpec.explicit(
+        [(workload, design) for _figure, workload, design in points],
+        name="bench")
+    figures = [figure for figure, _workload, _design in points]
     results: List[PointResult] = []
-    for figure, workload, design in points:
+    for figure, (workload, design, _track) in zip(figures,
+                                                  spec.resolved_points()):
         point = _bench_point(figure, workload, design, config, scale, repeats)
         results.append(point)
         if obs is not None:

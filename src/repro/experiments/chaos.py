@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 
 from repro.analysis.report import section
 from repro.experiments.common import GLOBAL_CACHE, resolve_workloads
+from repro.experiments.sweepspec import FaultSpec, SweepSpec
 from repro.obs.trace_context import TraceContext
 from repro.robustness.fault_plan import FaultInjector, FaultPlan
 from repro.robustness.invariants import InvariantViolation
@@ -51,6 +52,7 @@ __all__ = [
     "DESIGNS",
     "main",
     "run",
+    "run_spec",
 ]
 
 DESIGNS = (BASELINE_512, VC_WITHOUT_OPT, VC_WITH_OPT, L1_ONLY_VC_32)
@@ -185,23 +187,48 @@ def run(
     ``chaos.point`` span per grid point with each injected fault as a
     zero-duration child span, plus the simulation's per-request events.
     """
-    config = config if config is not None else GLOBAL_CACHE.config
-    scale = scale if scale is not None else GLOBAL_CACHE.effective_scale()
     names = resolve_workloads(workloads, DEFAULT_WORKLOADS)
     for rate in rates:
         if rate < 0:
             raise ValueError("fault rates must be nonnegative")
+    spec = SweepSpec.grid(
+        names, designs, name="chaos",
+        faults=FaultSpec(rates=tuple(rates), seed=seed,
+                         invariant_interval=invariant_interval))
+    return run_spec(spec, config=config, scale=scale, obs=obs)
+
+
+def run_spec(
+    spec: SweepSpec,
+    config: Optional[SoCConfig] = None,
+    scale: Optional[float] = None,
+    obs=None,
+) -> ChaosReport:
+    """Run a fault-plan :class:`~repro.experiments.sweepspec.SweepSpec`.
+
+    The spec's grid expands exactly like :func:`run`'s triple loop
+    (workload-major, fault rate innermost); its scalar config overrides
+    and scale apply on top of the caller's (or the global cache's)
+    defaults.  Like :func:`run`, a violation is reported, never raised.
+    """
+    if spec.faults is None:
+        raise ValueError("chaos.run_spec needs a spec with a fault plan")
+    config = config if config is not None else GLOBAL_CACHE.config
+    config = spec.apply_config(config)
+    if spec.scale is not None:
+        scale = spec.scale
+    elif scale is None:
+        scale = GLOBAL_CACHE.effective_scale()
     trace_ctx = None
     if obs is not None and obs.tracing:
         trace_ctx = TraceContext.new()
     points = [
-        _run_point(config, workload, design, rate, seed, scale,
-                   invariant_interval, obs=obs, trace_ctx=trace_ctx)
-        for workload in names
-        for design in designs
-        for rate in rates
+        _run_point(config, workload, design, rate, spec.faults.seed, scale,
+                   spec.faults.invariant_interval, obs=obs,
+                   trace_ctx=trace_ctx)
+        for workload, design, rate in spec.fault_points()
     ]
-    return ChaosReport(points=points, seed=seed)
+    return ChaosReport(points=points, seed=spec.faults.seed)
 
 
 def main(

@@ -76,8 +76,8 @@ def _validate() -> str:
 
 
 #: Subcommands dispatched outside the figure/table registry.
-EXTRA_COMMANDS = ("all", "bench", "chaos", "dashboard", "loadtest",
-                  "serve", "trace")
+EXTRA_COMMANDS = ("all", "bench", "chaos", "dashboard", "designs",
+                  "loadtest", "serve", "sweep", "trace", "workloads")
 
 
 def _experiment_listing() -> str:
@@ -115,6 +115,117 @@ def _build_observability(args):
     return Observability(tracer=tracer, profiler=profiler)
 
 
+def _print_designs(slugs_only: bool) -> int:
+    """The ``designs`` command: every preset a SweepSpec can name."""
+    from repro.system.designs import PRESET_DESIGNS, design_slug
+
+    if slugs_only:
+        for design in PRESET_DESIGNS:
+            print(design_slug(design.name))
+        return 0
+    header = (f"{'slug':32s} {'name':30s} {'kind':9s} "
+              f"{'per-CU TLB':>10s} {'IOMMU TLB':>9s} {'B/W':>9s}")
+    print(header)
+    print("-" * len(header))
+    for design in PRESET_DESIGNS:
+        per_cu = ("inf" if design.per_cu_tlb_entries is None
+                  else str(design.per_cu_tlb_entries))
+        iommu = ("inf" if design.iommu_entries is None
+                 else str(design.iommu_entries))
+        bandwidth = (f"{design.iommu_bandwidth:g}/cyc")
+        print(f"{design_slug(design.name):32s} {design.name:30s} "
+              f"{design.kind:9s} {per_cu:>10s} {iommu:>9s} {bandwidth:>9s}")
+    print("\n(use the slug — or the full name — in SweepSpec 'designs', "
+          "service points, and --lt-points)")
+    return 0
+
+
+def _print_workloads(names_only: bool) -> int:
+    """The ``workloads`` command: every trace name a SweepSpec can use."""
+    from repro.workloads import registry
+
+    if names_only:
+        for name in sorted(registry.WORKLOADS):
+            print(name)
+        return 0
+    header = f"{'workload':16s} {'suite':10s} bandwidth"
+    print(header)
+    print("-" * len(header))
+    for name in sorted(registry.WORKLOADS):
+        suite = "pannotia" if name in registry.PANNOTIA else "rodinia"
+        if name in registry.HIGH_BANDWIDTH:
+            group = "high"
+        elif name in registry.LOW_BANDWIDTH:
+            group = "low"
+        else:
+            group = "-"
+        print(f"{name:16s} {suite:10s} {group}")
+    print("\n(use these names in SweepSpec 'workloads', service points, "
+          "and --chaos-workloads)")
+    return 0
+
+
+def _run_sweep(args, obs) -> int:
+    """The ``sweep`` command body: load, validate, run, report."""
+    import json
+
+    from repro.experiments import sweepspec
+
+    if args.action is None:
+        print("repro-experiment: error: sweep needs a spec file "
+              "(repro-experiment sweep SPEC.json)", file=sys.stderr)
+        return 2
+    try:
+        text = Path(args.action).read_text(encoding="utf-8")
+    except OSError as exc:
+        print(f"repro-experiment: error: cannot read sweep spec "
+              f"{args.action!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        spec = sweepspec.SweepSpec.from_json(text)
+    except sweepspec.SweepSpecError as exc:
+        print(f"repro-experiment: error: invalid sweep spec "
+              f"({type(exc).__name__}): {exc}", file=sys.stderr)
+        return 2
+    if args.sweep_out is not None:
+        parent = Path(args.sweep_out).resolve().parent
+        if not parent.is_dir():
+            print(f"repro-experiment: error: --sweep-out directory "
+                  f"{str(parent)!r} does not exist", file=sys.stderr)
+            return 2
+    if spec.faults is not None:
+        # A fault-plan spec is a chaos grid: uncached, always audited.
+        from repro.experiments import chaos
+
+        report = chaos.run_spec(spec, obs=obs)
+        print(report.render())
+        if args.sweep_out is not None:
+            payload = {
+                "name": spec.name,
+                "fingerprint": spec.fingerprint(),
+                "seed": spec.faults.seed,
+                "ok": report.ok,
+                "points": [{
+                    "workload": p.workload, "design": p.design,
+                    "rate": p.rate, "n_events": p.n_events,
+                    "events_applied": p.events_applied,
+                    "audits": p.audits, "cycles": p.cycles,
+                    "ok": p.ok, "violation": p.violation,
+                } for p in report.points],
+            }
+            Path(args.sweep_out).write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {args.sweep_out}")
+        return 0 if report.ok else 1
+    outcome = sweepspec.run_sweep(spec, GLOBAL_CACHE)
+    print(outcome.render())
+    if args.sweep_out is not None:
+        Path(args.sweep_out).write_text(
+            json.dumps(outcome.as_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.sweep_out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The complete ``repro-experiment`` argument parser.
 
@@ -134,7 +245,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "action", nargs="?", metavar="ACTION",
         help="subaction for the 'trace' command (only 'show': render a "
-             "JSON-lines trace file as a span tree)",
+             "JSON-lines trace file as a span tree), or the SPEC.json "
+             "path for the 'sweep' command",
     )
     parser.add_argument(
         "--list", action="store_true",
@@ -206,6 +318,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-tolerance", type=float, default=0.30, metavar="FRAC",
         help="allowed fractional throughput regression for --bench-compare "
              "(default: 0.30)",
+    )
+    sweep_group = parser.add_argument_group(
+        "sweep options (only with the 'sweep' experiment)")
+    sweep_group.add_argument(
+        "--sweep-out", metavar="PATH", default=None,
+        help="write the sweep's JSON report (fingerprint, per-point "
+             "results, simulations actually run this invocation) to PATH",
     )
     robust_group = parser.add_argument_group("robustness options")
     robust_group.add_argument(
@@ -419,7 +538,7 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.list:
+    if args.list and args.experiment not in ("designs", "workloads"):
         print(_experiment_listing())
         return 0
     if args.experiment is None:
@@ -427,10 +546,21 @@ def main(argv=None) -> int:
         print("repro-experiment: error: no experiment given "
               "(use --list to see the choices)", file=sys.stderr)
         return 2
-    if args.action is not None and args.experiment != "trace":
+    if args.action is not None and args.experiment not in ("trace", "sweep"):
         print(f"repro-experiment: error: {args.experiment!r} takes no "
               f"subaction (got {args.action!r})", file=sys.stderr)
         return 2
+    if args.experiment in ("designs", "workloads"):
+        listing = (_print_designs if args.experiment == "designs"
+                   else _print_workloads)
+        try:
+            return listing(args.list)
+        except BrokenPipeError:
+            # Piping into `head` is normal; a closed pipe is not an error.
+            import os
+
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
     if args.cache_dir is not None:
         # Fail before any simulation, not after hours of compute.
         problem = _preflight_cache_dir(args.cache_dir)
@@ -707,7 +837,8 @@ def main(argv=None) -> int:
             metrics_out=args.metrics_out,
             trace_cache=trace_cache,
         )
-    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+    if (args.experiment not in EXPERIMENTS
+            and args.experiment not in ("all", "sweep")):
         print(f"repro-experiment: error: unknown experiment "
               f"{args.experiment!r}; valid choices are:", file=sys.stderr)
         print(_experiment_listing(), file=sys.stderr)
@@ -752,17 +883,28 @@ def main(argv=None) -> int:
     wall_start = time.time()
     chosen = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     profiler = obs.profiler if obs is not None else None
-    for name in chosen:
+    exit_code = 0
+    if args.experiment == "sweep":
         start = time.time()
         if profiler is not None:
-            with profiler.span(f"experiment:{name}"):
-                rendered = EXPERIMENTS[name]()
+            with profiler.span("experiment:sweep"):
+                exit_code = _run_sweep(args, obs)
         else:
-            rendered = EXPERIMENTS[name]()
-        print(rendered)
-        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+            exit_code = _run_sweep(args, obs)
+        if exit_code == 0:
+            print(f"[sweep completed in {time.time() - start:.1f}s]\n")
+    else:
+        for name in chosen:
+            start = time.time()
+            if profiler is not None:
+                with profiler.span(f"experiment:{name}"):
+                    rendered = EXPERIMENTS[name]()
+            else:
+                rendered = EXPERIMENTS[name]()
+            print(rendered)
+            print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
 
-    if args.svg is not None:
+    if args.svg is not None and args.experiment != "sweep":
         from repro.experiments.figures_svg import save_all
 
         for path in save_all(args.svg, GLOBAL_CACHE):
@@ -790,7 +932,7 @@ def main(argv=None) -> int:
                   f"({obs.tracer.events_emitted} events)")
         if profiler is not None:
             print(profiler.report())
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

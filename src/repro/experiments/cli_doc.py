@@ -62,6 +62,15 @@ EXPERIMENT_DESCRIPTIONS: Dict[str, str] = {
                 "below).",
     "trace": "Render a JSON-lines trace file as a span tree "
              "('trace show', see the trace options below).",
+    "sweep": "Run a declarative SweepSpec JSON file ('sweep SPEC.json') "
+             "through the result cache — full --jobs/--cache-dir/"
+             "--checkpoint/retry support; fault-plan specs run the chaos "
+             "harness (see docs/SWEEPSPEC.md and the sweep options "
+             "below).",
+    "designs": "Print every named MMU design preset a SweepSpec (or "
+               "service point) can reference; --list prints bare slugs.",
+    "workloads": "Print every workload trace name with its suite and "
+                 "bandwidth class; --list prints bare names.",
 }
 
 

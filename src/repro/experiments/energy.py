@@ -15,6 +15,7 @@ from typing import Dict, List
 from repro.analysis.metrics import mean
 from repro.analysis.report import format_table, section
 from repro.experiments.common import ALL_WORKLOADS, GLOBAL_CACHE, ResultCache, resolve_workloads
+from repro.experiments.sweepspec import SweepSpec, run_sweep
 from repro.system.designs import BASELINE_512, VC_WITH_OPT
 
 
@@ -87,7 +88,8 @@ def run(cache: ResultCache = None, workloads=None) -> EnergyResult:
     """Count the energy-relevant events for baseline vs VC."""
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, ALL_WORKLOADS)
-    cache.run_many([(w, d) for w in names for d in (BASELINE_512, VC_WITH_OPT)])
+    run_sweep(SweepSpec.grid(names, (BASELINE_512, VC_WITH_OPT),
+                             name="energy"), cache)
     tlb_b, tlb_v, io_b, io_v = {}, {}, {}, {}
     for w in names:
         base = cache.run(w, BASELINE_512)

@@ -18,6 +18,7 @@ from typing import Dict
 from repro.analysis.metrics import mean
 from repro.analysis.report import bar_chart, section
 from repro.experiments.common import GLOBAL_CACHE, HIGH_BANDWIDTH, ResultCache, resolve_workloads
+from repro.experiments.sweepspec import SweepSpec, run_sweep
 from repro.system.designs import BASELINE_LARGE_PER_CU, VC_WITH_OPT
 
 
@@ -47,8 +48,8 @@ def run(cache: ResultCache = None, workloads=None) -> Fig10Result:
     """Regenerate Figure 10."""
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, HIGH_BANDWIDTH)
-    cache.run_many(
-        [(w, d) for w in names for d in (BASELINE_LARGE_PER_CU, VC_WITH_OPT)])
+    run_sweep(SweepSpec.grid(names, (BASELINE_LARGE_PER_CU, VC_WITH_OPT),
+                             name="fig10"), cache)
     speedup = {}
     for w in names:
         base = cache.run(w, BASELINE_LARGE_PER_CU)

@@ -18,6 +18,7 @@ from typing import Dict, List
 from repro.analysis.metrics import mean
 from repro.analysis.report import bar_chart, section
 from repro.experiments.common import GLOBAL_CACHE, HIGH_BANDWIDTH, ResultCache, resolve_workloads
+from repro.experiments.sweepspec import SweepSpec, run_sweep
 from repro.system.designs import (
     BASELINE_16K,
     L1_ONLY_VC_128,
@@ -66,7 +67,8 @@ def run(cache: ResultCache = None, workloads=None) -> Fig11Result:
     """Regenerate Figure 11."""
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, HIGH_BANDWIDTH)
-    cache.run_many([(w, d) for w in names for d in (BASELINE_16K,) + SCOPES])
+    run_sweep(SweepSpec.grid(names, (BASELINE_16K,) + SCOPES,
+                             name="fig11"), cache)
     speedup: Dict[str, Dict[str, float]] = {d.name: {} for d in SCOPES}
     for w in names:
         base = cache.run(w, BASELINE_16K)

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.metrics import mean
 from repro.analysis.report import format_table, section, stacked_bar
 from repro.experiments.common import ALL_WORKLOADS, GLOBAL_CACHE, ResultCache, resolve_workloads
+from repro.experiments.sweepspec import SweepSpec, run_sweep
 from repro.system.designs import MMUDesign
 
 __all__ = ["Fig2Result", "TLB_SIZES", "main", "run", "tlb_sweep_design"]
@@ -95,7 +96,9 @@ def run(cache: ResultCache = None, workloads=None) -> Fig2Result:
     """Regenerate Figure 2."""
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, ALL_WORKLOADS)
-    cache.run_many([(w, tlb_sweep_design(e)) for w in names for e in TLB_SIZES])
+    run_sweep(SweepSpec.grid(
+        names, tuple(tlb_sweep_design(e) for e in TLB_SIZES),
+        name="fig2"), cache)
     miss_ratio: Dict[str, Dict[str, float]] = {}
     breakdown: Dict[str, Dict[str, Dict[str, float]]] = {}
     for w in names:

@@ -20,6 +20,7 @@ from typing import Dict, List
 from repro.analysis.report import bar_chart, section
 from repro.engine.stats import RateStats
 from repro.experiments.common import ALL_WORKLOADS, GLOBAL_CACHE, ResultCache, resolve_workloads
+from repro.experiments.sweepspec import SweepSpec, run_sweep
 from repro.system.designs import baseline_unlimited_bandwidth
 from repro.workloads.registry import is_high_bandwidth
 
@@ -65,7 +66,8 @@ def run(cache: ResultCache = None, workloads=None) -> Fig3Result:
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, ALL_WORKLOADS)
     design = baseline_unlimited_bandwidth()
-    results = cache.run_many([(w, design) for w in names])
+    results = run_sweep(
+        SweepSpec.grid(names, (design,), name="fig3"), cache).results
     rates = {w: result.iommu_rate for w, result in zip(names, results)}
     return Fig3Result(rates=rates)
 

@@ -18,6 +18,7 @@ from typing import Dict, List
 from repro.analysis.metrics import mean
 from repro.analysis.report import bar_chart, section
 from repro.experiments.common import ALL_WORKLOADS, GLOBAL_CACHE, ResultCache, resolve_workloads
+from repro.experiments.sweepspec import SweepSpec, run_sweep
 from repro.system.designs import BASELINE_16K, BASELINE_512, IDEAL_MMU
 
 __all__ = ["DESIGNS", "Fig4Result", "main", "run"]
@@ -55,7 +56,7 @@ def run(cache: ResultCache = None, workloads=None) -> Fig4Result:
     """Regenerate Figure 4."""
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, ALL_WORKLOADS)
-    cache.run_many([(w, d) for w in names for d in DESIGNS])
+    run_sweep(SweepSpec.grid(names, DESIGNS, name="fig4"), cache)
     relative: Dict[str, Dict[str, float]] = {}
     for w in names:
         ideal = cache.run(w, IDEAL_MMU)

@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence
 from repro.analysis.metrics import mean
 from repro.analysis.report import bar_chart, section
 from repro.experiments.common import GLOBAL_CACHE, HIGH_BANDWIDTH, ResultCache, resolve_workloads
+from repro.experiments.sweepspec import SweepSpec, run_sweep
 from repro.system.designs import IDEAL_MMU, baseline_with_bandwidth
 
 __all__ = ["BANDWIDTHS", "Fig5Result", "main", "run"]
@@ -58,10 +59,12 @@ def run(cache: ResultCache = None, workloads=None) -> Fig5Result:
     """Regenerate Figure 5."""
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, HIGH_BANDWIDTH)
-    cache.run_many(
+    # Not workload-major: every IDEAL point first, then the bandwidth
+    # grid -- an explicit-points spec preserves that exact order.
+    run_sweep(SweepSpec.explicit(
         [(w, IDEAL_MMU) for w in names]
-        + [(w, baseline_with_bandwidth(bw)) for w in names for bw in BANDWIDTHS]
-    )
+        + [(w, baseline_with_bandwidth(bw)) for w in names for bw in BANDWIDTHS],
+        name="fig5"), cache)
     table: Dict[float, Dict[str, float]] = {bw: {} for bw in BANDWIDTHS}
     for w in names:
         ideal = cache.run(w, IDEAL_MMU)

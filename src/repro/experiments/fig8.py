@@ -19,6 +19,7 @@ from repro.analysis.metrics import mean
 from repro.analysis.report import format_table, section
 from repro.engine.stats import RateStats
 from repro.experiments.common import ALL_WORKLOADS, GLOBAL_CACHE, ResultCache, resolve_workloads
+from repro.experiments.sweepspec import SweepSpec, run_sweep
 from repro.system.designs import FULL_VC, MMUDesign, baseline_unlimited_bandwidth
 
 __all__ = ["Fig8Result", "VC_UNLIMITED", "main", "run"]
@@ -77,7 +78,8 @@ def run(cache: ResultCache = None, workloads=None) -> Fig8Result:
     cache = cache if cache is not None else GLOBAL_CACHE
     names = resolve_workloads(workloads, ALL_WORKLOADS)
     base_design = baseline_unlimited_bandwidth()
-    cache.run_many([(w, d) for w in names for d in (base_design, VC_UNLIMITED)])
+    run_sweep(SweepSpec.grid(names, (base_design, VC_UNLIMITED),
+                             name="fig8"), cache)
     baseline = {}
     virtual = {}
     for w in names:

@@ -27,6 +27,7 @@ from repro.experiments.common import (
     ResultCache,
     resolve_workloads,
 )
+from repro.experiments.sweepspec import SweepSpec, run_sweep
 from repro.system.designs import (
     BASELINE_16K,
     BASELINE_512,
@@ -84,7 +85,8 @@ def run(cache: ResultCache = None, workloads=None) -> Fig9Result:
     cache = cache if cache is not None else GLOBAL_CACHE
     all_names = resolve_workloads(workloads, ALL_WORKLOADS)
     high = [w for w in all_names if w in HIGH_BANDWIDTH]
-    cache.run_many([(w, d) for w in all_names for d in (IDEAL_MMU,) + COMPARED])
+    run_sweep(SweepSpec.grid(all_names, (IDEAL_MMU,) + COMPARED,
+                             name="fig9"), cache)
     performance: Dict[str, Dict[str, float]] = {}
     fbt_fraction: Dict[str, float] = {}
     for w in all_names:

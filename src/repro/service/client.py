@@ -471,6 +471,21 @@ class ServiceClient:
         return self._request("POST", "/v1/jobs", body,
                              idempotent=False)["job_id"]
 
+    def sweep(self, spec: Any) -> str:
+        """Submit a :class:`~repro.experiments.sweepspec.SweepSpec` as a job.
+
+        ``spec`` is a ``SweepSpec`` (or its already-serialized dict
+        form).  Like :meth:`submit`, a sweep submit is not idempotent:
+        it never retries and always uses a fresh connection.  Returns
+        the job id for :meth:`poll`/:meth:`wait`.
+        """
+        if hasattr(spec, "to_dict"):
+            spec = spec.to_dict()
+        body = {"sweep": spec}
+        self.close()  # fresh connection: no stale-keepalive ambiguity
+        return self._request("POST", "/v1/sweep", body,
+                             idempotent=False)["job_id"]
+
     def poll(self, job_id: str) -> JobReply:
         """Fetch a job's status (and its result once finished)."""
         raw = self._request("GET", f"/v1/jobs/{job_id}")

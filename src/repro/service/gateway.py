@@ -74,6 +74,7 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.sweepspec import design_to_wire
 from repro.obs import Observability
 from repro.obs.promexp import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from repro.obs.promexp import merge_expositions, render_prometheus
@@ -839,18 +840,37 @@ class ShardGateway:
             self.obs.metrics.add("gateway.route_memo.hits")
             return plan
         decoded = self._decode(body)
-        specs = protocol.parse_simulate_request(
-            decoded, self._base_scale, self._base_config,
-            check_invariants=self._check_invariants)
-        if "points" in decoded:
-            raw_points = decoded["points"]
+        if "sweep" in decoded:
+            # A sweep is expanded gateway-side into plain simulate
+            # points, so each lands on its fingerprint's home replica;
+            # non-preset designs travel inline in their wire form.
+            spec, specs = protocol.parse_sweep_request(
+                decoded, self._base_scale, self._base_config,
+                check_invariants=self._check_invariants)
+            raw_points: List[Dict] = [
+                {"workload": workload, "design": design_to_wire(design),
+                 "track_lifetimes": track}
+                for workload, design, track in spec.resolved_points()]
+            extras: Dict[str, Any] = {}
+            if spec.scale is not None:
+                extras["scale"] = spec.scale
+            if spec.config:
+                extras["config"] = dict(spec.config)
+            if spec.output.include_counters:
+                extras["include_counters"] = True
         else:
-            raw_points = [decoded]
-        extras = {key: decoded[key]
-                  for key in ("scale", "config", "include_counters")
-                  if key in decoded}
+            specs = protocol.parse_simulate_request(
+                decoded, self._base_scale, self._base_config,
+                check_invariants=self._check_invariants)
+            if "points" in decoded:
+                raw_points = list(decoded["points"])
+            else:
+                raw_points = [decoded]
+            extras = {key: decoded[key]
+                      for key in ("scale", "config", "include_counters")
+                      if key in decoded}
         plan = _RoutePlan([spec.fingerprint for spec in specs],
-                          list(raw_points), extras)
+                          raw_points, extras)
         self.obs.metrics.add("gateway.route_memo.misses")
         if len(body) <= _MAX_MEMO_BODY:
             self._route_memo[body] = plan
@@ -1269,6 +1289,15 @@ class ShardGateway:
         if path == "/v1/jobs":
             self._require(method, "POST")
             self._reject_if_draining()
+            return self._submit_job(body, ctx)
+        if path == "/v1/sweep":
+            self._require(method, "POST")
+            self._reject_if_draining()
+            decoded = self._decode(body)
+            if "sweep" not in decoded:
+                raise ProtocolError(
+                    400, protocol.ERROR_BAD_REQUEST,
+                    "request needs a 'sweep' object (a SweepSpec)")
             return self._submit_job(body, ctx)
         if path.startswith("/v1/jobs/"):
             self._require(method, "GET")

@@ -27,15 +27,20 @@ agree on what "the same point" means.
 from __future__ import annotations
 
 import dataclasses
-import re
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.experiments import sweepspec
 from repro.experiments.disk_cache import point_fingerprint
-from repro.system import designs as _designs
 from repro.system.config import SoCConfig
-from repro.system.designs import MMUDesign
+from repro.system.designs import (
+    DESIGNS_BY_NAME,
+    MMUDesign,
+    PRESET_DESIGNS,
+    design_from_dict,
+    design_slug,
+)
 from repro.system.run import SimulationResult
 from repro.workloads import registry
 
@@ -54,6 +59,7 @@ __all__ = [
     "design_slug",
     "parse_deadline_header",
     "parse_simulate_request",
+    "parse_sweep_request",
     "resolve_design",
     "resolve_workload",
     "result_payload",
@@ -136,37 +142,27 @@ def parse_deadline_header(headers: Mapping[str, str]) -> Optional[float]:
     return time.monotonic() + ms / 1000.0
 
 
-def design_slug(name: str) -> str:
-    """URL-friendly identifier for a design name (``"VC With OPT"`` → ``"vc-with-opt"``)."""
-    return re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
-
-
-def _preset_designs() -> Tuple[MMUDesign, ...]:
-    """Every named design preset the service accepts by name."""
-    return _designs.TABLE2_DESIGNS + (
-        _designs.BASELINE_LARGE_PER_CU,
-        _designs.L1_ONLY_VC_32,
-        _designs.L1_ONLY_VC_128,
-    )
-
-
-#: Canonical design name → preset, plus a slug alias for each.
-DESIGNS_BY_NAME: Dict[str, MMUDesign] = {}
-for _design in _preset_designs():
-    DESIGNS_BY_NAME[_design.name] = _design
-    DESIGNS_BY_NAME[design_slug(_design.name)] = _design
-del _design
-
-
 def resolve_design(name: Any) -> MMUDesign:
-    """Look up a design by canonical name or slug; 400 on anything else."""
+    """Look up a design by canonical name or slug; 400 on anything else.
+
+    An inline design object (the :func:`~repro.system.designs.design_to_dict`
+    shape) is also accepted — the gateway forwards non-preset sweep
+    designs to replicas in that form.
+    """
+    if isinstance(name, dict):
+        try:
+            return design_from_dict(name)
+        except ValueError as exc:
+            raise ProtocolError(
+                400, ERROR_BAD_REQUEST, f"invalid inline design: {exc}")
     if not isinstance(name, str):
         raise ProtocolError(
             400, ERROR_BAD_REQUEST,
-            f"point 'design' must be a string, got {type(name).__name__}")
+            f"point 'design' must be a string or design object, "
+            f"got {type(name).__name__}")
     design = DESIGNS_BY_NAME.get(name) or DESIGNS_BY_NAME.get(design_slug(name))
     if design is None:
-        known = sorted({design_slug(d.name) for d in _preset_designs()})
+        known = sorted({design_slug(d.name) for d in PRESET_DESIGNS})
         raise ProtocolError(
             400, ERROR_BAD_REQUEST,
             f"unknown design {name!r}; known designs: {', '.join(known)}")
@@ -340,6 +336,77 @@ def parse_simulate_request(
         specs.append(PointSpec.build(
             workload, design, track, scale, config, check_invariants))
     return specs
+
+
+def parse_sweep_request(
+    body: Any,
+    default_scale: float,
+    base_config: SoCConfig,
+    check_invariants: bool = False,
+) -> Tuple[sweepspec.SweepSpec, List[PointSpec]]:
+    """Validate a ``/v1/sweep`` body: ``{"sweep": {<SweepSpec JSON>}}``.
+
+    The spec's own strict validation runs first (every
+    :class:`~repro.experiments.sweepspec.SweepSpecError` maps to 400
+    with the spec's message), then service policy applies on top:
+
+    * fault-plan specs are rejected — fault injection mutates page
+      tables, so those runs are never cacheable and run CLI-side only;
+    * ``check_invariants: true`` requires a server started with
+      auditing on, otherwise its fingerprints could never match the
+      server's cache tiers;
+    * the expanded point list is capped at ``MAX_POINTS_PER_REQUEST``
+      like any other request.
+
+    Returns the parsed spec plus its fully resolved points (spec order,
+    one :class:`PointSpec` per point).
+    """
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            400, ERROR_BAD_REQUEST,
+            f"request body must be a JSON object, got {type(body).__name__}")
+    unknown = sorted(set(body) - {"sweep"})
+    if unknown:
+        raise ProtocolError(
+            400, ERROR_BAD_REQUEST,
+            f"a sweep request carries only a 'sweep' object; unknown "
+            f"key(s) {', '.join(map(repr, unknown))}")
+    if "sweep" not in body:
+        raise ProtocolError(
+            400, ERROR_BAD_REQUEST, "request needs a 'sweep' object")
+    try:
+        spec = sweepspec.SweepSpec.from_dict(body["sweep"])
+    except sweepspec.SweepSpecError as exc:
+        raise ProtocolError(
+            400, ERROR_BAD_REQUEST, f"invalid sweep spec: {exc}")
+    if spec.faults is not None:
+        raise ProtocolError(
+            400, ERROR_BAD_REQUEST,
+            "fault-plan sweeps are not served over the wire (fault "
+            "injection is never cached); run the spec through "
+            "'repro-experiment sweep' instead")
+    if spec.check_invariants and not check_invariants:
+        raise ProtocolError(
+            400, ERROR_BAD_REQUEST,
+            "spec requests check_invariants but this server runs without "
+            "invariant auditing; start it with --check-invariants")
+    scale = spec.scale if spec.scale is not None else default_scale
+    try:
+        config = spec.apply_config(base_config)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            400, ERROR_BAD_REQUEST, f"invalid config override: {exc}")
+    points = spec.resolved_points()
+    if len(points) > MAX_POINTS_PER_REQUEST:
+        raise ProtocolError(
+            400, ERROR_BAD_REQUEST,
+            f"sweep expands to too many points "
+            f"({len(points)} > {MAX_POINTS_PER_REQUEST})")
+    return spec, [
+        PointSpec.build(workload, design, track, scale, config,
+                        check_invariants)
+        for workload, design, track in points
+    ]
 
 
 def result_payload(

@@ -709,6 +709,18 @@ class ExperimentService:
             self._require(method, "POST")
             self._reject_if_draining()
             return self._submit_job(self._decode(body), ctx, body)
+        if path == "/v1/sweep":
+            # A sweep is a durable job: the raw spec body is journaled
+            # before the 202 ack, so it survives a restart and replays
+            # through the same sweep-aware parser.
+            self._require(method, "POST")
+            self._reject_if_draining()
+            decoded = self._decode(body)
+            if not isinstance(decoded, dict) or "sweep" not in decoded:
+                raise ProtocolError(
+                    400, protocol.ERROR_BAD_REQUEST,
+                    "request needs a 'sweep' object (a SweepSpec)")
+            return self._submit_job(decoded, ctx, body)
         if path.startswith("/v1/jobs/"):
             self._require(method, "GET")
             return self._job_status(path[len("/v1/jobs/"):])
@@ -749,6 +761,11 @@ class ExperimentService:
 
     # -- endpoints --------------------------------------------------------
     def _parse_points(self, body: Any) -> List[PointSpec]:
+        if isinstance(body, dict) and "sweep" in body:
+            _spec, specs = protocol.parse_sweep_request(
+                body, self._base_scale, self._base_config,
+                check_invariants=self.cache.check_invariants)
+            return specs
         return protocol.parse_simulate_request(
             body, self._base_scale, self._base_config,
             check_invariants=self.cache.check_invariants)
@@ -762,6 +779,10 @@ class ExperimentService:
             self._admit(specs)
         include_counters = bool(isinstance(body, dict)
                                 and body.get("include_counters"))
+        if isinstance(body, dict) and isinstance(body.get("sweep"), dict):
+            output = body["sweep"].get("output")
+            include_counters = include_counters or bool(
+                isinstance(output, dict) and output.get("include_counters"))
         started = time.perf_counter()
         entries = [self._enqueue(spec, ctx, deadline) for spec in specs]
         outcomes = await asyncio.gather(

@@ -16,8 +16,11 @@ virtual-cache designs of Figure 11.
 
 from __future__ import annotations
 
+import dataclasses
+import math
+import re
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.l1_only import L1OnlyVirtualHierarchy
 from repro.core.virtual_hierarchy import VirtualCacheHierarchy
@@ -29,6 +32,7 @@ __all__ = [
     "BASELINE_16K",
     "BASELINE_512",
     "BASELINE_LARGE_PER_CU",
+    "DESIGNS_BY_NAME",
     "FULL_VC",
     "IDEAL_MMU",
     "L1_ONLY_VC",
@@ -36,11 +40,16 @@ __all__ = [
     "L1_ONLY_VC_32",
     "MMUDesign",
     "PHYSICAL",
+    "PRESET_DESIGNS",
     "TABLE2_DESIGNS",
     "VC_WITHOUT_OPT",
     "VC_WITH_OPT",
     "baseline_unlimited_bandwidth",
     "baseline_with_bandwidth",
+    "design_from_dict",
+    "design_slug",
+    "design_to_dict",
+    "lookup_design",
 ]
 
 PHYSICAL = "physical"
@@ -176,4 +185,113 @@ def baseline_unlimited_bandwidth() -> MMUDesign:
         name="Baseline 16K, unlimited B/W",
         iommu_entries=16384,
         iommu_bandwidth=float("inf"),
+    )
+
+
+# -- the named-design registry and wire form ------------------------------
+
+def design_slug(name: str) -> str:
+    """URL-friendly identifier for a design name (``"VC With OPT"`` → ``"vc-with-opt"``)."""
+    return re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+
+
+#: Every named preset addressable by slug: the Table 2 rows plus the
+#: Figure 10 large-per-CU baseline and the Figure 11 L1-only designs.
+PRESET_DESIGNS = TABLE2_DESIGNS + (
+    BASELINE_LARGE_PER_CU,
+    L1_ONLY_VC_32,
+    L1_ONLY_VC_128,
+)
+
+#: Canonical design name → preset, plus a slug alias for each.
+DESIGNS_BY_NAME: Dict[str, MMUDesign] = {}
+for _design in PRESET_DESIGNS:
+    DESIGNS_BY_NAME[_design.name] = _design
+    DESIGNS_BY_NAME[design_slug(_design.name)] = _design
+del _design
+
+
+def lookup_design(name: str) -> Optional[MMUDesign]:
+    """Find a preset by canonical name or slug; ``None`` if unknown."""
+    return DESIGNS_BY_NAME.get(name) or DESIGNS_BY_NAME.get(design_slug(name))
+
+
+def design_to_dict(design: MMUDesign) -> Dict[str, Any]:
+    """JSON-ready form of a design (the SweepSpec inline-design shape).
+
+    Infinite capacities/bandwidth serialize as ``null`` — JSON has no
+    ``Infinity`` — so ``design_from_dict`` round-trips every preset.
+    """
+    return {
+        "name": design.name,
+        "kind": design.kind,
+        "ideal": design.ideal,
+        "per_cu_tlb_entries": design.per_cu_tlb_entries,
+        "iommu_entries": design.iommu_entries,
+        "iommu_bandwidth": (None if math.isinf(design.iommu_bandwidth)
+                            else design.iommu_bandwidth),
+        "fbt_as_second_level_tlb": design.fbt_as_second_level_tlb,
+    }
+
+
+def _entries_field(obj: Dict[str, Any], key: str,
+                   default: Optional[int]) -> Optional[int]:
+    value = obj.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"design field {key!r} must be a positive integer or null "
+            f"(null = infinite), got {value!r}")
+    if value < 1:
+        raise ValueError(f"design field {key!r} must be >= 1, got {value}")
+    return value
+
+
+def design_from_dict(obj: Any) -> MMUDesign:
+    """Build an :class:`MMUDesign` from its dict form, strictly validated.
+
+    Raises plain :class:`ValueError` on any problem (unknown key, bad
+    kind, wrong type); callers wrap it into their own error taxonomy.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(
+            f"inline design must be an object, got {type(obj).__name__}")
+    known = {f.name for f in dataclasses.fields(MMUDesign)}
+    unknown = sorted(set(obj) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown design field(s) {', '.join(map(repr, unknown))}; "
+            f"valid fields: {', '.join(sorted(known))}")
+    name = obj.get("name")
+    if not isinstance(name, str) or not name.strip():
+        raise ValueError("inline design needs a non-empty string 'name'")
+    kind = obj.get("kind", PHYSICAL)
+    if kind not in (PHYSICAL, FULL_VC, L1_ONLY_VC):
+        raise ValueError(
+            f"unknown design kind {kind!r}; valid kinds: "
+            f"{PHYSICAL!r}, {FULL_VC!r}, {L1_ONLY_VC!r}")
+    for flag in ("ideal", "fbt_as_second_level_tlb"):
+        if flag in obj and not isinstance(obj[flag], bool):
+            raise ValueError(f"design field {flag!r} must be a boolean, "
+                             f"got {obj[flag]!r}")
+    bandwidth = obj.get("iommu_bandwidth", 1.0)
+    if bandwidth is None:
+        bandwidth = float("inf")
+    elif isinstance(bandwidth, bool) or not isinstance(bandwidth, (int, float)):
+        raise ValueError(
+            f"design field 'iommu_bandwidth' must be a positive number or "
+            f"null (null = unlimited), got {bandwidth!r}")
+    elif not bandwidth > 0:
+        raise ValueError(
+            f"design field 'iommu_bandwidth' must be positive, "
+            f"got {bandwidth}")
+    return MMUDesign(
+        name=name,
+        kind=kind,
+        ideal=obj.get("ideal", False),
+        per_cu_tlb_entries=_entries_field(obj, "per_cu_tlb_entries", 32),
+        iommu_entries=_entries_field(obj, "iommu_entries", 512),
+        iommu_bandwidth=float(bandwidth),
+        fbt_as_second_level_tlb=obj.get("fbt_as_second_level_tlb", False),
     )

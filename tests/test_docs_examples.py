@@ -19,7 +19,7 @@ ROOT = Path(__file__).resolve().parent.parent
 DOCS = ["README.md", "EXPERIMENTS.md"]
 VALID_EXPERIMENTS = set(EXPERIMENTS) | set(EXTRA_COMMANDS)
 #: Experiments cheap enough to run for real during the test.
-CHEAP = {"table1", "table2"}
+CHEAP = {"table1", "table2", "designs", "workloads"}
 
 
 def _fenced_blocks(text: str):

@@ -1,0 +1,68 @@
+"""docs/SWEEPSPEC.md must match what the schema actually renders.
+
+The committed spec reference is generated (``python -m
+repro.experiments.spec_doc``); any SweepSpec field, error class, or
+preset added or changed without regenerating the doc fails here with a
+diff-style message.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+from pathlib import Path
+
+from repro.experiments import spec_doc, sweepspec
+from repro.experiments.spec_doc import (
+    ERROR_DESCRIPTIONS,
+    FIELD_DOCS,
+    render_spec_doc,
+)
+
+DOC = Path(__file__).resolve().parent.parent / "docs" / "SWEEPSPEC.md"
+
+
+def test_spec_doc_matches_schema():
+    committed = DOC.read_text(encoding="utf-8")
+    rendered = render_spec_doc()
+    if committed != rendered:
+        diff = "\n".join(difflib.unified_diff(
+            committed.splitlines(), rendered.splitlines(),
+            fromfile="docs/SWEEPSPEC.md (committed)",
+            tofile="docs/SWEEPSPEC.md (rendered from the schema)",
+            lineterm="", n=2))
+        raise AssertionError(
+            "docs/SWEEPSPEC.md is stale; regenerate with\n"
+            "  PYTHONPATH=src python -m repro.experiments.spec_doc "
+            "> docs/SWEEPSPEC.md\n" + diff)
+
+
+def test_every_field_is_documented():
+    for cls, docs in FIELD_DOCS.items():
+        assert set(docs) == {f.name for f in dataclasses.fields(cls)}, (
+            f"FIELD_DOCS drifted for {cls.__name__}")
+
+
+def test_every_error_class_is_documented():
+    actual = {name for name in dir(sweepspec)
+              if isinstance(getattr(sweepspec, name), type)
+              and issubclass(getattr(sweepspec, name),
+                             sweepspec.SweepSpecError)
+              and getattr(sweepspec, name) is not sweepspec.SweepSpecError}
+    assert set(ERROR_DESCRIPTIONS) == actual
+
+
+def test_examples_validate_and_are_committed():
+    """Every worked example parses; the two file-backed ones match disk."""
+    import json
+
+    for example in (spec_doc.EXAMPLE_GRID, spec_doc.EXAMPLE_POINTS,
+                    spec_doc.EXAMPLE_FAULTS, spec_doc.EXAMPLE_INLINE_DESIGN):
+        sweepspec.SweepSpec.from_dict(example)  # raises on drift
+
+    specs_dir = DOC.parent.parent / "examples" / "specs"
+    for fname, example in (("fig4_sweep.json", spec_doc.EXAMPLE_GRID),
+                           ("chaos_sweep.json", spec_doc.EXAMPLE_FAULTS)):
+        on_disk = json.loads((specs_dir / fname).read_text(encoding="utf-8"))
+        assert on_disk == example, (
+            f"examples/specs/{fname} drifted from the documented example")
